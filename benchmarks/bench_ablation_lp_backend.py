@@ -1,0 +1,45 @@
+"""Ablation E10: LP backends — HiGHS vs the from-scratch simplex.
+
+Verifies the two engines agree on the master problems this library
+actually emits, and times them (HiGHS is expected to win; the simplex
+exists for dependency-freedom and cross-validation).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import all_orderings
+from repro.datasets import syn_a
+from repro.solvers import MasterProblem, PolicyContext
+
+#: Objective of the Syn A B=10 master at thresholds [3,3,3,3]; anchored
+#: once here so each backend's bench validates independently.
+EXPECTED_OBJECTIVE = -3.3868
+
+
+def build_master(backend: str) -> MasterProblem:
+    game = syn_a(budget=10)
+    scenarios = game.scenario_set()
+    context = PolicyContext(
+        game, scenarios, np.array([3.0, 3.0, 3.0, 3.0])
+    )
+    master = MasterProblem(context, backend=backend)
+    for ordering in all_orderings(4):
+        master.add_ordering(ordering)
+    return master
+
+
+def test_lp_backend_scipy(benchmark):
+    master = build_master("scipy")
+    fixed, _ = benchmark(master.solve)
+    emit("LP backend — scipy/HiGHS",
+         f"objective {fixed.objective:.6f}")
+    assert abs(fixed.objective - EXPECTED_OBJECTIVE) < 5e-3
+
+
+def test_lp_backend_simplex(benchmark):
+    master = build_master("simplex")
+    fixed, _ = benchmark(master.solve)
+    emit("LP backend — simplex (from scratch)",
+         f"objective {fixed.objective:.6f}")
+    assert abs(fixed.objective - EXPECTED_OBJECTIVE) < 5e-3

@@ -1,0 +1,65 @@
+"""Extension E11: robustness to bounded-rational attackers.
+
+Section VII lists bounded rationality as future work.  We evaluate the
+zero-sum optimal Syn A policy against logit quantal-response attackers
+across rationality levels: the best-response loss is the upper envelope,
+and the curve quantifies how conservative the rational-attacker
+assumption is.
+"""
+
+import numpy as np
+from conftest import emit, full_mode
+
+from repro.analysis import render_table
+from repro.datasets import syn_a
+from repro.extensions import rationality_sweep
+from repro.solvers import iterative_shrink
+
+
+def test_quantal_rationality_sweep(benchmark):
+    rationalities = (
+        (0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 25.0, 100.0)
+        if full_mode()
+        else (0.0, 0.5, 2.0, 25.0)
+    )
+    game = syn_a(budget=10)
+    scenarios = game.scenario_set()
+    solved = iterative_shrink(game, scenarios, step_size=0.2)
+
+    sweep = benchmark.pedantic(
+        lambda: rationality_sweep(
+            game, solved.policy, scenarios, rationalities
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [f"{q.rationality:g}", f"{q.auditor_loss:.4f}",
+         f"{q.refrain_rate:.2%}"]
+        for q in sweep
+    ]
+    emit(
+        "Extension — loss vs attacker rationality "
+        f"(best-response loss {solved.objective:.4f})",
+        render_table(["lambda", "auditor loss", "refrain rate"], rows),
+    )
+
+    losses = [q.auditor_loss for q in sweep]
+    # Monotone in rationality, converging to the best-response loss.
+    assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+    assert abs(losses[-1] - solved.objective) < 0.05
+
+
+def test_quantal_evaluation_speed(benchmark):
+    """Micro-benchmark: one quantal evaluation (policy fixed)."""
+    from repro.extensions import evaluate_quantal
+
+    game = syn_a(budget=10)
+    scenarios = game.scenario_set()
+    solved = iterative_shrink(game, scenarios, step_size=0.3)
+    result = benchmark(
+        lambda: evaluate_quantal(
+            game, solved.policy, scenarios, rationality=2.0
+        )
+    )
+    assert np.isfinite(result.auditor_loss)

@@ -1,0 +1,53 @@
+"""Figure 2: auditor loss vs budget on the credit game (Rea B substitute).
+
+Paper reference: same qualitative picture as Figure 1 on budgets
+10..250 — the proposed policy dominates, random thresholds is the best
+baseline, and the loss reaches 0 as the budget approaches the full
+alert volume.
+"""
+
+from conftest import emit, full_mode
+
+from repro.analysis import run_loss_figure
+from repro.datasets import rea_b
+
+FULL_BUDGETS = tuple(range(10, 251, 20))
+FAST_BUDGETS = (10, 90, 170, 250)
+FULL_STEPS = (0.1, 0.2, 0.3)
+FAST_STEPS = (0.3,)
+
+
+def test_figure2_credit_loss_curves(benchmark):
+    budgets = FULL_BUDGETS if full_mode() else FAST_BUDGETS
+    steps = FULL_STEPS if full_mode() else FAST_STEPS
+    n_scenarios = 1000 if full_mode() else 400
+
+    curves = benchmark.pedantic(
+        lambda: run_loss_figure(
+            game_factory=lambda budget: rea_b(budget=budget),
+            dataset="Rea B (credit)",
+            budgets=budgets,
+            step_sizes=steps,
+            n_scenarios=n_scenarios,
+            n_random_orderings=2000 if full_mode() else 300,
+            n_threshold_draws=40 if full_mode() else 8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 2 — auditor loss vs budget (credit)",
+         curves.to_text())
+
+    anchor = min(steps)
+    proposed = curves.proposed[anchor]
+    assert all(
+        b <= a + 1e-6 for a, b in zip(proposed, proposed[1:])
+    )
+    for series in (
+        curves.random_thresholds,
+        curves.random_orders,
+        curves.benefit_greedy,
+    ):
+        assert all(
+            p <= s + 1e-6 for p, s in zip(proposed, series)
+        )

@@ -1,0 +1,38 @@
+"""Table IV: ISHM approximation across budgets and step sizes (Syn A).
+
+Paper reference: ISHM objectives track the Table III optimum closely for
+eps <= 0.25 and degrade gently as eps grows; thresholds like [3,3,3,3]
+at B=10 and [9,7,6,6] at B=20 are recovered.
+"""
+
+from conftest import emit, full_mode
+
+from repro.analysis import FULL_STEP_SIZES, run_ishm_grid
+from repro.datasets import SYN_A_BUDGETS
+
+FAST_BUDGETS = (2, 10, 20)
+FAST_STEPS = (0.1, 0.3, 0.5)
+
+
+def test_table4_ishm_grid(benchmark):
+    budgets = SYN_A_BUDGETS if full_mode() else FAST_BUDGETS
+    steps = FULL_STEP_SIZES if full_mode() else FAST_STEPS
+
+    grid = benchmark.pedantic(
+        lambda: run_ishm_grid(
+            budgets=budgets, step_sizes=steps, method="enumeration"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table IV — ISHM approximation (Syn A)", grid.to_text())
+
+    # Paper trends: loss decreases in B at fixed eps; finer eps is never
+    # (materially) worse at fixed B.
+    for step in steps:
+        series = grid.objectives(step)
+        assert all(b < a for a, b in zip(series, series[1:]))
+    for i in range(len(budgets)):
+        fine = grid.cells[i][0].objective
+        coarse = grid.cells[i][-1].objective
+        assert fine <= coarse + 1e-6

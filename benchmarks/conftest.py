@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+its rows.  Two grid sizes exist:
+
+* default ("fast") — reduced budget/step grids so the whole suite runs
+  in minutes;
+* full — the paper's exact grids; enable with ``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    """True when REPRO_FULL=1 requests the paper's full grids."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def is_full() -> bool:
+    return full_mode()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labeled block (visible with pytest -s or on bench output)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

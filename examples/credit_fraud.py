@@ -1,0 +1,61 @@
+"""Credit-card fraud auditing (the paper's Rea B scenario).
+
+Synthesizes Statlog-shaped credit applications, labels them with the
+Table IX alert rules, builds the 100-applicant x 8-purpose audit game and
+compares the game-theoretic policy with the paper's baselines across a
+small budget sweep — a miniature of Figure 2.
+
+Run:  python examples/credit_fraud.py
+"""
+
+import numpy as np
+
+from repro.baselines import GreedyBenefitBaseline, RandomOrderBaseline
+from repro.datasets import (
+    CREDIT_TYPE_NAMES,
+    rea_b,
+    simulate_credit_batches,
+)
+from repro.solvers import iterative_shrink, make_fixed_solver
+from repro.tdmt import summarize_counts
+
+
+def inspect_alert_stream() -> None:
+    """Synthesize application batches and tabulate Table IX-style stats."""
+    counts = simulate_credit_batches(n_periods=12)
+    print("Per-batch alert counts by type (compare to Table IX):")
+    print(summarize_counts(counts, CREDIT_TYPE_NAMES))
+
+
+def budget_sweep() -> None:
+    """Mini Figure 2: auditor loss vs budget, proposed vs baselines."""
+    budgets = (50.0, 150.0, 250.0)
+    print(f"\n{'B':>6} {'proposed':>10} {'rand-order':>11} "
+          f"{'benefit-greedy':>15}")
+    for budget in budgets:
+        game = rea_b(budget=budget)
+        rng = np.random.default_rng(7)
+        scenarios = game.scenario_set(rng=rng, n_samples=500)
+        solver = make_fixed_solver(game, scenarios, rng=rng)
+        result = iterative_shrink(
+            game, scenarios, step_size=0.3, solver=solver
+        )
+        rand = RandomOrderBaseline(
+            game, scenarios, n_orderings=120, rng=rng
+        ).run(result.thresholds)
+        greedy = GreedyBenefitBaseline(game, scenarios).run()
+        print(
+            f"{budget:6.0f} {result.objective:10.2f} "
+            f"{rand.auditor_loss:11.2f} {greedy.auditor_loss:15.2f}"
+        )
+    print("\nAs the budget grows the proposed policy drives the loss "
+          "toward 0 (full deterrence), as in Figure 2.")
+
+
+def main() -> None:
+    inspect_alert_stream()
+    budget_sweep()
+
+
+if __name__ == "__main__":
+    main()

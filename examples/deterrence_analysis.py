@@ -1,0 +1,64 @@
+"""Deterrence analysis: how much budget buys total deterrence?
+
+Figure 1 of the paper shows the proposed policy driving the auditor's
+loss to exactly 0 at roughly a quarter of the mean alert volume — every
+strategic insider prefers not to attack at all.  This example sweeps the
+budget on the Syn A game (with refraining enabled) to find that point,
+then probes robustness with the bounded-rationality extension: quantal
+attackers sometimes attack even when it is irrational to do so, and the
+residual loss quantifies how much the full-deterrence guarantee relies
+on attacker rationality.
+
+Run:  python examples/deterrence_analysis.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.datasets import syn_a
+from repro.extensions import evaluate_quantal
+from repro.solvers import iterative_shrink
+
+
+def deterrable_game(budget: float):
+    """Syn A variant where adversaries may refrain (as in Rea A/B)."""
+    game = syn_a(budget=budget)
+    return replace(
+        game, payoffs=replace(game.payoffs, attackers_can_refrain=True)
+    )
+
+
+def main() -> None:
+    print(f"{'B':>4} {'loss':>9} {'deterred':>9}")
+    policies = {}
+    deterrence_budget = None
+    for budget in (2, 6, 10, 14, 18, 22, 26, 30):
+        game = deterrable_game(budget)
+        scenarios = game.scenario_set()
+        result = iterative_shrink(game, scenarios, step_size=0.1)
+        evaluation = game.evaluate(result.policy, scenarios)
+        policies[budget] = (game, result.policy, scenarios)
+        print(f"{budget:4d} {result.objective:9.4f} "
+              f"{evaluation.n_deterred:6d}/5")
+        if deterrence_budget is None and result.objective <= 1e-9:
+            deterrence_budget = budget
+    if deterrence_budget is None:
+        print("\nno budget in the sweep reaches full deterrence")
+        return
+    print(f"\nfull deterrence at B = {deterrence_budget}")
+
+    game, policy, scenarios = policies[deterrence_budget]
+    print("\nBut deterrence assumes perfectly rational attackers.")
+    print("Loss under quantal-response (bounded-rational) attackers:")
+    print(f"{'rationality':>12} {'loss':>9} {'refrain rate':>13}")
+    for rationality in (0.0, 0.5, 1.0, 2.0, 5.0, 25.0):
+        q = evaluate_quantal(game, policy, scenarios, rationality)
+        print(f"{rationality:12.1f} {q.auditor_loss:9.4f} "
+              f"{q.refrain_rate:13.2%}")
+    print("\nlambda -> inf recovers the best-response loss of 0; "
+          "low-rationality attackers leak a small residual loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: build a small audit game and compute an optimal policy.
+
+Models a tiny database team: three analysts (potential insiders), four
+sensitive tables, two alert types raised by the TDMT ("off-hours access"
+and "bulk export").  The auditor has a daily budget of 4 investigation
+hours and wants the randomized alert-prioritization policy that minimizes
+the best-responding insiders' expected gain.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AlertType,
+    AlertTypeSet,
+    AttackTypeMap,
+    AuditGame,
+    PayoffModel,
+)
+from repro.distributions import DiscretizedGaussian, JointCountModel
+from repro.solvers import iterative_shrink, response_report
+
+
+def build_game() -> AuditGame:
+    """Two alert types, three insiders, four tables."""
+    alert_types = AlertTypeSet(
+        (
+            AlertType("off-hours-access", audit_cost=1.0,
+                      description="access outside the user's shift"),
+            AlertType("bulk-export", audit_cost=2.0,
+                      description="row-count anomaly on SELECT"),
+        )
+    )
+    # Benign alert volume per day (learned from historical logs).
+    counts = JointCountModel(
+        [
+            DiscretizedGaussian(mean=8.0, std=2.0),
+            DiscretizedGaussian(mean=3.0, std=1.0),
+        ]
+    )
+    # Which alert type an attack on each table raises, per insider
+    # (-1 = the access would look entirely benign).
+    type_matrix = np.array(
+        [
+            [0, 0, 1, -1],
+            [0, 1, 1, 0],
+            [-1, 0, 1, 1],
+        ]
+    )
+    attack_map = AttackTypeMap.from_type_matrix(type_matrix, n_types=2)
+    benefit = np.where(type_matrix == 1, 9.0,
+                       np.where(type_matrix == 0, 5.0, 0.0))
+    payoffs = PayoffModel.create(
+        n_adversaries=3,
+        n_victims=4,
+        benefit=benefit,
+        penalty=12.0,           # getting fired / prosecuted
+        attack_cost=0.5,
+        attack_prior=1.0,
+        attackers_can_refrain=True,
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=counts,
+        attack_map=attack_map,
+        payoffs=payoffs,
+        budget=4.0,
+        adversary_names=("alice", "bob", "carol"),
+        victim_names=("billing", "salaries", "patients", "credentials"),
+    )
+
+
+def main() -> None:
+    game = build_game()
+    print(game.describe())
+    print()
+
+    # One scenario set per solve: every candidate policy is scored on the
+    # same joint realizations of benign alert counts.
+    scenarios = game.scenario_set()
+    print(f"scenario set: {scenarios.n_scenarios} joint outcomes "
+          f"(exact={scenarios.exact})")
+
+    result = iterative_shrink(game, scenarios, step_size=0.1)
+    print(f"\nISHM objective (auditor loss): {result.objective:.4f}")
+    print(f"threshold vectors explored:     {result.lp_calls}")
+    print("\nOptimal randomized policy:")
+    print(result.policy.describe(game.alert_types.names))
+
+    print("\nAttacker best responses:")
+    print(response_report(game, result.policy, scenarios).describe())
+
+
+if __name__ == "__main__":
+    main()

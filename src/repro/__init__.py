@@ -1,0 +1,44 @@
+"""repro — game-theoretic prioritization of database auditing.
+
+A full reproduction of Yan, Li, Vorobeychik, Laszka, Fabbri and Malin,
+"Get Your Workload in Order: Game Theoretic Prioritization of Database
+Auditing" (ICDE 2018): the Stackelberg alert-prioritization game, the CGGS
+column-generation solver, the ISHM threshold heuristic, the brute-force
+optimum, the paper's three baselines, synthetic substitutes for its two
+real datasets, and a benchmark harness regenerating every table and
+figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import datasets, solvers
+
+    game = datasets.syn_a(budget=10)
+    scenarios = game.scenario_set()
+    result = solvers.iterative_shrink(game, scenarios, step_size=0.1)
+    print(result.objective)
+    print(result.policy.describe(game.alert_types.names))
+"""
+
+from . import analysis, baselines, core, datasets, distributions, extensions, solvers, tdmt
+from .core import AuditGame, AuditPolicy, Ordering
+from .solvers import iterative_shrink, solve_optimal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditGame",
+    "AuditPolicy",
+    "Ordering",
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "datasets",
+    "distributions",
+    "extensions",
+    "iterative_shrink",
+    "solve_optimal",
+    "solvers",
+    "tdmt",
+]

@@ -1,0 +1,41 @@
+"""Experiment harness: runners, metrics and text reporting."""
+
+from .experiments import (
+    FULL_STEP_SIZES,
+    FigureCurves,
+    GammaResult,
+    GridCell,
+    HeuristicGrid,
+    OptimalRow,
+    Table3Result,
+    run_ishm_grid,
+    run_loss_figure,
+    run_table3,
+    run_table6,
+)
+from .metrics import (
+    exploration_ratio,
+    mean_relative_precision,
+    relative_errors,
+)
+from .reporting import format_thresholds, render_series, render_table
+
+__all__ = [
+    "FULL_STEP_SIZES",
+    "FigureCurves",
+    "GammaResult",
+    "GridCell",
+    "HeuristicGrid",
+    "OptimalRow",
+    "Table3Result",
+    "exploration_ratio",
+    "format_thresholds",
+    "mean_relative_precision",
+    "relative_errors",
+    "render_series",
+    "render_table",
+    "run_ishm_grid",
+    "run_loss_figure",
+    "run_table3",
+    "run_table6",
+]

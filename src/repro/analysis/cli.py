@@ -1,0 +1,147 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's tables and figures as text artifacts::
+
+    python -m repro.run_experiments --out results/          # fast grids
+    python -m repro.run_experiments --out results/ --full   # paper grids
+    python -m repro.run_experiments --only table3 fig2
+
+Each artifact is written to ``<out>/<name>.txt`` and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..datasets import SYN_A_BUDGETS, rea_a, rea_b
+from .experiments import (
+    FULL_STEP_SIZES,
+    run_ishm_grid,
+    run_loss_figure,
+    run_table3,
+    run_table6,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+FAST_BUDGETS = (2, 6, 10)
+FAST_STEPS = (0.1, 0.3, 0.5)
+
+
+def _table3(full: bool) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    return run_table3(budgets=budgets).to_text()
+
+
+def _table4(full: bool) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    steps = FULL_STEP_SIZES if full else FAST_STEPS
+    return run_ishm_grid(
+        budgets=budgets, step_sizes=steps, method="enumeration"
+    ).to_text()
+
+
+def _table5(full: bool) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    steps = FULL_STEP_SIZES if full else FAST_STEPS
+    return run_ishm_grid(
+        budgets=budgets, step_sizes=steps, method="cggs"
+    ).to_text()
+
+
+def _table6(full: bool) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    steps = FULL_STEP_SIZES if full else FAST_STEPS
+    optimal = run_table3(budgets=budgets)
+    ishm = run_ishm_grid(budgets=budgets, step_sizes=steps,
+                         method="enumeration")
+    cggs = run_ishm_grid(budgets=budgets, step_sizes=steps,
+                         method="cggs")
+    return run_table6(optimal, ishm, cggs_grid=cggs).to_text()
+
+
+def _table7(full: bool) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    grid = run_ishm_grid(
+        budgets=budgets,
+        step_sizes=(0.1, 0.2, 0.3, 0.4, 0.5),
+        method="enumeration",
+    )
+    return grid.exploration_text()
+
+
+def _fig1(full: bool) -> str:
+    budgets = tuple(range(10, 101, 10)) if full else (10, 40, 70, 100)
+    return run_loss_figure(
+        game_factory=lambda budget: rea_a(budget=budget),
+        dataset="Rea A (EMR)",
+        budgets=budgets,
+        step_sizes=(0.1, 0.2, 0.3) if full else (0.3,),
+        n_scenarios=1000 if full else 400,
+        n_random_orderings=2000 if full else 300,
+        n_threshold_draws=40 if full else 8,
+    ).to_text()
+
+
+def _fig2(full: bool) -> str:
+    budgets = tuple(range(10, 251, 20)) if full else (10, 90, 170, 250)
+    return run_loss_figure(
+        game_factory=lambda budget: rea_b(budget=budget),
+        dataset="Rea B (credit)",
+        budgets=budgets,
+        step_sizes=(0.1, 0.2, 0.3) if full else (0.3,),
+        n_scenarios=1000 if full else 400,
+        n_random_orderings=2000 if full else 300,
+        n_threshold_draws=40 if full else 8,
+    ).to_text()
+
+
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "table6": _table6,
+    "table7": _table7,
+    "fig1": _fig1,
+    "fig2": _fig2,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.run_experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"),
+        help="output directory for the text artifacts",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's full grids (slow)",
+    )
+    parser.add_argument(
+        "--only", nargs="+", choices=sorted(EXPERIMENTS),
+        help="run a subset of experiments",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else list(EXPERIMENTS)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        text = EXPERIMENTS[name](args.full)
+        elapsed = time.time() - started
+        path = args.out / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"== {name} ({elapsed:.1f}s) -> {path}")
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Solution-quality metrics used in the paper's evaluation.
+
+Table VI summarizes heuristic quality as the budget-averaged relative
+precision against the brute-force optimum:
+
+``gamma = 1 - (1/|B|) * sum_i |S_hat(B_i) - S(B_i)| / |S(B_i)|``
+
+(the paper writes the mean relative *error* formula but reports the
+complementary precision — "solutions near 99% of the optimal").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean_relative_precision",
+    "relative_errors",
+    "exploration_ratio",
+]
+
+
+def relative_errors(
+    approximate: Sequence[float], optimal: Sequence[float]
+) -> np.ndarray:
+    """Per-budget relative errors ``|S_hat - S| / |S|``."""
+    approx = np.asarray(approximate, dtype=np.float64)
+    opt = np.asarray(optimal, dtype=np.float64)
+    if approx.shape != opt.shape:
+        raise ValueError(
+            f"shape mismatch: {approx.shape} vs {opt.shape}"
+        )
+    if np.any(np.abs(opt) < 1e-12):
+        raise ValueError(
+            "relative error undefined at zero optimal values"
+        )
+    return np.abs(approx - opt) / np.abs(opt)
+
+
+def mean_relative_precision(
+    approximate: Sequence[float], optimal: Sequence[float]
+) -> float:
+    """Table VI's gamma: 1 - mean relative error over the budget sweep."""
+    return float(1.0 - relative_errors(approximate, optimal).mean())
+
+
+def exploration_ratio(
+    vectors_checked: Sequence[int], grid_size: int
+) -> np.ndarray:
+    """Paper's T' vector: explored threshold vectors / full grid size."""
+    checked = np.asarray(vectors_checked, dtype=np.float64)
+    if grid_size <= 0:
+        raise ValueError(f"grid size must be positive, got {grid_size}")
+    return checked / float(grid_size)

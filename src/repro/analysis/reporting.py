@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results (paper-shaped tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_thresholds", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width text table: headers, separator, one line per row."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_thresholds(thresholds) -> str:
+    """Compact ``[a, b, c]`` rendering with integers where possible."""
+    parts = []
+    for value in thresholds:
+        value = float(value)
+        if abs(value - round(value)) < 1e-9:
+            parts.append(str(int(round(value))))
+        else:
+            parts.append(f"{value:.2f}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def render_series(
+    name: str, xs: Sequence[float], ys: Sequence[float]
+) -> str:
+    """One figure series as aligned (x, y) pairs."""
+    pairs = "  ".join(
+        f"({x:g}, {y:.2f})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

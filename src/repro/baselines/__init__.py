@@ -1,0 +1,22 @@
+"""Non-game-theoretic audit baselines from Section V-B of the paper."""
+
+from .greedy_benefit import (
+    GreedyBenefitBaseline,
+    GreedyBenefitOutcome,
+    type_benefits,
+)
+from .random_order import BaselineOutcome, RandomOrderBaseline
+from .random_threshold import (
+    RandomThresholdBaseline,
+    RandomThresholdOutcome,
+)
+
+__all__ = [
+    "BaselineOutcome",
+    "GreedyBenefitBaseline",
+    "GreedyBenefitOutcome",
+    "RandomOrderBaseline",
+    "RandomThresholdBaseline",
+    "RandomThresholdOutcome",
+    "type_benefits",
+]

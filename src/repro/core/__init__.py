@@ -1,0 +1,66 @@
+"""Core game model: the paper's primary contribution.
+
+Exports the building blocks of the alert-prioritization Stackelberg game
+(Section II of Yan et al., ICDE 2018): alert types, entities, the
+attack→type map, payoffs, audit policies, the detection kernel and the
+:class:`AuditGame` facade.
+"""
+
+from .alert_types import AlertType, AlertTypeSet
+from .attack_map import BENIGN, AttackTypeMap
+from .detection import (
+    audited_counts,
+    pal_for_ordering,
+    pal_for_orderings,
+    remaining_budget,
+)
+from .entities import Adversary, Event, Victim
+from .game import AuditGame, make_game
+from .objective import (
+    REFRAIN,
+    BestResponse,
+    PolicyEvaluation,
+    best_responses,
+    evaluate_policy,
+    expected_utility_matrix,
+    utility_matrix_for_pal,
+)
+from .payoffs import PayoffModel
+from .policy import (
+    AuditPolicy,
+    Ordering,
+    PurePolicy,
+    all_orderings,
+    random_ordering,
+    validate_thresholds,
+)
+
+__all__ = [
+    "AlertType",
+    "AlertTypeSet",
+    "AttackTypeMap",
+    "AuditGame",
+    "AuditPolicy",
+    "Adversary",
+    "BENIGN",
+    "BestResponse",
+    "Event",
+    "Ordering",
+    "PayoffModel",
+    "PolicyEvaluation",
+    "PurePolicy",
+    "REFRAIN",
+    "Victim",
+    "all_orderings",
+    "audited_counts",
+    "best_responses",
+    "evaluate_policy",
+    "expected_utility_matrix",
+    "make_game",
+    "pal_for_ordering",
+    "pal_for_orderings",
+    "random_ordering",
+    "remaining_budget",
+    "utility_matrix_for_pal",
+    "validate_thresholds",
+]

@@ -1,0 +1,142 @@
+"""Attack-to-alert-type mapping ``P^t_ev``.
+
+Section II-A: each event ``<e, v>`` maps to *at most one* alert type; the
+mapping may be stochastic — the event raises an alert of its type ``t`` with
+probability ``P^t_ev`` and no alert otherwise.  We store the full tensor
+``P[e, v, t]`` and enforce the paper's single-type constraint (at most one
+positive entry per ``(e, v)``) in :meth:`AttackTypeMap.validate_single_type`,
+while the solvers themselves work with arbitrary sub-stochastic tensors
+(useful for composite-alert extensions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AttackTypeMap", "BENIGN"]
+
+#: Marker for "no alert" entries in deterministic type matrices.
+BENIGN = -1
+
+
+class AttackTypeMap:
+    """Probability tensor mapping attacks to triggered alert types."""
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if probs.ndim != 3:
+            raise ValueError(
+                f"probabilities must have shape (E, V, T), got {probs.shape}"
+            )
+        if probs.min() < 0.0:
+            raise ValueError("trigger probabilities must be non-negative")
+        row_sums = probs.sum(axis=2)
+        if row_sums.max() > 1.0 + 1e-9:
+            raise ValueError(
+                "trigger probabilities of an event must sum to at most 1 "
+                f"(max sum {row_sums.max():.6f})"
+            )
+        self._probs = probs
+
+    @classmethod
+    def from_type_matrix(
+        cls,
+        type_matrix: np.ndarray,
+        n_types: int,
+        trigger_probability: float = 1.0,
+    ) -> "AttackTypeMap":
+        """Build from a deterministic event->type matrix.
+
+        ``type_matrix[e, v]`` holds the alert-type index triggered by the
+        attack ``<e, v>``, or :data:`BENIGN` for events that raise no alert
+        (the "-" entries in Table IIb of the paper).  Each alert fires with
+        ``trigger_probability`` (1.0 = the rule-based deterministic case).
+        """
+        matrix = np.asarray(type_matrix, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"type matrix must be 2-D (E, V), got shape {matrix.shape}"
+            )
+        if not 0.0 < trigger_probability <= 1.0:
+            raise ValueError(
+                f"trigger probability must be in (0, 1], "
+                f"got {trigger_probability}"
+            )
+        valid = (matrix == BENIGN) | (
+            (matrix >= 0) & (matrix < n_types)
+        )
+        if not valid.all():
+            bad = matrix[~valid]
+            raise ValueError(
+                f"type matrix contains invalid type indices {set(bad.flat)} "
+                f"for n_types={n_types}"
+            )
+        n_adv, n_vic = matrix.shape
+        probs = np.zeros((n_adv, n_vic, n_types))
+        e_idx, v_idx = np.nonzero(matrix != BENIGN)
+        probs[e_idx, v_idx, matrix[e_idx, v_idx]] = trigger_probability
+        return cls(probs)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The full ``(E, V, T)`` tensor (read-only view)."""
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_adversaries(self) -> int:
+        return int(self._probs.shape[0])
+
+    @property
+    def n_victims(self) -> int:
+        return int(self._probs.shape[1])
+
+    @property
+    def n_types(self) -> int:
+        return int(self._probs.shape[2])
+
+    def validate_single_type(self, atol: float = 1e-12) -> None:
+        """Enforce the paper's "at most one alert type per event" rule."""
+        positive = (self._probs > atol).sum(axis=2)
+        if positive.max() > 1:
+            e, v = np.unravel_index(
+                int(np.argmax(positive)), positive.shape
+            )
+            raise ValueError(
+                f"event ({e}, {v}) can trigger {positive[e, v]} distinct "
+                "alert types; the paper's model allows at most one"
+            )
+
+    def detection_probability(self, pal: np.ndarray) -> np.ndarray:
+        """``Pat[e, v] = sum_t P[e, v, t] * Pal[t]`` (eq. 2)."""
+        pal = np.asarray(pal, dtype=np.float64)
+        if pal.shape != (self.n_types,):
+            raise ValueError(
+                f"pal must have shape ({self.n_types},), got {pal.shape}"
+            )
+        return self._probs @ pal
+
+    def deterministic_types(self) -> np.ndarray:
+        """Inverse of :meth:`from_type_matrix` for one-hot tensors.
+
+        Returns the ``(E, V)`` matrix of type indices with :data:`BENIGN`
+        where no type fires; raises if the map is not deterministic.
+        """
+        totals = self._probs.sum(axis=2)
+        is_zero = np.isclose(totals, 0.0)
+        is_one = np.isclose(totals, 1.0)
+        if not np.all(is_zero | is_one):
+            raise ValueError("attack map is not deterministic")
+        matrix = np.full(totals.shape, BENIGN, dtype=np.int64)
+        e_idx, v_idx = np.nonzero(is_one)
+        matrix[e_idx, v_idx] = np.argmax(
+            self._probs[e_idx, v_idx, :], axis=1
+        )
+        return matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackTypeMap(E={self.n_adversaries}, V={self.n_victims}, "
+            f"T={self.n_types})"
+        )

@@ -1,0 +1,56 @@
+"""Adversaries (potential attackers) and victims.
+
+In the paper's notation, ``E`` is the set of entities who might commit a
+violation (hospital employees, credit-card applicants) and ``V`` the set of
+potential victims (patient records, application purposes).  An *event* — and
+equally an *attack* — is a pair ``<e, v>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Adversary", "Victim", "Event"]
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """A potential attacker ``e``.
+
+    ``attack_probability`` is the paper's ``p_e``: the prior probability
+    that this entity considers attacking at all.
+    """
+
+    name: str
+    attack_probability: float = 1.0
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("adversary name must not be empty")
+        if not 0.0 <= self.attack_probability <= 1.0:
+            raise ValueError(
+                f"p_e must be in [0, 1], got {self.attack_probability} "
+                f"for {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Victim:
+    """A potential victim ``v`` (record, file, application purpose...)."""
+
+    name: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("victim name must not be empty")
+
+
+@dataclass(frozen=True)
+class Event:
+    """An access event ``<e, v>`` (also the shape of an attack)."""
+
+    adversary: str
+    victim: str

@@ -1,0 +1,172 @@
+"""Attacker utilities, best responses and the auditor objective.
+
+Ties the detection kernel (eq. 1-2) to the payoff model (eq. 3) and the
+zero-sum objective (eq. 4/5).  The attacker observes the *mixed* policy, so
+each adversary best-responds to the expectation ``E_o[Ua]`` over orderings
+— this is exactly the constraint structure of the LP in eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributions.joint import ScenarioSet
+from .attack_map import AttackTypeMap
+from .detection import pal_for_ordering
+from .payoffs import PayoffModel
+from .policy import AuditPolicy, Ordering
+
+__all__ = [
+    "utility_matrix_for_pal",
+    "expected_utility_matrix",
+    "BestResponse",
+    "best_responses",
+    "PolicyEvaluation",
+    "evaluate_policy",
+]
+
+#: Victim index used to denote "refrain from attacking".
+REFRAIN = -1
+
+
+def utility_matrix_for_pal(
+    pal: np.ndarray,
+    attack_map: AttackTypeMap,
+    payoffs: PayoffModel,
+) -> np.ndarray:
+    """``Ua[e, v]`` for one ordering's detection vector ``Pal``."""
+    pat = attack_map.detection_probability(pal)
+    return payoffs.utility_matrix(pat)
+
+
+def expected_utility_matrix(
+    pal_rows: np.ndarray,
+    probabilities: np.ndarray,
+    attack_map: AttackTypeMap,
+    payoffs: PayoffModel,
+) -> np.ndarray:
+    """``E_o[Ua][e, v]`` for a mixed strategy over orderings.
+
+    ``pal_rows`` has one ``Pal`` vector per supported ordering.  Utilities
+    are affine in ``Pal``, so mixing the ``Pal`` vectors first is exact and
+    cheaper than mixing per-ordering utility matrices.
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if pal_rows.shape[0] != probs.shape[0]:
+        raise ValueError(
+            f"{pal_rows.shape[0]} pal rows vs {probs.shape[0]} "
+            "probabilities"
+        )
+    mixed_pal = probs @ pal_rows
+    return utility_matrix_for_pal(mixed_pal, attack_map, payoffs)
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """One adversary's best response to a fixed audit policy.
+
+    ``victim`` is the index of the attacked victim, or ``REFRAIN`` (-1)
+    when refraining (utility 0) beats every attack and the adversary is
+    deterred.
+    """
+
+    adversary: int
+    victim: int
+    utility: float
+
+    @property
+    def deterred(self) -> bool:
+        """True when the adversary prefers not to attack at all."""
+        return self.victim == REFRAIN
+
+
+def best_responses(
+    expected_utilities: np.ndarray,
+    payoffs: PayoffModel,
+    tie_tol: float = 1e-12,
+) -> list[BestResponse]:
+    """Per-adversary argmax over victims (and the refrain option)."""
+    eu = np.asarray(expected_utilities, dtype=np.float64)
+    out: list[BestResponse] = []
+    for e in range(eu.shape[0]):
+        v = int(np.argmax(eu[e]))
+        value = float(eu[e, v])
+        if payoffs.attackers_can_refrain and value < -tie_tol:
+            out.append(BestResponse(adversary=e, victim=REFRAIN,
+                                    utility=0.0))
+        else:
+            out.append(BestResponse(adversary=e, victim=v, utility=value))
+    return out
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Full audit of a mixed policy against best-responding attackers.
+
+    Attributes
+    ----------
+    auditor_loss:
+        The objective of eq. 5: ``sum_e p_e * u_e``.
+    adversary_utilities:
+        ``u_e`` per adversary (clamped at 0 when refraining is allowed).
+    responses:
+        The attacking victim (or refrain) chosen by each adversary.
+    expected_utilities:
+        The full ``E_o[Ua][e, v]`` matrix.
+    mixed_pal:
+        Probability-mixed detection vector ``sum_o p_o Pal(o, b, .)``.
+    pal_rows:
+        Per-supported-ordering ``Pal`` vectors.
+    """
+
+    auditor_loss: float
+    adversary_utilities: np.ndarray
+    responses: tuple[BestResponse, ...]
+    expected_utilities: np.ndarray
+    mixed_pal: np.ndarray
+    pal_rows: np.ndarray
+
+    @property
+    def n_deterred(self) -> int:
+        """Number of adversaries for whom refraining is optimal."""
+        return sum(1 for r in self.responses if r.deterred)
+
+
+def evaluate_policy(
+    policy: AuditPolicy,
+    scenarios: ScenarioSet,
+    attack_map: AttackTypeMap,
+    payoffs: PayoffModel,
+    costs: np.ndarray,
+    budget: float,
+    zero_count_rule: str = "unit",
+) -> PolicyEvaluation:
+    """Score a mixed audit policy against best-responding attackers."""
+    pal_rows = np.stack(
+        [
+            pal_for_ordering(
+                o,
+                policy.thresholds,
+                scenarios,
+                costs,
+                budget,
+                zero_count_rule,
+            )
+            for o in policy.orderings
+        ],
+        axis=0,
+    )
+    mixed_pal = policy.probabilities @ pal_rows
+    eu = utility_matrix_for_pal(mixed_pal, attack_map, payoffs)
+    responses = best_responses(eu, payoffs)
+    utilities = np.array([r.utility for r in responses])
+    return PolicyEvaluation(
+        auditor_loss=payoffs.auditor_loss(utilities),
+        adversary_utilities=utilities,
+        responses=tuple(responses),
+        expected_utilities=eu,
+        mixed_pal=mixed_pal,
+        pal_rows=pal_rows,
+    )

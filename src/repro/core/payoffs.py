@@ -1,0 +1,138 @@
+"""Adversary payoff model ``(R, M, K, p_e)``.
+
+Eq. 3 of the paper defines the attacker's utility for attack ``<e, v>``
+under audit policy ``(o, b)``:
+
+``Ua = Pat * (-M) + (1 - Pat) * R - K``
+
+where ``R`` is the benefit of an *undetected* attack, ``M`` the penalty
+magnitude when captured (it enters negatively; Table III's negative
+objectives pin this sign down), and ``K`` the upfront cost of mounting the
+attack.  ``p_e`` weights each adversary's contribution to the auditor's
+objective, and ``attackers_can_refrain`` states whether "do not attack"
+(utility 0) is in the adversary's strategy space — true for the paper's two
+real datasets (their loss curves flatten at exactly 0), false for Syn A
+(whose optimal objective goes negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PayoffModel"]
+
+
+def _as_matrix(value, shape: tuple[int, int], name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(shape, float(arr))
+    if arr.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class PayoffModel:
+    """Zero-sum payoff parameters of the alert-prioritization game.
+
+    Attributes
+    ----------
+    benefit:
+        ``R[e, v]`` — adversary gain when the attack goes unaudited.
+        Scalars broadcast to all attacks.
+    penalty:
+        ``M[e, v] >= 0`` — penalty magnitude on capture.
+    attack_cost:
+        ``K[e, v] >= 0`` — cost of deploying the attack.
+    attack_prior:
+        ``p_e`` — per-adversary probability of considering an attack.
+    attackers_can_refrain:
+        If True, each adversary may also play "no attack" for utility 0,
+        which clamps their equilibrium utility at ``u_e >= 0``.
+    """
+
+    benefit: np.ndarray
+    penalty: np.ndarray
+    attack_cost: np.ndarray
+    attack_prior: np.ndarray
+    attackers_can_refrain: bool = False
+
+    @classmethod
+    def create(
+        cls,
+        n_adversaries: int,
+        n_victims: int,
+        benefit,
+        penalty,
+        attack_cost,
+        attack_prior=1.0,
+        attackers_can_refrain: bool = False,
+    ) -> "PayoffModel":
+        """Build with scalar/array broadcasting and validation."""
+        shape = (n_adversaries, n_victims)
+        benefit_m = _as_matrix(benefit, shape, "benefit")
+        penalty_m = _as_matrix(penalty, shape, "penalty")
+        cost_m = _as_matrix(attack_cost, shape, "attack_cost")
+        prior = np.asarray(attack_prior, dtype=np.float64)
+        if prior.ndim == 0:
+            prior = np.full(n_adversaries, float(prior))
+        if prior.shape != (n_adversaries,):
+            raise ValueError(
+                f"attack_prior must have shape ({n_adversaries},), "
+                f"got {prior.shape}"
+            )
+        if penalty_m.min() < 0:
+            raise ValueError("penalty magnitudes must be non-negative")
+        if cost_m.min() < 0:
+            raise ValueError("attack costs must be non-negative")
+        if prior.min() < 0 or prior.max() > 1:
+            raise ValueError("attack priors must lie in [0, 1]")
+        return cls(
+            benefit=benefit_m,
+            penalty=penalty_m,
+            attack_cost=cost_m,
+            attack_prior=prior,
+            attackers_can_refrain=attackers_can_refrain,
+        )
+
+    @property
+    def n_adversaries(self) -> int:
+        return int(self.benefit.shape[0])
+
+    @property
+    def n_victims(self) -> int:
+        return int(self.benefit.shape[1])
+
+    def utility_matrix(self, detection: np.ndarray) -> np.ndarray:
+        """Eq. 3 for every attack: ``Ua[e, v]`` given ``Pat[e, v]``.
+
+        ``Ua = Pat * (-M) + (1 - Pat) * R - K
+            = R - K - Pat * (M + R)``.
+        """
+        pat = np.asarray(detection, dtype=np.float64)
+        if pat.shape != self.benefit.shape:
+            raise ValueError(
+                f"detection matrix shape {pat.shape} does not match "
+                f"payoff shape {self.benefit.shape}"
+            )
+        return (
+            self.benefit
+            - self.attack_cost
+            - pat * (self.penalty + self.benefit)
+        )
+
+    def auditor_loss(self, adversary_utilities: np.ndarray) -> float:
+        """Zero-sum auditor objective ``sum_e p_e * u_e`` (eq. 5).
+
+        ``adversary_utilities`` holds each adversary's best-response value
+        ``u_e = max_v E_o[Ua]`` (already clamped at 0 when refraining is
+        allowed).
+        """
+        u = np.asarray(adversary_utilities, dtype=np.float64)
+        if u.shape != (self.n_adversaries,):
+            raise ValueError(
+                f"expected ({self.n_adversaries},) utilities, got {u.shape}"
+            )
+        return float(self.attack_prior @ u)

@@ -1,0 +1,59 @@
+"""Dataset builders: Syn A (Table II) and the Rea A / Rea B substitutes."""
+
+from .credit import (
+    CREDIT_BENEFITS,
+    CREDIT_PURPOSES,
+    CREDIT_TYPE_NAMES,
+    CREDIT_TYPE_STATS,
+    CreditApplicant,
+    alert_type_for,
+    rea_b,
+    simulate_credit_batches,
+    synthesize_applicants,
+)
+from .emr import (
+    EMR_BENEFITS,
+    EMR_TYPE_NAMES,
+    EMR_TYPE_STATS,
+    EMRConfig,
+    EMRLog,
+    EMRWorld,
+    build_emr_world,
+    rea_a,
+    simulate_emr_log,
+)
+from .syn_a import (
+    SYN_A_BENEFITS,
+    SYN_A_BUDGETS,
+    SYN_A_MEANS,
+    SYN_A_RULES,
+    SYN_A_STDS,
+    syn_a,
+)
+
+__all__ = [
+    "CREDIT_BENEFITS",
+    "CREDIT_PURPOSES",
+    "CREDIT_TYPE_NAMES",
+    "CREDIT_TYPE_STATS",
+    "CreditApplicant",
+    "EMRConfig",
+    "EMRLog",
+    "EMRWorld",
+    "EMR_BENEFITS",
+    "EMR_TYPE_NAMES",
+    "EMR_TYPE_STATS",
+    "SYN_A_BENEFITS",
+    "SYN_A_BUDGETS",
+    "SYN_A_MEANS",
+    "SYN_A_RULES",
+    "SYN_A_STDS",
+    "alert_type_for",
+    "build_emr_world",
+    "rea_a",
+    "rea_b",
+    "simulate_credit_batches",
+    "simulate_emr_log",
+    "syn_a",
+    "synthesize_applicants",
+]

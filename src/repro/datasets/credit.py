@@ -1,0 +1,338 @@
+"""Rea B substitute: a Statlog (German credit) shaped application world.
+
+The paper's second dataset is the public Statlog German Credit Data (1000
+applications, 20 attributes).  This module synthesizes applications with
+the published attribute marginals, applies the five alert rules of
+Table IX, and builds the Section V audit game: 100 alert-generating
+applicants x 8 application purposes (the "victims"), benefit vector
+[15, 15, 14, 20, 18], penalty 20, unit attack/audit costs, p_e = 1,
+refraining allowed.
+
+Table IX rules (first match wins, so every event maps to at most one
+type, as the model requires):
+
+1. no checking account, any purpose;
+2. checking < 0 DM and purpose in {new car, education};
+3. checking > 0 DM, unskilled job, purpose education;
+4. checking > 0 DM, unskilled job, appliance purpose (furniture /
+   radio-television / domestic appliances);
+5. checking > 0 DM, critical credit history, purpose business.
+
+Alert counts per audit period (one period = one batch of ~1000
+applications) default to the published Table IX Gaussians; the simulator
+path regenerates them from synthesized batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.alert_types import AlertType, AlertTypeSet
+from ..core.attack_map import BENIGN, AttackTypeMap
+from ..core.game import AuditGame
+from ..core.payoffs import PayoffModel
+from ..distributions import DiscretizedGaussian, JointCountModel
+from ..tdmt import (
+    AccessEvent,
+    fit_count_models,
+    period_type_counts,
+)
+from ..tdmt.events import AlertRecord
+
+__all__ = [
+    "CREDIT_TYPE_NAMES",
+    "CREDIT_TYPE_STATS",
+    "CREDIT_BENEFITS",
+    "CREDIT_PURPOSES",
+    "CreditApplicant",
+    "synthesize_applicants",
+    "alert_type_for",
+    "simulate_credit_batches",
+    "rea_b",
+]
+
+CREDIT_TYPE_NAMES = (
+    "no-checking-any-purpose",
+    "overdrawn-car-or-education",
+    "positive-unskilled-education",
+    "positive-unskilled-appliance",
+    "positive-critical-business",
+)
+
+#: Table IX per-period count statistics (mean, std).
+CREDIT_TYPE_STATS = (
+    (370.04, 15.81),
+    (82.42, 7.87),
+    (5.13, 2.08),
+    (28.21, 5.25),
+    (8.31, 2.96),
+)
+
+#: Section V-A adversary benefits per alert type.
+CREDIT_BENEFITS = (15.0, 15.0, 14.0, 20.0, 18.0)
+CREDIT_PENALTY = 20.0
+CREDIT_ATTACK_COST = 1.0
+CREDIT_AUDIT_COST = 1.0
+
+#: The eight application purposes used as attack victims.
+CREDIT_PURPOSES = (
+    "new-car",
+    "used-car",
+    "furniture-equipment",
+    "radio-television",
+    "domestic-appliances",
+    "repairs",
+    "education",
+    "business",
+)
+
+#: Purposes counted as "Appliance" by Table IX rule 4.
+_APPLIANCE_PURPOSES = frozenset(
+    {"furniture-equipment", "radio-television", "domestic-appliances"}
+)
+
+#: Statlog attribute marginals (approximate published frequencies).
+_CHECKING_LEVELS = ("<0", "0<=x<200", ">=200", "none")
+_CHECKING_PROBS = (0.274, 0.269, 0.063, 0.394)
+_JOB_LEVELS = ("unemployed", "unskilled", "skilled", "management")
+_JOB_PROBS = (0.022, 0.200, 0.630, 0.148)
+_HISTORY_LEVELS = (
+    "no-credits", "all-paid", "existing-paid", "delayed", "critical"
+)
+_HISTORY_PROBS = (0.040, 0.049, 0.530, 0.088, 0.293)
+_PURPOSE_PROBS = (0.239, 0.105, 0.185, 0.286, 0.012, 0.023, 0.051, 0.099)
+
+_POSITIVE_CHECKING = frozenset({"0<=x<200", ">=200"})
+
+
+@dataclass(frozen=True)
+class CreditApplicant:
+    """One synthesized credit-card application."""
+
+    name: str
+    checking_status: str
+    job: str
+    credit_history: str
+    declared_purpose: str
+    credit_amount: float
+    duration_months: int
+    age: int
+
+    def attributes(self) -> Mapping[str, object]:
+        """Attribute view for rule evaluation."""
+        return {
+            "checking_status": self.checking_status,
+            "job": self.job,
+            "credit_history": self.credit_history,
+        }
+
+
+def alert_type_for(
+    applicant: CreditApplicant | Mapping[str, object], purpose: str
+) -> int:
+    """Table IX alert type index for (applicant, purpose); BENIGN if none.
+
+    Rules are evaluated in catalog order and the first match wins, which
+    enforces the paper's one-type-per-event property.
+    """
+    if isinstance(applicant, CreditApplicant):
+        attrs = applicant.attributes()
+    else:
+        attrs = applicant
+    checking = attrs["checking_status"]
+    job = attrs["job"]
+    history = attrs["credit_history"]
+    if purpose not in CREDIT_PURPOSES:
+        raise ValueError(f"unknown purpose {purpose!r}")
+    if checking == "none":
+        return 0
+    if checking == "<0" and purpose in ("new-car", "education"):
+        return 1
+    if checking in _POSITIVE_CHECKING and job == "unskilled":
+        if purpose == "education":
+            return 2
+        if purpose in _APPLIANCE_PURPOSES:
+            return 3
+    if (
+        checking in _POSITIVE_CHECKING
+        and history == "critical"
+        and purpose == "business"
+    ):
+        return 4
+    return BENIGN
+
+
+def synthesize_applicants(
+    n_applicants: int, rng: np.random.Generator
+) -> list[CreditApplicant]:
+    """Draw applications from the Statlog-shaped attribute marginals."""
+    if n_applicants <= 0:
+        raise ValueError(
+            f"n_applicants must be positive, got {n_applicants}"
+        )
+    checking = rng.choice(
+        _CHECKING_LEVELS, size=n_applicants, p=_CHECKING_PROBS
+    )
+    job = rng.choice(_JOB_LEVELS, size=n_applicants, p=_JOB_PROBS)
+    history = rng.choice(
+        _HISTORY_LEVELS, size=n_applicants, p=_HISTORY_PROBS
+    )
+    purpose = rng.choice(
+        CREDIT_PURPOSES, size=n_applicants, p=_PURPOSE_PROBS
+    )
+    amounts = np.exp(rng.normal(7.8, 0.9, size=n_applicants))
+    durations = np.clip(
+        rng.normal(21.0, 12.0, size=n_applicants), 4, 72
+    ).astype(int)
+    ages = np.clip(rng.normal(35.5, 11.4, size=n_applicants), 19, 75)
+    return [
+        CreditApplicant(
+            name=f"app-{i + 1:05d}",
+            checking_status=str(checking[i]),
+            job=str(job[i]),
+            credit_history=str(history[i]),
+            declared_purpose=str(purpose[i]),
+            credit_amount=float(round(amounts[i], 2)),
+            duration_months=int(durations[i]),
+            age=int(ages[i]),
+        )
+        for i in range(n_applicants)
+    ]
+
+
+def simulate_credit_batches(
+    n_periods: int = 28,
+    batch_size: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-period alert counts from synthesized application batches.
+
+    Each period draws a fresh batch; every application is labeled with
+    the Table IX rule applied to its *declared* purpose.  Returns the
+    per-type count arrays (the raw material for Table IX's mean/std).
+    """
+    rng = rng if rng is not None else np.random.default_rng(1000)
+    alerts: list[AlertRecord] = []
+    for period in range(n_periods):
+        for applicant in synthesize_applicants(batch_size, rng):
+            type_index = alert_type_for(
+                applicant, applicant.declared_purpose
+            )
+            if type_index != BENIGN:
+                alerts.append(
+                    AlertRecord(
+                        period=period,
+                        actor=applicant.name,
+                        target=applicant.declared_purpose,
+                        alert_type=CREDIT_TYPE_NAMES[type_index],
+                    )
+                )
+    return period_type_counts(alerts, CREDIT_TYPE_NAMES, n_periods)
+
+
+def rea_b(
+    budget: float = 100.0,
+    n_applicants: int = 100,
+    distributions: str = "published",
+    n_periods: int = 28,
+    seed: int = 11,
+) -> AuditGame:
+    """Build the Rea B-style credit-fraud audit game.
+
+    Parameters
+    ----------
+    budget:
+        Audit budget ``B`` (Figure 2 sweeps 10..250).
+    n_applicants:
+        Number of adversaries; the paper randomly selects 100 applicants
+        who can generate at least one alert.
+    distributions:
+        ``"published"`` uses the Table IX Gaussians; ``"simulated"`` /
+        ``"empirical"`` learn them from synthesized application batches.
+    n_periods:
+        Batches to simulate when learning distributions.
+    seed:
+        Seed for applicant synthesis and selection.
+    """
+    if distributions not in ("published", "simulated", "empirical"):
+        raise ValueError(f"unknown distributions mode {distributions!r}")
+    rng = np.random.default_rng(seed)
+
+    # Rejection-sample applicants until we have enough alert generators.
+    selected: list[CreditApplicant] = []
+    while len(selected) < n_applicants:
+        for applicant in synthesize_applicants(4 * n_applicants, rng):
+            fires = any(
+                alert_type_for(applicant, purpose) != BENIGN
+                for purpose in CREDIT_PURPOSES
+            )
+            if fires:
+                selected.append(applicant)
+                if len(selected) >= n_applicants:
+                    break
+
+    type_matrix = np.array(
+        [
+            [
+                alert_type_for(applicant, purpose)
+                for purpose in CREDIT_PURPOSES
+            ]
+            for applicant in selected
+        ],
+        dtype=np.int64,
+    )
+    attack_map = AttackTypeMap.from_type_matrix(
+        type_matrix, n_types=len(CREDIT_TYPE_NAMES)
+    )
+
+    if distributions == "published":
+        marginals = [
+            DiscretizedGaussian(mean, std)
+            for mean, std in CREDIT_TYPE_STATS
+        ]
+    else:
+        counts = simulate_credit_batches(n_periods=n_periods, rng=rng)
+        method = (
+            "gaussian" if distributions == "simulated" else "empirical"
+        )
+        marginals = fit_count_models(
+            counts, CREDIT_TYPE_NAMES, method=method
+        )
+    counts_model = JointCountModel(marginals)
+
+    benefit = np.zeros(type_matrix.shape)
+    triggered = type_matrix != BENIGN
+    benefit[triggered] = np.asarray(CREDIT_BENEFITS)[
+        type_matrix[triggered]
+    ]
+    payoffs = PayoffModel.create(
+        n_adversaries=len(selected),
+        n_victims=len(CREDIT_PURPOSES),
+        benefit=benefit,
+        penalty=CREDIT_PENALTY,
+        attack_cost=CREDIT_ATTACK_COST,
+        attack_prior=1.0,
+        attackers_can_refrain=True,
+    )
+    alert_types = AlertTypeSet(
+        tuple(
+            AlertType(
+                name=name,
+                audit_cost=CREDIT_AUDIT_COST,
+                description=f"Table IX alert type {i + 1}",
+            )
+            for i, name in enumerate(CREDIT_TYPE_NAMES)
+        )
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=counts_model,
+        attack_map=attack_map,
+        payoffs=payoffs,
+        budget=float(budget),
+        adversary_names=tuple(a.name for a in selected),
+        victim_names=CREDIT_PURPOSES,
+    )

@@ -1,0 +1,613 @@
+"""Rea A substitute: a synthetic EMR access-log world (VUMC-like).
+
+The paper's first real dataset is 28 workdays of Vanderbilt University
+Medical Center EMR access logs.  Those logs are not publicly available,
+so this module builds the closest synthetic equivalent that exercises the
+same code paths end to end:
+
+* a hospital **population** — employees and patients with last names,
+  residential addresses, geocoded coordinates and department affiliations
+  — planted so that exactly the seven composite alert types of Table VIII
+  can arise (and no unnamed flag combination does);
+* a 28-workday **access-log simulation**, with repeated accesses at the
+  paper's observed 79.5% rate, calibrated so the per-day counts of each
+  composite type match the published means/stds;
+* the **audit game** of Section V (50 employees x 50 patients who generate
+  at least one alert; benefit vector [10,12,12,24,25,25,27], penalty 15,
+  unit attack/audit costs, p_e = 1, refraining allowed).
+
+The game's count distributions default to the published Table VIII
+Gaussians; pass ``distributions="simulated"`` to learn them from a fresh
+simulated log instead (the round trip the paper performed on real data).
+
+Base relationship flags (Section V-A):
+
+* ``L`` — employee and patient share a last name;
+* ``D`` — employee and patient work in the same department (the patient
+  is also an employee);
+* ``A`` — identical residential address string;
+* ``N`` — geocoded residences within 0.5 miles.
+
+``A`` without ``N`` occurs through stale geocodes (same recorded address,
+coordinates displaced), matching how such contradictory flag combinations
+appear in real EHR metadata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.alert_types import AlertType, AlertTypeSet
+from ..core.attack_map import AttackTypeMap
+from ..core.game import AuditGame
+from ..core.payoffs import PayoffModel
+from ..distributions import DiscretizedGaussian, JointCountModel
+from ..tdmt import (
+    AccessEvent,
+    CompositeScheme,
+    RelationshipRule,
+    TDMTEngine,
+    filter_repeated_accesses,
+    fit_count_models,
+    period_type_counts,
+)
+
+__all__ = [
+    "EMR_TYPE_NAMES",
+    "EMR_TYPE_STATS",
+    "EMR_BENEFITS",
+    "EMRConfig",
+    "EMRWorld",
+    "EMRLog",
+    "build_emr_world",
+    "simulate_emr_log",
+    "rea_a",
+]
+
+#: Table VIII composite alert types, in the paper's order.
+EMR_TYPE_NAMES = (
+    "same-last-name",
+    "department-coworker",
+    "neighbor",
+    "lastname+address",
+    "lastname+neighbor",
+    "address+neighbor",
+    "lastname+address+neighbor",
+)
+
+#: Table VIII per-day count statistics (mean, std) per composite type.
+EMR_TYPE_STATS = (
+    (183.21, 46.40),
+    (32.18, 23.14),
+    (113.89, 80.44),
+    (15.43, 14.61),
+    (23.75, 11.07),
+    (20.07, 11.49),
+    (32.07, 16.54),
+)
+
+#: Section V-A adversary benefit per composite type.
+EMR_BENEFITS = (10.0, 12.0, 12.0, 24.0, 25.0, 25.0, 27.0)
+EMR_PENALTY = 15.0
+EMR_ATTACK_COST = 1.0
+EMR_AUDIT_COST = 1.0
+
+#: Base-flag combination defining each composite type.
+_COMBOS: dict[frozenset[str], str] = {
+    frozenset({"L"}): EMR_TYPE_NAMES[0],
+    frozenset({"D"}): EMR_TYPE_NAMES[1],
+    frozenset({"N"}): EMR_TYPE_NAMES[2],
+    frozenset({"L", "A"}): EMR_TYPE_NAMES[3],
+    frozenset({"L", "N"}): EMR_TYPE_NAMES[4],
+    frozenset({"A", "N"}): EMR_TYPE_NAMES[5],
+    frozenset({"L", "A", "N"}): EMR_TYPE_NAMES[6],
+}
+
+#: Neighbor threshold in miles (Section V-A).
+NEIGHBOR_RADIUS_MILES = 0.5
+
+
+@dataclass(frozen=True)
+class EMRConfig:
+    """Size and calibration knobs of the synthetic EMR world.
+
+    The per-type pair pools must exceed the largest plausible daily draw
+    (mean + 4 std of Table VIII), which the defaults guarantee.
+    """
+
+    n_days: int = 28
+    pool_margin: float = 1.25
+    benign_daily_mean: float = 2000.0
+    benign_daily_std: float = 400.0
+    repeat_fraction: float = 0.795
+    seed: int = 20180417
+
+    def pool_size(self, type_index: int) -> int:
+        """Planted pairs for a composite type (covers mean + 4 std)."""
+        mean, std = EMR_TYPE_STATS[type_index]
+        return int(math.ceil((mean + 4.0 * std) * self.pool_margin))
+
+
+def _neighbor(actor: Mapping, target: Mapping) -> bool:
+    dx = actor["x"] - target["x"]
+    dy = actor["y"] - target["y"]
+    return math.hypot(dx, dy) <= NEIGHBOR_RADIUS_MILES
+
+
+EMR_RULES = (
+    RelationshipRule(
+        name="L",
+        predicate=lambda a, t: a["last_name"] == t["last_name"],
+        description="employee and patient share the same last name",
+    ),
+    RelationshipRule(
+        name="D",
+        predicate=lambda a, t: (
+            t.get("department") is not None
+            and a["department"] == t["department"]
+        ),
+        description="employee and patient work in the same department",
+    ),
+    RelationshipRule(
+        name="A",
+        predicate=lambda a, t: a["address"] == t["address"],
+        description="employee and patient share a residential address",
+    ),
+    RelationshipRule(
+        name="N",
+        predicate=_neighbor,
+        description=(
+            "employee and patient geocodes within "
+            f"{NEIGHBOR_RADIUS_MILES} miles"
+        ),
+    ),
+)
+
+EMR_SCHEME = CompositeScheme(_COMBOS, strict=True)
+
+
+@dataclass(frozen=True)
+class EMRWorld:
+    """A planted population plus the pair pools per composite type."""
+
+    employees: dict[str, dict]
+    patients: dict[str, dict]
+    pair_pools: tuple[tuple[tuple[str, str], ...], ...]
+    benign_pairs: tuple[tuple[str, str], ...]
+    engine: TDMTEngine
+    config: EMRConfig
+
+
+@dataclass(frozen=True)
+class EMRLog:
+    """A simulated multi-day access log with its ground-truth world."""
+
+    world: EMRWorld
+    events: tuple[AccessEvent, ...]
+    n_repeats: int
+
+    @property
+    def n_days(self) -> int:
+        return self.world.config.n_days
+
+    @property
+    def repeat_fraction(self) -> float:
+        """Fraction of raw events that are repeated accesses."""
+        total = len(self.events)
+        return self.n_repeats / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Population construction
+# ----------------------------------------------------------------------
+
+def _far_location(
+    rng: np.random.Generator, spacing: float, index: int
+) -> tuple[float, float]:
+    """A location on a sparse grid: everyone is > 0.5 mi from strangers."""
+    row, col = divmod(index, 1000)
+    jitter = rng.uniform(-0.1, 0.1, size=2)
+    return (col * spacing + jitter[0], row * spacing + jitter[1])
+
+
+def build_emr_world(config: EMRConfig | None = None) -> EMRWorld:
+    """Plant a population realizing exactly the Table VIII combinations.
+
+    Each composite type gets a dedicated pool of (employee, patient)
+    pairs whose attributes satisfy that type's base flags and no others;
+    names, addresses and blocks are drawn from reserved disjoint ranges so
+    no unnamed flag combination can arise (validated by the strict
+    composite scheme on every labeling call).
+    """
+    config = config or EMRConfig()
+    rng = np.random.default_rng(config.seed)
+    employees: dict[str, dict] = {}
+    patients: dict[str, dict] = {}
+    counters = {"surname": 0, "address": 0, "site": 0}
+    spacing = 5.0  # miles between unrelated home sites
+
+    def fresh_surname() -> str:
+        counters["surname"] += 1
+        return f"surname-{counters['surname']:05d}"
+
+    def fresh_address() -> str:
+        counters["address"] += 1
+        return f"addr-{counters['address']:05d}"
+
+    def fresh_site() -> tuple[float, float]:
+        counters["site"] += 1
+        return _far_location(rng, spacing, counters["site"])
+
+    def add_employee(name: str, attrs: dict) -> str:
+        employees[name] = attrs
+        return name
+
+    def add_patient(name: str, attrs: dict) -> str:
+        patients[name] = attrs
+        return name
+
+    def nearby(site: tuple[float, float]) -> tuple[float, float]:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        radius = rng.uniform(0.05, 0.9 * NEIGHBOR_RADIUS_MILES)
+        return (
+            site[0] + radius * math.cos(angle),
+            site[1] + radius * math.sin(angle),
+        )
+
+    pools: list[list[tuple[str, str]]] = [[] for _ in EMR_TYPE_NAMES]
+    person_id = 0
+
+    def fresh_names() -> tuple[str, str]:
+        nonlocal person_id
+        person_id += 1
+        return f"emp-{person_id:05d}", f"pat-{person_id:05d}"
+
+    def fresh_department() -> str:
+        return f"dept-{rng.integers(0, 40):02d}"
+
+    def single_pair(type_index: int) -> None:
+        """Create one fresh (employee, patient) pair of the given type."""
+        surname = fresh_surname()
+        other_surname = fresh_surname()
+        site = fresh_site()
+        address = fresh_address()
+        other_address = fresh_address()
+        e_name, p_name = fresh_names()
+        dept = fresh_department()
+        type_name = EMR_TYPE_NAMES[type_index]
+        if type_name == "department-coworker":
+            # Patient is a fellow employee of the same department.
+            e = dict(last_name=surname, address=address, department=dept)
+            p = dict(last_name=other_surname, address=other_address,
+                     department=dept)
+            e["x"], e["y"] = site
+            p["x"], p["y"] = fresh_site()
+        elif type_name == "lastname+address":
+            # Family at the same recorded address whose geocode is stale:
+            # the patient's coordinates point at an old home far away.
+            e = dict(last_name=surname, address=address, department=dept)
+            p = dict(last_name=surname, address=address, department=None)
+            e["x"], e["y"] = site
+            p["x"], p["y"] = fresh_site()
+        elif type_name == "lastname+neighbor":
+            # Family living on the same street, separate households.
+            e = dict(last_name=surname, address=address, department=dept)
+            p = dict(last_name=surname, address=other_address,
+                     department=None)
+            e["x"], e["y"] = site
+            p["x"], p["y"] = nearby(site)
+        elif type_name == "address+neighbor":
+            # Roommates: shared address, different surnames.
+            e = dict(last_name=surname, address=address, department=dept)
+            p = dict(last_name=other_surname, address=address,
+                     department=None)
+            e["x"], e["y"] = site
+            p["x"], p["y"] = nearby(site)
+        elif type_name == "lastname+address+neighbor":
+            # Spouses / same-household family.
+            e = dict(last_name=surname, address=address, department=dept)
+            p = dict(last_name=surname, address=address, department=None)
+            e["x"], e["y"] = site
+            p["x"], p["y"] = nearby(site)
+        else:
+            raise AssertionError(f"unhandled single type {type_name}")
+        pools[type_index].append(
+            (add_employee(e_name, e), add_patient(p_name, p))
+        )
+
+    def surname_family(type_index: int) -> None:
+        """2 employees + 2 patients share a surname, homes far apart.
+
+        All four cross pairs trigger exactly {L}; families give sampled
+        employees *multiple* same-last-name victims, as in real data.
+        """
+        surname = fresh_surname()
+        members_e: list[str] = []
+        members_p: list[str] = []
+        for _ in range(2):
+            e_name, p_name = fresh_names()
+            e = dict(last_name=surname, address=fresh_address(),
+                     department=fresh_department())
+            e["x"], e["y"] = fresh_site()
+            p = dict(last_name=surname, address=fresh_address(),
+                     department=None)
+            p["x"], p["y"] = fresh_site()
+            members_e.append(add_employee(e_name, e))
+            members_p.append(add_patient(p_name, p))
+        for e_name in members_e:
+            for p_name in members_p:
+                pools[type_index].append((e_name, p_name))
+
+    def neighbor_cluster(type_index: int) -> None:
+        """3 employees + 3 patients within one 0.4-mile block.
+
+        Distinct surnames and addresses, so all nine cross pairs trigger
+        exactly {N} (an apartment block around one site).
+        """
+        center = fresh_site()
+
+        def block_spot() -> tuple[float, float]:
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            radius = rng.uniform(0.0, 0.2)
+            return (
+                center[0] + radius * math.cos(angle),
+                center[1] + radius * math.sin(angle),
+            )
+
+        members_e: list[str] = []
+        members_p: list[str] = []
+        for _ in range(3):
+            e_name, p_name = fresh_names()
+            e = dict(last_name=fresh_surname(), address=fresh_address(),
+                     department=fresh_department())
+            e["x"], e["y"] = block_spot()
+            p = dict(last_name=fresh_surname(), address=fresh_address(),
+                     department=None)
+            p["x"], p["y"] = block_spot()
+            members_e.append(add_employee(e_name, e))
+            members_p.append(add_patient(p_name, p))
+        for e_name in members_e:
+            for p_name in members_p:
+                pools[type_index].append((e_name, p_name))
+
+    group_planters = {
+        "same-last-name": (surname_family, 4),
+        "neighbor": (neighbor_cluster, 9),
+    }
+    for type_index, type_name in enumerate(EMR_TYPE_NAMES):
+        target = config.pool_size(type_index)
+        planter = group_planters.get(type_name)
+        if planter is None:
+            while len(pools[type_index]) < target:
+                single_pair(type_index)
+        else:
+            plant_group, _ = planter
+            while len(pools[type_index]) < target:
+                plant_group(type_index)
+
+    # Benign population: unrelated employees and patients, each on their
+    # own far-apart site with unique surname and address.
+    n_benign = int(
+        math.ceil(config.benign_daily_mean + 4 * config.benign_daily_std)
+    )
+    benign_pairs: list[tuple[str, str]] = []
+    for _ in range(n_benign):
+        e_name, p_name = fresh_names()
+        e = dict(
+            last_name=fresh_surname(),
+            address=fresh_address(),
+            department=f"dept-{rng.integers(0, 40):02d}",
+        )
+        p = dict(
+            last_name=fresh_surname(),
+            address=fresh_address(),
+            department=None,
+        )
+        e["x"], e["y"] = fresh_site()
+        p["x"], p["y"] = fresh_site()
+        add_employee(e_name, e)
+        add_patient(p_name, p)
+        benign_pairs.append((e_name, p_name))
+
+    engine = TDMTEngine(
+        rules=EMR_RULES,
+        scheme=EMR_SCHEME,
+        actors=employees,
+        targets=patients,
+    )
+    return EMRWorld(
+        employees=employees,
+        patients=patients,
+        pair_pools=tuple(tuple(pool) for pool in pools),
+        benign_pairs=tuple(benign_pairs),
+        engine=engine,
+        config=config,
+    )
+
+
+# ----------------------------------------------------------------------
+# Log simulation
+# ----------------------------------------------------------------------
+
+def simulate_emr_log(
+    world: EMRWorld, rng: np.random.Generator | None = None
+) -> EMRLog:
+    """Generate the multi-day raw access log (with repeated accesses).
+
+    Per day and composite type, a Gaussian draw (Table VIII calibration)
+    decides how many *distinct* related pairs access the EMR; benign
+    traffic is added on top; every distinct access is then repeated a
+    geometric number of times so that the configured fraction of raw
+    events are repeats (paper: 79.5%).
+    """
+    config = world.config
+    rng = rng if rng is not None else np.random.default_rng(
+        config.seed + 1
+    )
+    events: list[AccessEvent] = []
+    n_repeats = 0
+    # Mean multiplicity m gives repeat fraction (m - 1) / m.
+    multiplicity = 1.0 / max(1.0 - config.repeat_fraction, 1e-9)
+    repeat_p = 1.0 / multiplicity
+
+    def emit(day: int, employee: str, patient: str) -> None:
+        nonlocal n_repeats
+        copies = int(rng.geometric(repeat_p))
+        n_repeats += copies - 1
+        for _ in range(copies):
+            events.append(
+                AccessEvent(period=day, actor=employee, target=patient)
+            )
+
+    for day in range(config.n_days):
+        for type_index, (mean, std) in enumerate(EMR_TYPE_STATS):
+            pool = world.pair_pools[type_index]
+            count = int(np.clip(
+                round(rng.normal(mean, std)), 0, len(pool)
+            ))
+            if count == 0:
+                continue
+            chosen = rng.choice(len(pool), size=count, replace=False)
+            for idx in chosen:
+                emit(day, *pool[idx])
+        benign_count = int(np.clip(
+            round(rng.normal(config.benign_daily_mean,
+                             config.benign_daily_std)),
+            0,
+            len(world.benign_pairs),
+        ))
+        chosen = rng.choice(
+            len(world.benign_pairs), size=benign_count, replace=False
+        )
+        for idx in chosen:
+            emit(day, *world.benign_pairs[idx])
+    return EMRLog(world=world, events=tuple(events), n_repeats=n_repeats)
+
+
+def learn_count_models(
+    log: EMRLog, method: str = "gaussian"
+) -> list:
+    """Fit per-type ``F_t`` from a simulated log (repeat-filtered)."""
+    distinct, _ = filter_repeated_accesses(log.events)
+    alerts = log.world.engine.label_events(distinct)
+    counts = period_type_counts(alerts, EMR_TYPE_NAMES, log.n_days)
+    return fit_count_models(counts, EMR_TYPE_NAMES, method=method)
+
+
+# ----------------------------------------------------------------------
+# The audit game (Section V parameters)
+# ----------------------------------------------------------------------
+
+def rea_a(
+    budget: float = 50.0,
+    n_employees: int = 50,
+    n_patients: int = 50,
+    distributions: str = "published",
+    config: EMRConfig | None = None,
+    seed: int = 7,
+) -> AuditGame:
+    """Build the Rea A-style EMR audit game.
+
+    Parameters
+    ----------
+    budget:
+        Audit budget ``B`` (Figure 1 sweeps 10..100).
+    n_employees, n_patients:
+        Attack-grid size; the paper samples 50 x 50 among entities that
+        generate at least one alert.
+    distributions:
+        ``"published"`` uses the Table VIII Gaussians directly;
+        ``"simulated"`` simulates a fresh 28-day log and fits Gaussians to
+        it; ``"empirical"`` fits raw empirical distributions to the log.
+    config:
+        World configuration (sizes, repeat rate, seed).
+    seed:
+        Seed for the attack-grid sampling.
+    """
+    if distributions not in ("published", "simulated", "empirical"):
+        raise ValueError(
+            f"unknown distributions mode {distributions!r}"
+        )
+    world = build_emr_world(config)
+    rng = np.random.default_rng(seed)
+
+    # Sample the attack grid from alert-generating entities: walk the
+    # typed pair pools round-robin so all seven types are represented.
+    employees: list[str] = []
+    patients: list[str] = []
+    seen_e: set[str] = set()
+    seen_p: set[str] = set()
+    order = [
+        (k, i)
+        for i in range(max(len(p) for p in world.pair_pools))
+        for k in range(len(world.pair_pools))
+        if i < len(world.pair_pools[k])
+    ]
+    for k, i in order:
+        employee, patient = world.pair_pools[k][i]
+        if len(employees) < n_employees and employee not in seen_e:
+            employees.append(employee)
+            seen_e.add(employee)
+        if len(patients) < n_patients and patient not in seen_p:
+            patients.append(patient)
+            seen_p.add(patient)
+        if len(employees) >= n_employees and len(patients) >= n_patients:
+            break
+    rng.shuffle(employees)
+    rng.shuffle(patients)
+
+    type_matrix = np.asarray(
+        world.engine.type_matrix(employees, patients, EMR_TYPE_NAMES),
+        dtype=np.int64,
+    )
+    attack_map = AttackTypeMap.from_type_matrix(
+        type_matrix, n_types=len(EMR_TYPE_NAMES)
+    )
+
+    if distributions == "published":
+        marginals = [
+            DiscretizedGaussian(mean, std) for mean, std in EMR_TYPE_STATS
+        ]
+    else:
+        log = simulate_emr_log(world)
+        method = (
+            "gaussian" if distributions == "simulated" else "empirical"
+        )
+        marginals = learn_count_models(log, method=method)
+    counts = JointCountModel(marginals)
+
+    benefit = np.zeros(type_matrix.shape)
+    triggered = type_matrix >= 0
+    benefit[triggered] = np.asarray(EMR_BENEFITS)[type_matrix[triggered]]
+    payoffs = PayoffModel.create(
+        n_adversaries=len(employees),
+        n_victims=len(patients),
+        benefit=benefit,
+        penalty=EMR_PENALTY,
+        attack_cost=EMR_ATTACK_COST,
+        attack_prior=1.0,
+        attackers_can_refrain=True,
+    )
+    alert_types = AlertTypeSet(
+        tuple(
+            AlertType(
+                name=name,
+                audit_cost=EMR_AUDIT_COST,
+                description=f"Table VIII composite type {i + 1}",
+            )
+            for i, name in enumerate(EMR_TYPE_NAMES)
+        )
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=counts,
+        attack_map=attack_map,
+        payoffs=payoffs,
+        budget=float(budget),
+        adversary_names=tuple(employees),
+        victim_names=tuple(patients),
+    )

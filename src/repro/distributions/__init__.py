@@ -1,0 +1,25 @@
+"""Alert-count distributions and joint scenario models.
+
+These implement the stochastic workload substrate of the audit game: each
+alert type's benign count ``Z_t ~ F_t`` (Section II-A of the paper) and the
+joint scenario sets over which the detection probability of eq. 1 is
+averaged.
+"""
+
+from .base import AlertCountModel
+from .constant import ConstantCount
+from .discrete_gaussian import DiscretizedGaussian, coverage_halfwidth
+from .empirical import EmpiricalCounts
+from .joint import JointCountModel, ScenarioSet
+from .poisson import TruncatedPoisson
+
+__all__ = [
+    "AlertCountModel",
+    "ConstantCount",
+    "DiscretizedGaussian",
+    "EmpiricalCounts",
+    "JointCountModel",
+    "ScenarioSet",
+    "TruncatedPoisson",
+    "coverage_halfwidth",
+]

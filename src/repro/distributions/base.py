@@ -1,0 +1,114 @@
+"""Base interface for alert-count distributions.
+
+The audit game of Yan et al. (ICDE 2018) models the number of *benign*
+alerts of each type raised per audit period as a random integer count
+``Z_t ~ F_t``.  Every concrete distribution in this subpackage implements
+:class:`AlertCountModel`, which exposes the count distribution on a finite
+integer support.  A finite support is essential: the paper truncates each
+``F_t`` at a configurable probability coverage (99.5% by default) so that
+thresholds have a finite upper bound ``J_t`` and the joint scenario space
+can be enumerated exactly for small games.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AlertCountModel"]
+
+
+class AlertCountModel(abc.ABC):
+    """Distribution of the number of alerts of one type per audit period.
+
+    Concrete models provide a probability mass function on a finite integer
+    support ``[min_count, max_count]``.  All probability queries outside the
+    support return 0, and the pmf over the support sums to 1 (models that
+    truncate an infinite distribution renormalize).
+    """
+
+    @property
+    @abc.abstractmethod
+    def min_count(self) -> int:
+        """Smallest count in the support (inclusive, >= 0)."""
+
+    @property
+    @abc.abstractmethod
+    def max_count(self) -> int:
+        """Largest count in the support (inclusive).
+
+        This is the paper's per-type upper bound ``J_t`` used both to bound
+        the brute-force threshold grid and to initialize ISHM at "full
+        coverage" (``F_t(b_t / C_t) ~= 1``).
+        """
+
+    @abc.abstractmethod
+    def pmf(self, count: int | np.ndarray) -> float | np.ndarray:
+        """Probability of observing exactly ``count`` alerts."""
+
+    def support(self) -> np.ndarray:
+        """All counts with positive probability, in increasing order."""
+        return np.arange(self.min_count, self.max_count + 1, dtype=np.int64)
+
+    def support_pmf(self) -> np.ndarray:
+        """pmf evaluated on :meth:`support` (sums to 1)."""
+        return np.asarray(self.pmf(self.support()), dtype=np.float64)
+
+    def cdf(self, count: int | np.ndarray) -> float | np.ndarray:
+        """Probability that at most ``count`` alerts are raised (``F_t``)."""
+        counts = np.atleast_1d(np.asarray(count, dtype=np.int64))
+        support = self.support()
+        probs = np.cumsum(self.support_pmf())
+        # For each query, index of the last support point <= query.
+        idx = np.searchsorted(support, counts, side="right") - 1
+        out = np.where(idx < 0, 0.0, probs[np.clip(idx, 0, len(probs) - 1)])
+        if np.isscalar(count) or np.asarray(count).ndim == 0:
+            return float(out[0])
+        return out
+
+    def mean(self) -> float:
+        """Expected alert count under the (truncated) distribution."""
+        support = self.support()
+        return float(np.dot(support, self.support_pmf()))
+
+    def std(self) -> float:
+        """Standard deviation under the (truncated) distribution."""
+        support = self.support().astype(np.float64)
+        pmf = self.support_pmf()
+        mu = float(np.dot(support, pmf))
+        var = float(np.dot((support - mu) ** 2, pmf))
+        return float(np.sqrt(max(var, 0.0)))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` iid counts (int64 array)."""
+        return rng.choice(self.support(), size=size, p=self.support_pmf())
+
+    def quantile(self, q: float) -> int:
+        """Smallest count ``n`` with ``F(n) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        probs = np.cumsum(self.support_pmf())
+        idx = int(np.searchsorted(probs, q - 1e-12, side="left"))
+        support = self.support()
+        return int(support[min(idx, len(support) - 1)])
+
+    @staticmethod
+    def validate_all(models: Sequence["AlertCountModel"]) -> None:
+        """Sanity-check a family of per-type models (used by game builders)."""
+        for position, model in enumerate(models):
+            if model.min_count < 0:
+                raise ValueError(
+                    f"model {position}: negative min_count {model.min_count}"
+                )
+            if model.max_count < model.min_count:
+                raise ValueError(
+                    f"model {position}: empty support "
+                    f"[{model.min_count}, {model.max_count}]"
+                )
+            total = float(np.sum(model.support_pmf()))
+            if not np.isclose(total, 1.0, atol=1e-8):
+                raise ValueError(
+                    f"model {position}: pmf sums to {total}, expected 1"
+                )

@@ -1,0 +1,45 @@
+"""Degenerate (constant) alert-count model.
+
+Used in tests and in the NP-hardness construction of Theorem 1, where
+``Z_t = 1`` with probability 1 for every alert type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AlertCountModel
+
+__all__ = ["ConstantCount"]
+
+
+class ConstantCount(AlertCountModel):
+    """Alert count equal to ``value`` with probability 1."""
+
+    def __init__(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"count must be >= 0, got {value}")
+        self._value = int(value)
+
+    @property
+    def value(self) -> int:
+        """The deterministic count."""
+        return self._value
+
+    @property
+    def min_count(self) -> int:
+        return self._value
+
+    @property
+    def max_count(self) -> int:
+        return self._value
+
+    def pmf(self, count: int | np.ndarray) -> float | np.ndarray:
+        counts = np.atleast_1d(np.asarray(count, dtype=np.int64))
+        out = np.where(counts == self._value, 1.0, 0.0)
+        if np.isscalar(count) or np.asarray(count).ndim == 0:
+            return float(out[0])
+        return out
+
+    def __repr__(self) -> str:
+        return f"ConstantCount({self._value})"

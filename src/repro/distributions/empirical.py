@@ -1,0 +1,92 @@
+"""Empirical alert-count model learned from historical logs.
+
+The paper assumes the benign-alert count distribution ``F_t`` "can be
+obtained from historical alert logs" (Section II-A).  This model does
+exactly that: it is fit from a sample of per-period counts (e.g. per-day
+alert totals computed by :mod:`repro.tdmt.aggregation`) and exposes the
+empirical pmf, optionally truncated at a probability coverage to keep the
+support — and hence the ISHM threshold upper bounds — finite and tight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .base import AlertCountModel
+
+__all__ = ["EmpiricalCounts"]
+
+
+class EmpiricalCounts(AlertCountModel):
+    """Count distribution given by observed per-period frequencies."""
+
+    def __init__(self, pmf_by_count: Mapping[int, float]) -> None:
+        if not pmf_by_count:
+            raise ValueError("empirical pmf must not be empty")
+        counts = sorted(pmf_by_count)
+        if counts[0] < 0:
+            raise ValueError(f"negative count in support: {counts[0]}")
+        self._lo = counts[0]
+        self._hi = counts[-1]
+        dense = np.zeros(self._hi - self._lo + 1, dtype=np.float64)
+        for count, prob in pmf_by_count.items():
+            if prob < 0:
+                raise ValueError(f"negative probability for count {count}")
+            dense[count - self._lo] = prob
+        total = float(dense.sum())
+        if total <= 0:
+            raise ValueError("empirical pmf has zero total mass")
+        self._pmf = dense / total
+
+    @classmethod
+    def from_samples(
+        cls, samples: Iterable[int], coverage: float = 1.0
+    ) -> "EmpiricalCounts":
+        """Fit from raw per-period counts.
+
+        Parameters
+        ----------
+        samples:
+            Observed counts, one per audit period.
+        coverage:
+            If < 1, the support is truncated at the smallest count whose
+            empirical CDF reaches ``coverage`` (and renormalized), mirroring
+            the paper's finite upper bound on ``Z_t``.
+        """
+        values = np.asarray(list(samples), dtype=np.int64)
+        if values.size == 0:
+            raise ValueError("need at least one sample")
+        if values.min() < 0:
+            raise ValueError("counts must be non-negative")
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        uniq, freq = np.unique(values, return_counts=True)
+        probs = freq / freq.sum()
+        if coverage < 1.0:
+            cum = np.cumsum(probs)
+            cut = int(np.searchsorted(cum, coverage - 1e-12, side="left"))
+            uniq = uniq[: cut + 1]
+            probs = probs[: cut + 1]
+        return cls({int(c): float(p) for c, p in zip(uniq, probs)})
+
+    @property
+    def min_count(self) -> int:
+        return self._lo
+
+    @property
+    def max_count(self) -> int:
+        return self._hi
+
+    def pmf(self, count: int | np.ndarray) -> float | np.ndarray:
+        counts = np.atleast_1d(np.asarray(count, dtype=np.int64))
+        inside = (counts >= self._lo) & (counts <= self._hi)
+        idx = np.clip(counts - self._lo, 0, len(self._pmf) - 1)
+        out = np.where(inside, self._pmf[idx], 0.0)
+        if np.isscalar(count) or np.asarray(count).ndim == 0:
+            return float(out[0])
+        return out
+
+    def __repr__(self) -> str:
+        return f"EmpiricalCounts(support=[{self._lo}, {self._hi}])"

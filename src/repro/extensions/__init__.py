@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's evaluated model (its Section VII list)."""
+
+from .general_sum import (
+    AuditorLossModel,
+    GeneralSumEvaluation,
+    evaluate_general_sum,
+    solve_single_adversary,
+)
+from .quantal import (
+    QuantalEvaluation,
+    evaluate_quantal,
+    quantal_response_distribution,
+    rationality_sweep,
+)
+from .sensitivity import (
+    SensitivityRow,
+    scale_payoffs,
+    sensitivity_sweep,
+)
+
+__all__ = [
+    "AuditorLossModel",
+    "GeneralSumEvaluation",
+    "QuantalEvaluation",
+    "SensitivityRow",
+    "evaluate_general_sum",
+    "evaluate_quantal",
+    "quantal_response_distribution",
+    "rationality_sweep",
+    "scale_payoffs",
+    "sensitivity_sweep",
+    "solve_single_adversary",
+]

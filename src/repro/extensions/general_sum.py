@@ -1,0 +1,200 @@
+"""General-sum audit games.
+
+The paper assumes the game is zero-sum and flags that as a limitation
+(Section VII): a real auditor cares about organizational damage, not the
+attacker's net profit — e.g. the attacker's cost ``K`` is irrelevant to
+the hospital, and a privacy breach may hurt the organization far more
+than it benefits the insider.  This module decouples the two sides:
+
+* :class:`AuditorLossModel` assigns the auditor's own loss to every
+  undetected attack (and a loss, usually 0 or negative, to detected
+  ones);
+* :func:`evaluate_general_sum` scores any policy: attackers best-respond
+  to *their* utility, the auditor pays *their own* loss;
+* :func:`solve_single_adversary` computes the exact strong-Stackelberg
+  ordering mixture for a one-adversary game with fixed thresholds via the
+  classic multiple-LPs method (one LP per candidate best response,
+  keeping the best feasible one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..core.objective import best_responses
+from ..core.policy import AuditPolicy, Ordering, all_orderings
+from ..distributions.joint import ScenarioSet
+from ..solvers.lp import LinearProgram, solve_lp
+from ..solvers.master import PolicyContext
+
+__all__ = [
+    "AuditorLossModel",
+    "GeneralSumEvaluation",
+    "evaluate_general_sum",
+    "solve_single_adversary",
+]
+
+
+@dataclass(frozen=True)
+class AuditorLossModel:
+    """Auditor-side payoffs, decoupled from the adversary's utility.
+
+    ``undetected_loss[e, v]`` is what the auditor loses when attack
+    ``<e, v>`` succeeds; ``detected_loss[e, v]`` when it is caught
+    (usually 0, or negative if catching an insider has positive value).
+    The auditor's expected loss for an attack is
+    ``Pat * detected + (1 - Pat) * undetected``.
+    """
+
+    undetected_loss: np.ndarray
+    detected_loss: np.ndarray
+
+    @classmethod
+    def proportional(
+        cls, game: AuditGame, damage_factor: float = 2.0
+    ) -> "AuditorLossModel":
+        """Losses proportional to attacker benefit (damage > benefit)."""
+        benefit = game.payoffs.benefit
+        return cls(
+            undetected_loss=damage_factor * benefit,
+            detected_loss=np.zeros_like(benefit),
+        )
+
+    def expected_loss_matrix(self, detection: np.ndarray) -> np.ndarray:
+        """Auditor loss per attack given detection probabilities."""
+        return (
+            detection * self.detected_loss
+            + (1.0 - detection) * self.undetected_loss
+        )
+
+
+@dataclass(frozen=True)
+class GeneralSumEvaluation:
+    """Outcome of a policy in the general-sum game."""
+
+    auditor_loss: float
+    adversary_utilities: np.ndarray
+    attacked_victims: tuple[int, ...]  # REFRAIN (-1) when deterred
+
+
+def evaluate_general_sum(
+    game: AuditGame,
+    loss_model: AuditorLossModel,
+    policy: AuditPolicy,
+    scenarios: ScenarioSet,
+) -> GeneralSumEvaluation:
+    """Attackers best-respond to their utility; auditor pays own loss."""
+    evaluation = game.evaluate(policy, scenarios)
+    mixed_pal = evaluation.mixed_pal
+    detection = game.attack_map.detection_probability(mixed_pal)
+    loss_matrix = loss_model.expected_loss_matrix(detection)
+    responses = best_responses(
+        evaluation.expected_utilities, game.payoffs
+    )
+    total = 0.0
+    victims: list[int] = []
+    for response in responses:
+        victims.append(response.victim)
+        if not response.deterred:
+            prior = game.payoffs.attack_prior[response.adversary]
+            total += prior * float(
+                loss_matrix[response.adversary, response.victim]
+            )
+    return GeneralSumEvaluation(
+        auditor_loss=total,
+        adversary_utilities=np.array(
+            [r.utility for r in responses]
+        ),
+        attacked_victims=tuple(victims),
+    )
+
+
+def solve_single_adversary(
+    game: AuditGame,
+    loss_model: AuditorLossModel,
+    thresholds: np.ndarray,
+    scenarios: ScenarioSet,
+    adversary: int = 0,
+    backend: str = "scipy",
+) -> tuple[AuditPolicy, float]:
+    """Exact strong-Stackelberg mixture for one adversary, fixed ``b``.
+
+    Multiple-LPs method: for every candidate response ``v*`` (including
+    refraining when allowed), find the ordering mixture minimizing the
+    auditor's loss subject to ``v*`` being utility-maximizing for the
+    adversary; return the best feasible branch.  Exponential ordering
+    enumeration restricts this to small ``|T|`` (as with the paper's
+    LP-to-optimality reference).
+    """
+    context = PolicyContext(game, scenarios, thresholds)
+    orderings = all_orderings(game.n_types)
+    n_q = len(orderings)
+
+    # Adversary utility and auditor loss per (ordering, victim).
+    utility_rows = np.stack(
+        [context.utilities(o)[adversary] for o in orderings], axis=0
+    )
+    loss_rows = np.stack(
+        [
+            loss_model.expected_loss_matrix(
+                game.attack_map.detection_probability(context.pal(o))
+            )[adversary]
+            for o in orderings
+        ],
+        axis=0,
+    )
+
+    candidates: list[int] = list(range(game.n_victims))
+    if game.payoffs.attackers_can_refrain:
+        candidates.append(-1)
+
+    best_policy: AuditPolicy | None = None
+    best_loss = np.inf
+    for target in candidates:
+        if target >= 0:
+            c = loss_rows[:, target]
+            target_utility = utility_rows[:, target]
+        else:
+            c = np.zeros(n_q)  # refraining costs the auditor nothing
+            target_utility = np.zeros(n_q)
+        # Constraints: target weakly better than every alternative.
+        rows = []
+        rhs = []
+        for v in range(game.n_victims):
+            if v == target:
+                continue
+            rows.append(utility_rows[:, v] - target_utility)
+            rhs.append(0.0)
+        if game.payoffs.attackers_can_refrain and target >= 0:
+            rows.append(-target_utility)  # refrain utility 0 <= target
+            rhs.append(0.0)
+        a_ub = np.vstack(rows) if rows else None
+        b_ub = np.asarray(rhs) if rows else None
+        problem = LinearProgram(
+            objective=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=np.ones((1, n_q)),
+            b_eq=np.array([1.0]),
+            bounds=tuple((0.0, None) for _ in range(n_q)),
+        )
+        solution = solve_lp(problem, backend=backend)
+        if not solution.is_optimal:
+            continue  # this best-response branch is unattainable
+        prior = float(game.payoffs.attack_prior[adversary])
+        loss = prior * float(solution.objective_value)
+        if loss < best_loss - 1e-12:
+            best_loss = loss
+            probs = np.clip(solution.x, 0.0, None)
+            probs = probs / probs.sum()
+            best_policy = AuditPolicy(
+                orderings=tuple(orderings),
+                probabilities=probs,
+                thresholds=np.asarray(thresholds, dtype=np.float64),
+            ).pruned()
+    if best_policy is None:
+        raise RuntimeError("no feasible best-response branch found")
+    return best_policy, best_loss

@@ -1,0 +1,112 @@
+"""Bounded-rational (quantal response) attackers.
+
+Section VII of the paper lists fully rational adversaries as a modeling
+limitation and proposes bounded rationality as an extension.  This module
+implements the standard logit quantal response model: adversary ``e``
+attacks victim ``v`` with probability proportional to
+``exp(rationality * Ua(e, v))`` (the refrain option enters with utility 0
+when the game allows it).  ``rationality -> inf`` recovers the paper's
+best-response attacker; ``rationality = 0`` is a uniformly random one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..core.policy import AuditPolicy
+from ..distributions.joint import ScenarioSet
+
+__all__ = [
+    "quantal_response_distribution",
+    "QuantalEvaluation",
+    "evaluate_quantal",
+    "rationality_sweep",
+]
+
+
+def quantal_response_distribution(
+    expected_utilities: np.ndarray,
+    rationality: float,
+    include_refrain: bool,
+) -> np.ndarray:
+    """Per-adversary logit choice probabilities over victims (+ refrain).
+
+    Returns shape ``(E, V + 1)``; the last column is the refrain
+    probability (all-zero column when refraining is not allowed).
+    """
+    if rationality < 0:
+        raise ValueError(
+            f"rationality must be >= 0, got {rationality}"
+        )
+    eu = np.asarray(expected_utilities, dtype=np.float64)
+    n_e, n_v = eu.shape
+    options = np.concatenate([eu, np.zeros((n_e, 1))], axis=1)
+    logits = rationality * options
+    if not include_refrain:
+        logits[:, -1] = -np.inf
+    # Stable softmax row-wise.
+    logits -= logits.max(axis=1, keepdims=True)
+    weights = np.exp(logits)
+    return weights / weights.sum(axis=1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class QuantalEvaluation:
+    """Auditor loss against quantal-response attackers."""
+
+    rationality: float
+    auditor_loss: float
+    attack_probabilities: np.ndarray  # (E, V + 1), last col = refrain
+    expected_utilities: np.ndarray
+
+    @property
+    def refrain_rate(self) -> float:
+        """Average probability mass adversaries put on refraining."""
+        return float(self.attack_probabilities[:, -1].mean())
+
+
+def evaluate_quantal(
+    game: AuditGame,
+    policy: AuditPolicy,
+    scenarios: ScenarioSet,
+    rationality: float,
+) -> QuantalEvaluation:
+    """Zero-sum auditor loss when attackers quantal-respond.
+
+    The loss is ``sum_e p_e sum_v q_e(v) * Ua(e, v)`` — the expectation of
+    the adversary utility under the logit choice rule instead of the max.
+    """
+    evaluation = game.evaluate(policy, scenarios)
+    eu = evaluation.expected_utilities
+    choice = quantal_response_distribution(
+        eu, rationality, game.payoffs.attackers_can_refrain
+    )
+    per_adversary = np.sum(choice[:, :-1] * eu, axis=1)  # refrain adds 0
+    loss = float(game.payoffs.attack_prior @ per_adversary)
+    return QuantalEvaluation(
+        rationality=rationality,
+        auditor_loss=loss,
+        attack_probabilities=choice,
+        expected_utilities=eu,
+    )
+
+
+def rationality_sweep(
+    game: AuditGame,
+    policy: AuditPolicy,
+    scenarios: ScenarioSet,
+    rationalities,
+) -> list[QuantalEvaluation]:
+    """Evaluate one policy across attacker rationality levels.
+
+    Useful for the robustness question of Section VII: how much does a
+    policy optimized for perfectly rational attackers overstate (or
+    understate) the loss against imperfect ones?
+    """
+    return [
+        evaluate_quantal(game, policy, scenarios, float(lam))
+        for lam in rationalities
+    ]

@@ -1,0 +1,60 @@
+"""Exact master solve by enumerating every alert-type ordering.
+
+For small numbers of alert types (Syn A has 4, hence 24 orderings) the LP
+of eq. 5 with fixed thresholds can be solved to optimality by including
+all ``|T|!`` ordering columns — the paper's "solving the linear program to
+optimality" reference point for Tables III-VII.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..core.policy import all_orderings
+from ..distributions.joint import ScenarioSet
+from .master import FixedThresholdSolution, MasterProblem, PolicyContext
+
+__all__ = ["EnumerationSolver", "DEFAULT_MAX_ORDERINGS"]
+
+#: Refuse to enumerate beyond this many orderings by default (7! = 5040).
+DEFAULT_MAX_ORDERINGS = 5040
+
+
+class EnumerationSolver:
+    """Solve the fixed-``b`` master over the complete ordering set ``O``."""
+
+    def __init__(
+        self,
+        game: AuditGame,
+        scenarios: ScenarioSet,
+        backend: str = "scipy",
+        max_orderings: int = DEFAULT_MAX_ORDERINGS,
+    ) -> None:
+        n_orderings = math.factorial(game.n_types)
+        if n_orderings > max_orderings:
+            raise ValueError(
+                f"{game.n_types} alert types give {n_orderings} orderings "
+                f"(> max_orderings={max_orderings}); use CGGSSolver instead"
+            )
+        self.game = game
+        self.scenarios = scenarios
+        self.backend = backend
+        self._orderings = all_orderings(game.n_types)
+
+    def solve(self, thresholds: np.ndarray) -> FixedThresholdSolution:
+        """Optimal restricted-strategy-space mixed policy for ``b``."""
+        context = PolicyContext(self.game, self.scenarios, thresholds)
+        master = MasterProblem(context, backend=self.backend)
+        for ordering in self._orderings:
+            master.add_ordering(ordering)
+        fixed, _ = master.solve()
+        return FixedThresholdSolution(
+            policy=fixed.policy.pruned(),
+            objective=fixed.objective,
+            lp_calls=fixed.lp_calls,
+            n_columns=fixed.n_columns,
+            adversary_utilities=fixed.adversary_utilities,
+        )

@@ -1,0 +1,45 @@
+"""LP backend dispatch.
+
+Two interchangeable engines solve every LP in the library:
+
+* ``"scipy"`` — HiGHS via :func:`scipy.optimize.linprog` (default, fast);
+* ``"simplex"`` — the from-scratch two-phase simplex in
+  :mod:`repro.solvers.lp.simplex` (no dependency beyond numpy, used for
+  cross-validation and by the LP-backend ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .problem import LinearProgram, LPSolution
+from .scipy_backend import solve_with_scipy
+from .simplex import solve_with_simplex
+
+__all__ = ["solve_lp", "available_backends", "DEFAULT_BACKEND"]
+
+DEFAULT_BACKEND = "scipy"
+
+_BACKENDS: dict[str, Callable[[LinearProgram], LPSolution]] = {
+    "scipy": solve_with_scipy,
+    "simplex": solve_with_simplex,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`solve_lp`."""
+    return tuple(sorted(_BACKENDS))
+
+
+def solve_lp(
+    problem: LinearProgram, backend: str = DEFAULT_BACKEND
+) -> LPSolution:
+    """Solve ``problem`` with the chosen backend."""
+    try:
+        engine = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {backend!r}; "
+            f"choose from {available_backends()}"
+        ) from None
+    return engine(problem)

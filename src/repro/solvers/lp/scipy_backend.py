@@ -1,0 +1,60 @@
+"""SciPy (HiGHS) LP backend.
+
+Thin adapter from :class:`~repro.solvers.lp.problem.LinearProgram` to
+``scipy.optimize.linprog`` that also surfaces the dual prices (HiGHS
+"marginals") needed by column generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .problem import LinearProgram, LPSolution, LPStatus
+
+__all__ = ["solve_with_scipy"]
+
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ITERATION_LIMIT,
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.NUMERICAL_ERROR,
+}
+
+
+def solve_with_scipy(problem: LinearProgram) -> LPSolution:
+    """Solve with HiGHS; returns primal, objective, and dual marginals."""
+    result = linprog(
+        c=problem.objective,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        bounds=list(problem.bounds),
+        method="highs",
+    )
+    status = _STATUS_MAP.get(result.status, LPStatus.NUMERICAL_ERROR)
+    if status != LPStatus.OPTIMAL:
+        return LPSolution(status=status, message=str(result.message))
+
+    dual_ub = None
+    dual_eq = None
+    if problem.n_ub_rows and result.ineqlin is not None:
+        dual_ub = np.asarray(result.ineqlin.marginals, dtype=np.float64)
+    elif problem.n_ub_rows:
+        dual_ub = np.zeros(problem.n_ub_rows)
+    if problem.n_eq_rows and result.eqlin is not None:
+        dual_eq = np.asarray(result.eqlin.marginals, dtype=np.float64)
+    elif problem.n_eq_rows:
+        dual_eq = np.zeros(problem.n_eq_rows)
+
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        x=np.asarray(result.x, dtype=np.float64),
+        objective_value=float(result.fun),
+        dual_ub=dual_ub,
+        dual_eq=dual_eq,
+        iterations=int(getattr(result, "nit", 0)),
+        message=str(result.message),
+    )

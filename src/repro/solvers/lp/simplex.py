@@ -1,0 +1,397 @@
+"""Dense two-phase primal simplex with dual extraction.
+
+A from-scratch LP solver so the reproduction does not *require* an external
+optimizer: the paper's master problem (eq. 5) and its duals — which drive
+column generation — can be solved end to end with this module alone.  The
+SciPy HiGHS backend remains the default for speed; the test suite
+cross-validates the two on random LPs and on every master problem shape the
+solvers emit.
+
+Implementation notes
+--------------------
+* General-form problems are first normalized to standard form
+  ``min c'x, Ax = b, x >= 0, b >= 0``: finite lower bounds are shifted out,
+  free variables are split into positive/negative parts, finite upper
+  bounds become extra ``<=`` rows, and ``<=`` rows receive slack variables.
+* Phase 1 minimizes the sum of artificial variables from the all-artificial
+  basis; phase 2 re-prices with the true objective.
+* Pivoting uses Dantzig's rule with a Bland fallback after a degeneracy
+  streak, guaranteeing termination.
+* Duals are recovered as ``y = c_B' B^{-1}`` on the standard-form rows and
+  mapped back through the row bookkeeping (sign flips from rhs negation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .problem import LinearProgram, LPSolution, LPStatus
+
+__all__ = ["SimplexSolver", "solve_with_simplex"]
+
+_EPS = 1e-9
+_DEGENERACY_STREAK = 12
+
+
+@dataclass
+class _StandardForm:
+    """Standard-form data plus the bookkeeping to map back."""
+
+    a: np.ndarray            # (m, n_std)
+    b: np.ndarray            # (m,) all >= 0
+    c: np.ndarray            # (n_std,)
+    row_sign: np.ndarray     # +1 / -1 per row (rhs negation flips duals)
+    row_kind: list[str]      # "ub" | "eq" | "bound" per row
+    row_index: list[int]     # index into the original ub/eq block
+    # Original variable j maps to columns pos_col[j] (and neg_col[j] when
+    # split); its value is shift[j] + x[pos] - x[neg].
+    pos_col: np.ndarray
+    neg_col: np.ndarray      # -1 when not split
+    shift: np.ndarray
+    flip: np.ndarray         # True when variable was mirrored (hi-only)
+
+
+def _standardize(problem: LinearProgram) -> _StandardForm:
+    n = problem.n_variables
+    pos_col = np.zeros(n, dtype=np.int64)
+    neg_col = np.full(n, -1, dtype=np.int64)
+    shift = np.zeros(n)
+    flip = np.zeros(n, dtype=bool)
+
+    columns = 0
+    bound_rows: list[tuple[int, float]] = []  # (std column, rhs)
+    for j, (lo, hi) in enumerate(problem.bounds):
+        lo_f = -np.inf if lo is None else float(lo)
+        hi_f = np.inf if hi is None else float(hi)
+        if np.isfinite(lo_f):
+            # x = lo + x',  x' >= 0  (optionally x' <= hi - lo)
+            pos_col[j] = columns
+            shift[j] = lo_f
+            columns += 1
+            if np.isfinite(hi_f):
+                bound_rows.append((pos_col[j], hi_f - lo_f))
+        elif np.isfinite(hi_f):
+            # x = hi - x',  x' >= 0  (mirrored variable)
+            pos_col[j] = columns
+            shift[j] = hi_f
+            flip[j] = True
+            columns += 1
+        else:
+            # Free: x = x+ - x-
+            pos_col[j] = columns
+            neg_col[j] = columns + 1
+            columns += 2
+
+    n_ub = problem.n_ub_rows
+    n_eq = problem.n_eq_rows
+    m = n_ub + n_eq + len(bound_rows)
+    n_std = columns + n_ub + len(bound_rows)  # slacks for every <= row
+
+    a = np.zeros((m, n_std))
+    b = np.zeros(m)
+    c = np.zeros(n_std)
+    row_kind: list[str] = []
+    row_index: list[int] = []
+
+    def emit_variable_coeffs(row: np.ndarray, coeffs: np.ndarray) -> float:
+        """Write original-variable coefficients; return rhs adjustment."""
+        adjust = 0.0
+        for j in range(n):
+            coeff = coeffs[j]
+            if coeff == 0.0:
+                continue
+            sign = -1.0 if flip[j] else 1.0
+            row[pos_col[j]] += coeff * sign
+            if neg_col[j] >= 0:
+                row[neg_col[j]] -= coeff
+            adjust += coeff * shift[j]
+        return adjust
+
+    slack = columns
+    row = 0
+    for i in range(n_ub):
+        adjust = emit_variable_coeffs(a[row], problem.a_ub[i])
+        a[row, slack] = 1.0
+        slack += 1
+        b[row] = problem.b_ub[i] - adjust
+        row_kind.append("ub")
+        row_index.append(i)
+        row += 1
+    for i in range(n_eq):
+        adjust = emit_variable_coeffs(a[row], problem.a_eq[i])
+        b[row] = problem.b_eq[i] - adjust
+        row_kind.append("eq")
+        row_index.append(i)
+        row += 1
+    for col, rhs in bound_rows:
+        a[row, col] = 1.0
+        a[row, slack] = 1.0
+        slack += 1
+        b[row] = rhs
+        row_kind.append("bound")
+        row_index.append(-1)
+        row += 1
+
+    # Objective in standard-form variables.
+    for j in range(n):
+        coeff = problem.objective[j]
+        if coeff == 0.0:
+            continue
+        sign = -1.0 if flip[j] else 1.0
+        c[pos_col[j]] += coeff * sign
+        if neg_col[j] >= 0:
+            c[neg_col[j]] -= coeff
+
+    # Normalize rhs signs (phase 1 needs b >= 0).
+    row_sign = np.ones(m)
+    negative = b < 0
+    a[negative] *= -1.0
+    b[negative] *= -1.0
+    row_sign[negative] = -1.0
+
+    return _StandardForm(
+        a=a,
+        b=b,
+        c=c,
+        row_sign=row_sign,
+        row_kind=row_kind,
+        row_index=row_index,
+        pos_col=pos_col,
+        neg_col=neg_col,
+        shift=shift,
+        flip=flip,
+    )
+
+
+class SimplexSolver:
+    """Two-phase tableau simplex for small/medium dense LPs."""
+
+    def __init__(
+        self, max_iterations: int = 20_000, tolerance: float = _EPS
+    ) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: LinearProgram) -> LPSolution:
+        """Solve a general-form LP; see module docstring for conventions."""
+        std = _standardize(problem)
+        m, n_std = std.a.shape
+
+        if m == 0:
+            return self._solve_unconstrained(problem, std)
+
+        # Phase 1: artificial variables with identity basis.
+        tableau = np.hstack([std.a, np.eye(m), std.b.reshape(-1, 1)])
+        basis = list(range(n_std, n_std + m))
+        phase1_cost = np.zeros(n_std + m)
+        phase1_cost[n_std:] = 1.0
+
+        status, iters1 = self._run_simplex(
+            tableau, basis, phase1_cost, restrict_to=None
+        )
+        if status != LPStatus.OPTIMAL:
+            return LPSolution(status=status, message="phase 1 failed")
+        infeasibility = float(
+            sum(tableau[r, -1] for r, col in enumerate(basis)
+                if col >= n_std)
+        )
+        if infeasibility > 1e-7:
+            return LPSolution(
+                status=LPStatus.INFEASIBLE,
+                iterations=iters1,
+                message=f"phase-1 objective {infeasibility:.3e}",
+            )
+        self._drive_out_artificials(tableau, basis, n_std)
+
+        # Phase 2 on the original columns only.
+        phase2_cost = np.zeros(n_std + m)
+        phase2_cost[:n_std] = std.c
+        status, iters2 = self._run_simplex(
+            tableau, basis, phase2_cost, restrict_to=n_std
+        )
+        if status != LPStatus.OPTIMAL:
+            return LPSolution(
+                status=status,
+                iterations=iters1 + iters2,
+                message="phase 2 failed",
+            )
+
+        x_std = np.zeros(n_std)
+        for r, col in enumerate(basis):
+            if col < n_std:
+                x_std[col] = tableau[r, -1]
+
+        x = self._recover_primal(problem, std, x_std)
+        dual_ub, dual_eq = self._recover_duals(problem, std, basis)
+        objective = float(problem.objective @ x)
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            x=x,
+            objective_value=objective,
+            dual_ub=dual_ub,
+            dual_eq=dual_eq,
+            iterations=iters1 + iters2,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _solve_unconstrained(
+        self, problem: LinearProgram, std: _StandardForm
+    ) -> LPSolution:
+        """No rows at all: each variable optimizes independently."""
+        x = np.zeros(problem.n_variables)
+        for j, (lo, hi) in enumerate(problem.bounds):
+            coeff = problem.objective[j]
+            if coeff > 0:
+                if lo is None:
+                    return LPSolution(status=LPStatus.UNBOUNDED)
+                x[j] = lo
+            elif coeff < 0:
+                if hi is None:
+                    return LPSolution(status=LPStatus.UNBOUNDED)
+                x[j] = hi
+            else:
+                x[j] = 0.0 if lo is None else lo
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            x=x,
+            objective_value=float(problem.objective @ x),
+            dual_ub=np.zeros(0),
+            dual_eq=np.zeros(0),
+        )
+
+    def _run_simplex(
+        self,
+        tableau: np.ndarray,
+        basis: list[int],
+        cost: np.ndarray,
+        restrict_to: int | None,
+    ) -> tuple[str, int]:
+        """Pivot until optimal/unbounded. Mutates tableau and basis."""
+        m = tableau.shape[0]
+        n_total = tableau.shape[1] - 1
+        limit = restrict_to if restrict_to is not None else n_total
+        degenerate_streak = 0
+        for iteration in range(self.max_iterations):
+            c_basis = cost[basis]
+            # Reduced costs: c_j - c_B' B^{-1} A_j over the tableau form.
+            reduced = cost[:limit] - c_basis @ tableau[:, :limit]
+            use_bland = degenerate_streak >= _DEGENERACY_STREAK
+            if use_bland:
+                candidates = np.nonzero(reduced < -self.tolerance)[0]
+                if candidates.size == 0:
+                    return LPStatus.OPTIMAL, iteration
+                entering = int(candidates[0])
+            else:
+                entering = int(np.argmin(reduced))
+                if reduced[entering] >= -self.tolerance:
+                    return LPStatus.OPTIMAL, iteration
+
+            column = tableau[:, entering]
+            positive = column > self.tolerance
+            if not positive.any():
+                return LPStatus.UNBOUNDED, iteration
+            ratios = np.full(m, np.inf)
+            ratios[positive] = tableau[positive, -1] / column[positive]
+            if use_bland:
+                best = np.min(ratios)
+                tied = np.nonzero(ratios <= best + self.tolerance)[0]
+                # Bland: leave the row whose basic variable has the
+                # smallest index.
+                leaving = int(min(tied, key=lambda r: basis[r]))
+            else:
+                leaving = int(np.argmin(ratios))
+            if ratios[leaving] <= self.tolerance:
+                degenerate_streak += 1
+            else:
+                degenerate_streak = 0
+
+            self._pivot(tableau, leaving, entering)
+            basis[leaving] = entering
+        return LPStatus.ITERATION_LIMIT, self.max_iterations
+
+    @staticmethod
+    def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+        tableau[row] /= tableau[row, col]
+        factors = tableau[:, col].copy()
+        factors[row] = 0.0
+        tableau -= np.outer(factors, tableau[row])
+
+    def _drive_out_artificials(
+        self, tableau: np.ndarray, basis: list[int], n_std: int
+    ) -> None:
+        """Pivot basic artificials (at value 0) onto structural columns."""
+        for r, col in enumerate(list(basis)):
+            if col < n_std:
+                continue
+            row = tableau[r, :n_std]
+            pivot_candidates = np.nonzero(np.abs(row) > self.tolerance)[0]
+            if pivot_candidates.size == 0:
+                # Redundant row; leave the zero-valued artificial basic.
+                continue
+            entering = int(pivot_candidates[0])
+            self._pivot(tableau, r, entering)
+            basis[r] = entering
+
+    def _recover_primal(
+        self,
+        problem: LinearProgram,
+        std: _StandardForm,
+        x_std: np.ndarray,
+    ) -> np.ndarray:
+        x = np.zeros(problem.n_variables)
+        for j in range(problem.n_variables):
+            value = x_std[std.pos_col[j]]
+            if std.neg_col[j] >= 0:
+                value -= x_std[std.neg_col[j]]
+            if std.flip[j]:
+                x[j] = std.shift[j] - value
+            else:
+                x[j] = std.shift[j] + value
+        return x
+
+    def _recover_duals(
+        self,
+        problem: LinearProgram,
+        std: _StandardForm,
+        basis: list[int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``y = c_B' B^{-1}`` on standard rows, mapped to original rows."""
+        m, n_std = std.a.shape
+        full = np.hstack([std.a, np.eye(m)])
+        cost = np.zeros(n_std + m)
+        cost[:n_std] = std.c
+        basis_matrix = full[:, basis]
+        c_basis = cost[basis]
+        try:
+            y = np.linalg.solve(basis_matrix.T, c_basis)
+        except np.linalg.LinAlgError:
+            y = np.linalg.lstsq(basis_matrix.T, c_basis, rcond=None)[0]
+        y = y * std.row_sign  # undo rhs negation
+
+        dual_ub = np.zeros(problem.n_ub_rows)
+        dual_eq = np.zeros(problem.n_eq_rows)
+        for row, (kind, idx) in enumerate(
+            zip(std.row_kind, std.row_index)
+        ):
+            if kind == "ub":
+                dual_ub[idx] = y[row]
+            elif kind == "eq":
+                dual_eq[idx] = y[row]
+        # Convention: <=-row duals are non-positive at a minimum; clip
+        # stray positive round-off.
+        dual_ub = np.minimum(dual_ub, 0.0)
+        return dual_ub, dual_eq
+
+
+def solve_with_simplex(
+    problem: LinearProgram,
+    max_iterations: int = 20_000,
+    tolerance: float = _EPS,
+) -> LPSolution:
+    """Module-level convenience wrapper around :class:`SimplexSolver`."""
+    return SimplexSolver(max_iterations, tolerance).solve(problem)

@@ -1,0 +1,302 @@
+"""The master problem of eq. 5 for a fixed threshold vector ``b``.
+
+With ``b`` fixed, the auditor's problem is the linear program
+
+    min_{p_o, u}   sum_e p_e u_e
+    s.t.           u_e >= sum_{o in Q} p_o Ua(o, b, <e, v>)   for all <e, v>
+                   sum_{o in Q} p_o = 1,   p_o >= 0
+                   (u_e >= 0 when adversaries may refrain)
+
+restricted to a column set ``Q`` of orderings.  :class:`MasterProblem`
+builds and incrementally extends this LP; :class:`PolicyContext` caches the
+expensive per-ordering detection vectors so that CGGS, enumeration, ISHM
+and the baselines all share one kernel-evaluation cache per ``(b, Z)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.detection import pal_for_ordering
+from ..core.game import AuditGame
+from ..core.objective import best_responses
+from ..core.policy import AuditPolicy, Ordering
+from ..distributions.joint import ScenarioSet
+from .lp import LinearProgram, LPSolution, solve_lp
+
+__all__ = ["PolicyContext", "MasterProblem", "FixedThresholdSolution"]
+
+
+class PolicyContext:
+    """Caches ``Pal`` and utility matrices for one ``(game, Z, b)``.
+
+    Detection vectors depend on the ordering, the thresholds and the
+    scenario set; utilities additionally fold in the payoff model.  Both
+    are memoized by ordering tuple, which makes the CGGS greedy subproblem
+    (many shared prefixes) and repeated master solves cheap.
+    """
+
+    def __init__(
+        self,
+        game: AuditGame,
+        scenarios: ScenarioSet,
+        thresholds: np.ndarray,
+    ) -> None:
+        self.game = game
+        self.scenarios = scenarios
+        self.thresholds = np.asarray(thresholds, dtype=np.float64)
+        if self.thresholds.shape != (game.n_types,):
+            raise ValueError(
+                f"thresholds must have shape ({game.n_types},), "
+                f"got {self.thresholds.shape}"
+            )
+        self._pal_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._utility_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._costs = game.costs
+        self._rows = self._representative_rows(game)
+
+    @staticmethod
+    def _representative_rows(
+        game: AuditGame,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Collapse duplicate attack rows of the master LP.
+
+        ``Ua(o, b, <e, v>)`` depends on the victim only through the trigger
+        probabilities ``P[e, v, :]`` and the payoffs ``(R, M, K)[e, v]``,
+        for *every* ordering; victims with identical signatures always
+        yield identical constraint rows, so one representative per
+        signature suffices.  In the paper's real-data games this shrinks
+        the LP from |E| x |V| rows to |E| x (#alert types + 1).
+        """
+        probs = game.attack_map.probabilities
+        payoffs = game.payoffs
+        e_rows: list[int] = []
+        v_rows: list[int] = []
+        for e in range(game.n_adversaries):
+            seen: set[tuple] = set()
+            for v in range(game.n_victims):
+                signature = (
+                    tuple(np.round(probs[e, v], 12)),
+                    round(float(payoffs.benefit[e, v]), 12),
+                    round(float(payoffs.penalty[e, v]), 12),
+                    round(float(payoffs.attack_cost[e, v]), 12),
+                )
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                e_rows.append(e)
+                v_rows.append(v)
+        return (
+            np.asarray(e_rows, dtype=np.int64),
+            np.asarray(v_rows, dtype=np.int64),
+        )
+
+    @property
+    def representative_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """(adversary, victim) indices of the deduplicated LP rows."""
+        return self._rows
+
+    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Pal(o, b, .)`` for a complete or partial ordering (cached)."""
+        key = tuple(ordering)
+        cached = self._pal_cache.get(key)
+        if cached is None:
+            cached = pal_for_ordering(
+                key,
+                self.thresholds,
+                self.scenarios,
+                self._costs,
+                self.game.budget,
+                self.game.zero_count_rule,
+            )
+            self._pal_cache[key] = cached
+        return cached
+
+    def utilities(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Ua(o, b, <e, v>)`` matrix for an ordering (cached)."""
+        key = tuple(ordering)
+        cached = self._utility_cache.get(key)
+        if cached is None:
+            pat = self.game.attack_map.detection_probability(self.pal(key))
+            cached = self.game.payoffs.utility_matrix(pat)
+            self._utility_cache[key] = cached
+        return cached
+
+    @property
+    def kernel_evaluations(self) -> int:
+        """Number of distinct orderings priced so far."""
+        return len(self._pal_cache)
+
+
+@dataclass(frozen=True)
+class FixedThresholdSolution:
+    """Optimal (restricted) mixed strategy for a fixed threshold vector."""
+
+    policy: AuditPolicy
+    objective: float
+    lp_calls: int
+    n_columns: int
+    adversary_utilities: np.ndarray
+
+    def describe(self, type_names: Sequence[str] | None = None) -> str:
+        """Short human-readable report."""
+        return (
+            f"objective={self.objective:.4f}, support="
+            f"{self.policy.support_size} orderings\n"
+            + self.policy.describe(type_names)
+        )
+
+
+class MasterProblem:
+    """Eq. 5 restricted to a growing set of ordering columns."""
+
+    def __init__(
+        self, context: PolicyContext, backend: str = "scipy"
+    ) -> None:
+        self.context = context
+        self.backend = backend
+        self._orderings: list[Ordering] = []
+        self._keys: set[tuple[int, ...]] = set()
+        self._utility_rows: list[np.ndarray] = []
+        self.lp_calls = 0
+
+    @property
+    def orderings(self) -> tuple[Ordering, ...]:
+        """Current column set ``Q``."""
+        return tuple(self._orderings)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._orderings)
+
+    def add_ordering(self, ordering: Ordering) -> bool:
+        """Add a column; returns False when already present."""
+        key = tuple(ordering)
+        if key in self._keys:
+            return False
+        if not ordering.is_complete(self.context.game.n_types):
+            raise ValueError(
+                f"master columns must be complete orderings, got {key}"
+            )
+        self._keys.add(key)
+        self._orderings.append(ordering)
+        self._utility_rows.append(self.context.utilities(ordering))
+        return True
+
+    def build_lp(self) -> LinearProgram:
+        """Assemble the restricted LP in scipy general form.
+
+        One ``<=`` row per *representative* attack (see
+        :meth:`PolicyContext._representative_rows`):
+        ``sum_o p_o Ua_o[e, v] - u_e <= 0``.
+        """
+        if not self._orderings:
+            raise RuntimeError("master problem has no columns")
+        game = self.context.game
+        n_q = len(self._orderings)
+        n_e = game.n_adversaries
+        n_vars = n_q + n_e
+        e_rows, v_rows = self.context.representative_rows
+        n_rows = len(e_rows)
+
+        utilities = np.stack(self._utility_rows, axis=0)  # (Q, E, V)
+        a_ub = np.zeros((n_rows, n_vars))
+        a_ub[:, :n_q] = utilities[:, e_rows, v_rows].T
+        a_ub[np.arange(n_rows), n_q + e_rows] = -1.0
+        b_ub = np.zeros(n_rows)
+
+        a_eq = np.zeros((1, n_vars))
+        a_eq[0, :n_q] = 1.0
+        b_eq = np.array([1.0])
+
+        c = np.zeros(n_vars)
+        c[n_q:] = game.payoffs.attack_prior
+
+        u_bound = (0.0, None) if game.payoffs.attackers_can_refrain \
+            else (None, None)
+        bounds = tuple([(0.0, None)] * n_q + [u_bound] * n_e)
+        return LinearProgram(
+            objective=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+        )
+
+    def solve(self) -> tuple[FixedThresholdSolution, LPSolution]:
+        """Solve the restricted master; returns policy plus raw LP data."""
+        lp = self.build_lp()
+        solution = solve_lp(lp, backend=self.backend).require_optimal()
+        self.lp_calls += 1
+        n_q = len(self._orderings)
+        probs = np.clip(solution.x[:n_q], 0.0, None)
+        total = probs.sum()
+        if total <= 0:
+            probs = np.full(n_q, 1.0 / n_q)
+        else:
+            probs = probs / total
+        policy = AuditPolicy(
+            orderings=tuple(self._orderings),
+            probabilities=probs,
+            thresholds=self.context.thresholds,
+        )
+        # Recompute utilities at the (renormalized) mixed strategy so the
+        # reported objective is self-consistent.
+        game = self.context.game
+        pal_rows = np.stack(
+            [self.context.pal(o) for o in self._orderings], axis=0
+        )
+        mixed_pal = probs @ pal_rows
+        pat = game.attack_map.detection_probability(mixed_pal)
+        eu = game.payoffs.utility_matrix(pat)
+        responses = best_responses(eu, game.payoffs)
+        utilities = np.array([r.utility for r in responses])
+        objective = game.payoffs.auditor_loss(utilities)
+        fixed = FixedThresholdSolution(
+            policy=policy,
+            objective=objective,
+            lp_calls=self.lp_calls,
+            n_columns=n_q,
+            adversary_utilities=utilities,
+        )
+        return fixed, solution
+
+    def reduced_cost(
+        self, solution: LPSolution, ordering: Ordering | Sequence[int]
+    ) -> float:
+        """Reduced cost of a candidate ordering column.
+
+        The column has coefficient ``Ua_o[e, v]`` in every attack row,
+        coefficient 1 in the convexity row, and objective coefficient 0;
+        negative reduced cost means adding it can improve the master.
+        """
+        e_rows, v_rows = self.context.representative_rows
+        utilities = self.context.utilities(ordering)
+        return solution.reduced_cost(
+            column_objective=0.0,
+            column_ub=utilities[e_rows, v_rows],
+            column_eq=np.array([1.0]),
+        )
+
+    def dual_prices(
+        self, solution: LPSolution
+    ) -> tuple[np.ndarray, float]:
+        """Attack-row duals scattered to ``(E, V)`` plus the convexity dual.
+
+        Non-representative attacks carry zero dual weight (their rows are
+        not in the LP); the greedy column oracle can therefore score
+        candidate orderings against the full utility matrix unchanged.
+        """
+        game = self.context.game
+        e_rows, v_rows = self.context.representative_rows
+        duals = np.zeros((game.n_adversaries, game.n_victims))
+        if solution.dual_ub is not None:
+            duals[e_rows, v_rows] = solution.dual_ub
+        y_eq = 0.0 if solution.dual_eq is None else float(
+            solution.dual_eq[0]
+        )
+        return duals, y_eq

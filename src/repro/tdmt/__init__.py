@@ -1,0 +1,23 @@
+"""TDMT substrate: events, rule engine, composite typing, aggregation."""
+
+from .aggregation import (
+    filter_repeated_accesses,
+    fit_count_models,
+    period_type_counts,
+    summarize_counts,
+)
+from .engine import TDMTEngine
+from .events import AccessEvent, AlertRecord
+from .rules import CompositeScheme, RelationshipRule
+
+__all__ = [
+    "AccessEvent",
+    "AlertRecord",
+    "CompositeScheme",
+    "RelationshipRule",
+    "TDMTEngine",
+    "filter_repeated_accesses",
+    "fit_count_models",
+    "period_type_counts",
+    "summarize_counts",
+]

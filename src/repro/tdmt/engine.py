@@ -1,0 +1,108 @@
+"""The TDMT engine: label access events with composite alert types.
+
+Given a population directory (attributes per person/entity), a set of
+base relationship rules and a composite scheme, the engine evaluates each
+event's base flags and assigns at most one composite alert type — the
+"each event maps to at most one alert type" assumption of Section II-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .events import AccessEvent, AlertRecord
+from .rules import Attributes, CompositeScheme, RelationshipRule
+
+__all__ = ["TDMTEngine"]
+
+
+@dataclass(frozen=True)
+class TDMTEngine:
+    """Rule-based threat detection over access events."""
+
+    rules: tuple[RelationshipRule, ...]
+    scheme: CompositeScheme
+    actors: Mapping[str, Attributes]
+    targets: Mapping[str, Attributes]
+
+    def __post_init__(self) -> None:
+        rules = tuple(self.rules)
+        if not rules:
+            raise ValueError("engine needs at least one base rule")
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names {names}")
+        object.__setattr__(self, "rules", rules)
+
+    def flags_for(self, actor: str, target: str) -> frozenset[str]:
+        """Names of all base rules the (actor, target) pair satisfies."""
+        actor_attrs = self._lookup(self.actors, actor, "actor")
+        target_attrs = self._lookup(self.targets, target, "target")
+        return frozenset(
+            rule.name
+            for rule in self.rules
+            if rule.matches(actor_attrs, target_attrs)
+        )
+
+    def label_pair(self, actor: str, target: str) -> str | None:
+        """Composite alert type triggered by the pair (None = benign)."""
+        return self.scheme.type_for_flags(self.flags_for(actor, target))
+
+    def label_events(
+        self, events: Iterable[AccessEvent]
+    ) -> list[AlertRecord]:
+        """Alert records for every event that triggers a type.
+
+        Pair labels are memoized: audit logs contain many repeated
+        (actor, target) pairs across periods.
+        """
+        cache: dict[tuple[str, str], str | None] = {}
+        alerts: list[AlertRecord] = []
+        for event in events:
+            key = (event.actor, event.target)
+            if key not in cache:
+                cache[key] = self.label_pair(*key)
+            alert_type = cache[key]
+            if alert_type is not None:
+                alerts.append(AlertRecord.for_event(event, alert_type))
+        return alerts
+
+    def type_matrix(
+        self,
+        actor_names: Sequence[str],
+        target_names: Sequence[str],
+        type_order: Sequence[str],
+    ) -> list[list[int]]:
+        """Event→type-index matrix for a grid of potential attacks.
+
+        Rows follow ``actor_names``, columns ``target_names``; entries are
+        indices into ``type_order`` or -1 (benign) — the shape consumed by
+        :meth:`repro.core.attack_map.AttackTypeMap.from_type_matrix`.
+        """
+        index = {name: i for i, name in enumerate(type_order)}
+        matrix: list[list[int]] = []
+        for actor in actor_names:
+            row: list[int] = []
+            for target in target_names:
+                label = self.label_pair(actor, target)
+                if label is None:
+                    row.append(-1)
+                elif label in index:
+                    row.append(index[label])
+                else:
+                    raise KeyError(
+                        f"pair ({actor}, {target}) triggers {label!r} "
+                        "which is missing from type_order"
+                    )
+            matrix.append(row)
+        return matrix
+
+    @staticmethod
+    def _lookup(
+        directory: Mapping[str, Attributes], name: str, kind: str
+    ) -> Attributes:
+        try:
+            return directory[name]
+        except KeyError:
+            raise KeyError(f"unknown {kind} {name!r}") from None

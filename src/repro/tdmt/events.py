@@ -1,0 +1,58 @@
+"""Event and alert records for the TDMT substrate.
+
+The threat detection and misuse tracking (TDMT) module of the paper
+observes raw access events — "employee e touched record v during period
+d" — and emits typed alerts.  These lightweight records are the wire
+format between the log simulators (:mod:`repro.datasets.emr`,
+:mod:`repro.datasets.credit`), the rule engine and the aggregation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessEvent", "AlertRecord"]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One raw access: ``actor`` touched ``target`` in period ``period``.
+
+    ``period`` is an integer audit-period index (a workday in the EMR
+    setting, an application batch in the credit setting).
+    """
+
+    period: int
+    actor: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise ValueError(f"period must be >= 0, got {self.period}")
+        if not self.actor or not self.target:
+            raise ValueError("actor and target must be non-empty")
+
+    @property
+    def key(self) -> tuple[int, str, str]:
+        """Identity used for repeated-access filtering."""
+        return (self.period, self.actor, self.target)
+
+
+@dataclass(frozen=True)
+class AlertRecord:
+    """A typed alert raised for an access event."""
+
+    period: int
+    actor: str
+    target: str
+    alert_type: str
+
+    @classmethod
+    def for_event(cls, event: AccessEvent, alert_type: str) -> "AlertRecord":
+        """Attach a type label to an event."""
+        return cls(
+            period=event.period,
+            actor=event.actor,
+            target=event.target,
+            alert_type=alert_type,
+        )

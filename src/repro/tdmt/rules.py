@@ -1,0 +1,89 @@
+"""Predicate rules and composite alert typing.
+
+Rule-based TDMTs flag an access when a *relationship predicate* between
+the actor and the target holds — "employee and patient share the same
+last name", "…work in the same department", and so on (Section V-A).
+One access can satisfy several base predicates at once; the paper handles
+this by redefining the alert-type catalog over *combinations* of base
+flags (Table VIII: "Last Name; Same address; Neighbor" is its own type).
+:class:`CompositeScheme` implements that redefinition: it maps each exact
+flag combination to a composite alert type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["RelationshipRule", "CompositeScheme"]
+
+Attributes = Mapping[str, Any]
+Predicate = Callable[[Attributes, Attributes], bool]
+
+
+@dataclass(frozen=True)
+class RelationshipRule:
+    """A named base predicate over (actor attributes, target attributes)."""
+
+    name: str
+    predicate: Predicate
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule name must not be empty")
+
+    def matches(self, actor: Attributes, target: Attributes) -> bool:
+        """Evaluate the predicate (exceptions propagate to the caller)."""
+        return bool(self.predicate(actor, target))
+
+
+@dataclass(frozen=True)
+class CompositeScheme:
+    """Map exact base-flag combinations to composite alert types.
+
+    ``combos`` associates a frozenset of base-rule names with the name of
+    the composite alert type it defines.  Combinations not present in the
+    map are unnamed: by default they raise (to surface calibration bugs),
+    or they can be ignored (treated as benign) with ``strict=False`` —
+    matching deployments that only audit predefined categories.
+    """
+
+    combos: Mapping[frozenset[str], str]
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.combos:
+            raise ValueError("scheme needs at least one combination")
+        names = list(self.combos.values())
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate composite type names in {names}")
+        object.__setattr__(self, "combos", dict(self.combos))
+
+    @classmethod
+    def identity(cls, rule_names: Sequence[str]) -> "CompositeScheme":
+        """One composite type per single base rule (no true composites)."""
+        return cls(
+            {frozenset((name,)): name for name in rule_names},
+            strict=False,
+        )
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Composite type names in deterministic (sorted-combo) order."""
+        ordered = sorted(
+            self.combos.items(), key=lambda kv: (len(kv[0]), sorted(kv[0]))
+        )
+        return tuple(name for _, name in ordered)
+
+    def type_for_flags(self, flags: frozenset[str]) -> str | None:
+        """Composite type for a set of raised base flags (None = benign)."""
+        if not flags:
+            return None
+        name = self.combos.get(flags)
+        if name is None and self.strict:
+            raise KeyError(
+                f"no composite alert type defined for flag combination "
+                f"{sorted(flags)}"
+            )
+        return name

@@ -1,0 +1,55 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.analysis.cli import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "table4", "table5", "table6", "table7",
+            "fig1", "fig2",
+        }
+
+
+class TestMain:
+    def test_writes_selected_artifact(self, tmp_path, monkeypatch):
+        # Patch in a stub experiment so the CLI test stays fast.
+        monkeypatch.setitem(
+            EXPERIMENTS, "table3", lambda full: "stub-table"
+        )
+        code = main(["--out", str(tmp_path), "--only", "table3"])
+        assert code == 0
+        artifact = tmp_path / "table3.txt"
+        assert artifact.read_text() == "stub-table\n"
+
+    def test_full_flag_forwarded(self, tmp_path, monkeypatch):
+        seen = {}
+
+        def probe(full):
+            seen["full"] = full
+            return "x"
+
+        monkeypatch.setitem(EXPERIMENTS, "fig1", probe)
+        main(["--out", str(tmp_path), "--only", "fig1", "--full"])
+        assert seen["full"] is True
+
+    def test_rejects_unknown_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--out", str(tmp_path), "--only", "table99"])
+
+    def test_runs_real_small_experiment(self, tmp_path, monkeypatch):
+        # Shrink table3 to one budget to keep this an actual end-to-end
+        # check without the full fast grid.
+        from repro.analysis import run_table3
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table3",
+            lambda full: run_table3(budgets=(2,)).to_text(),
+        )
+        main(["--out", str(tmp_path), "--only", "table3"])
+        text = (tmp_path / "table3.txt").read_text()
+        assert "Optimal Threshold" in text
+        assert "[1, 1, 1, 1]" in text

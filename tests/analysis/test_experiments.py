@@ -1,0 +1,108 @@
+"""Experiment runners on reduced grids (the bench harness building blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    run_ishm_grid,
+    run_loss_figure,
+    run_table3,
+    run_table6,
+)
+from repro.datasets import syn_a
+
+
+@pytest.fixture(scope="module")
+def small_table3():
+    return run_table3(budgets=(2, 10))
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return run_ishm_grid(budgets=(2, 10), step_sizes=(0.25, 0.5))
+
+
+class TestTable3:
+    def test_objectives_decrease_with_budget(self, small_table3):
+        objectives = small_table3.objectives()
+        assert objectives[0] > objectives[1]
+
+    def test_b2_matches_paper_thresholds(self, small_table3):
+        row = small_table3.rows[0]
+        assert row.thresholds.astype(int).tolist() == [1, 1, 1, 1]
+        assert row.objective == pytest.approx(12.2945, abs=0.1)
+
+    def test_mixed_strategy_valid(self, small_table3):
+        for row in small_table3.rows:
+            assert np.isclose(sum(row.support_probabilities), 1.0)
+            assert len(row.support_orderings) == len(
+                row.support_probabilities
+            )
+
+    def test_to_text_is_table_shaped(self, small_table3):
+        text = small_table3.to_text()
+        assert "Optimal Threshold" in text
+        assert "12." in text
+
+
+class TestIshmGrid:
+    def test_grid_shape(self, small_grid):
+        assert len(small_grid.cells) == 2
+        assert len(small_grid.cells[0]) == 2
+
+    def test_objectives_decrease_with_budget(self, small_grid):
+        for j in range(2):
+            assert small_grid.cells[0][j].objective > \
+                small_grid.cells[1][j].objective
+
+    def test_lp_calls_positive(self, small_grid):
+        for row in small_grid.lp_call_grid():
+            assert all(c > 0 for c in row)
+
+    def test_coarser_step_explores_less(self, small_grid):
+        # Table VII trend: larger eps -> fewer vectors checked.
+        calls = small_grid.lp_call_grid()
+        assert calls[0][1] <= calls[0][0]
+        assert calls[1][1] <= calls[1][0]
+
+    def test_text_renderings(self, small_grid):
+        assert "eps=0.25" in small_grid.to_text()
+        assert "eps" in small_grid.exploration_text()
+
+
+class TestTable6:
+    def test_gamma_in_unit_range(self, small_table3, small_grid):
+        result = run_table6(small_table3, small_grid)
+        assert all(0.0 < g <= 1.0 for g in result.gamma_ishm)
+
+    def test_high_precision_at_fine_step(self, small_table3,
+                                         small_grid):
+        result = run_table6(small_table3, small_grid)
+        # eps=0.25 should be close to optimal on these budgets.
+        assert result.gamma_ishm[0] > 0.95
+
+    def test_includes_cggs_when_given(self, small_table3, small_grid):
+        result = run_table6(small_table3, small_grid,
+                            cggs_grid=small_grid)
+        assert result.gamma_cggs == result.gamma_ishm
+        assert "gamma2" in result.to_text()
+
+
+class TestLossFigure:
+    def test_small_figure_runs(self):
+        curves = run_loss_figure(
+            game_factory=lambda budget: syn_a(budget=budget),
+            dataset="syn-a",
+            budgets=(2, 20),
+            step_sizes=(0.5,),
+            n_scenarios=200,
+            n_random_orderings=12,
+            n_threshold_draws=4,
+        )
+        proposed = curves.proposed[0.5]
+        assert len(proposed) == 2
+        assert proposed[0] > proposed[1]  # loss falls with budget
+        # The proposed policy is never beaten by the baselines.
+        assert proposed[0] <= curves.random_orders[0] + 1e-9
+        assert proposed[0] <= curves.benefit_greedy[0] + 1e-9
+        assert "proposed" in curves.to_text()

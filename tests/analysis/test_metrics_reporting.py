@@ -1,0 +1,71 @@
+"""Analysis metrics and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    exploration_ratio,
+    format_thresholds,
+    mean_relative_precision,
+    relative_errors,
+    render_series,
+    render_table,
+)
+
+
+class TestMetrics:
+    def test_relative_errors(self):
+        errors = relative_errors([11.0, 9.0], [10.0, 10.0])
+        assert np.allclose(errors, [0.1, 0.1])
+
+    def test_precision_complement(self):
+        gamma = mean_relative_precision([11.0, 9.0], [10.0, 10.0])
+        assert gamma == pytest.approx(0.9)
+
+    def test_perfect_precision(self):
+        assert mean_relative_precision([5.0], [5.0]) == 1.0
+
+    def test_negative_optimal_values(self):
+        # Table III objectives go negative; |S| handles the sign.
+        gamma = mean_relative_precision([-2.0], [-2.1314])
+        assert 0.9 < gamma < 1.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0], [1.0, 2.0])
+
+    def test_rejects_zero_optimal(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0], [0.0])
+
+    def test_exploration_ratio(self):
+        ratios = exploration_ratio([128, 64], 7680)
+        assert np.allclose(ratios, [128 / 7680, 64 / 7680])
+
+    def test_exploration_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            exploration_ratio([1], 0)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_format_thresholds_integers(self):
+        assert format_thresholds([3.0, 3.0]) == "[3, 3]"
+
+    def test_format_thresholds_fractional(self):
+        assert format_thresholds([2.5]) == "[2.50]"
+
+    def test_render_series(self):
+        text = render_series("loss", [10, 20], [1.5, 0.25])
+        assert "loss" in text and "(10, 1.50)" in text

@@ -1,0 +1,97 @@
+"""AttackTypeMap: construction, validation, detection probabilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import BENIGN, AttackTypeMap
+
+
+class TestFromTypeMatrix:
+    def test_one_hot_tensor(self):
+        matrix = np.array([[0, 1], [BENIGN, 0]])
+        amap = AttackTypeMap.from_type_matrix(matrix, n_types=2)
+        probs = amap.probabilities
+        assert probs.shape == (2, 2, 2)
+        assert probs[0, 0, 0] == 1.0
+        assert probs[0, 1, 1] == 1.0
+        assert probs[1, 0].sum() == 0.0
+
+    def test_stochastic_trigger(self):
+        matrix = np.array([[0]])
+        amap = AttackTypeMap.from_type_matrix(
+            matrix, n_types=1, trigger_probability=0.7
+        )
+        assert np.isclose(amap.probabilities[0, 0, 0], 0.7)
+
+    def test_roundtrip(self):
+        matrix = np.array([[2, BENIGN, 1], [0, 0, BENIGN]])
+        amap = AttackTypeMap.from_type_matrix(matrix, n_types=3)
+        assert np.array_equal(amap.deterministic_types(), matrix)
+
+    def test_rejects_out_of_range_types(self):
+        with pytest.raises(ValueError):
+            AttackTypeMap.from_type_matrix(np.array([[5]]), n_types=2)
+
+    def test_rejects_bad_trigger_probability(self):
+        with pytest.raises(ValueError):
+            AttackTypeMap.from_type_matrix(
+                np.array([[0]]), n_types=1, trigger_probability=0.0
+            )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            AttackTypeMap.from_type_matrix(np.zeros(3), n_types=1)
+
+
+class TestValidation:
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            AttackTypeMap(-np.ones((1, 1, 1)))
+
+    def test_rejects_super_stochastic_rows(self):
+        probs = np.full((1, 1, 2), 0.7)
+        with pytest.raises(ValueError):
+            AttackTypeMap(probs)
+
+    def test_single_type_check(self):
+        probs = np.zeros((1, 1, 2))
+        probs[0, 0] = [0.4, 0.4]
+        amap = AttackTypeMap(probs)
+        with pytest.raises(ValueError, match="at most one"):
+            amap.validate_single_type()
+
+    def test_single_type_check_passes_one_hot(self):
+        amap = AttackTypeMap.from_type_matrix(
+            np.array([[0, 1]]), n_types=2
+        )
+        amap.validate_single_type()
+
+
+class TestDetection:
+    def test_detection_probability_eq2(self):
+        # Pat = sum_t P[e,v,t] * Pal[t].
+        probs = np.zeros((1, 2, 3))
+        probs[0, 0, 1] = 1.0
+        probs[0, 1, 2] = 0.5
+        amap = AttackTypeMap(probs)
+        pal = np.array([0.9, 0.4, 0.8])
+        pat = amap.detection_probability(pal)
+        assert np.isclose(pat[0, 0], 0.4)
+        assert np.isclose(pat[0, 1], 0.4)
+
+    def test_detection_rejects_bad_pal_shape(self):
+        amap = AttackTypeMap.from_type_matrix(np.array([[0]]), n_types=1)
+        with pytest.raises(ValueError):
+            amap.detection_probability(np.zeros(2))
+
+    def test_deterministic_types_rejects_stochastic(self):
+        amap = AttackTypeMap.from_type_matrix(
+            np.array([[0]]), n_types=1, trigger_probability=0.5
+        )
+        with pytest.raises(ValueError):
+            amap.deterministic_types()
+
+    def test_probabilities_readonly(self):
+        amap = AttackTypeMap.from_type_matrix(np.array([[0]]), n_types=1)
+        with pytest.raises(ValueError):
+            amap.probabilities[0, 0, 0] = 0.5

@@ -1,0 +1,42 @@
+"""Adversary / Victim / Event records."""
+
+import pytest
+
+from repro.core import Adversary, Event, Victim
+
+
+class TestAdversary:
+    def test_defaults(self):
+        a = Adversary("nurse-7")
+        assert a.attack_probability == 1.0
+        assert dict(a.attributes) == {}
+
+    def test_attributes(self):
+        a = Adversary("e", attributes={"dept": "oncology"})
+        assert a.attributes["dept"] == "oncology"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Adversary("")
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            Adversary("e", attack_probability=1.5)
+        with pytest.raises(ValueError):
+            Adversary("e", attack_probability=-0.1)
+
+
+class TestVictim:
+    def test_basic(self):
+        v = Victim("record-12")
+        assert v.name == "record-12"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Victim("")
+
+
+class TestEvent:
+    def test_pairing(self):
+        event = Event(adversary="e1", victim="v9")
+        assert (event.adversary, event.victim) == ("e1", "v9")

@@ -1,0 +1,86 @@
+"""PayoffModel: eq. 3 utilities and the auditor objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import PayoffModel
+
+
+def make_payoffs(**overrides):
+    kwargs = dict(
+        n_adversaries=2,
+        n_victims=2,
+        benefit=np.array([[4.0, 0.0], [2.0, 6.0]]),
+        penalty=5.0,
+        attack_cost=0.5,
+        attack_prior=1.0,
+    )
+    kwargs.update(overrides)
+    return PayoffModel.create(**kwargs)
+
+
+class TestCreate:
+    def test_scalar_broadcast(self):
+        p = make_payoffs()
+        assert p.penalty.shape == (2, 2)
+        assert np.all(p.penalty == 5.0)
+        assert p.attack_prior.shape == (2,)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            make_payoffs(benefit=np.ones((3, 2)))
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            make_payoffs(penalty=-1.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            make_payoffs(attack_cost=-0.1)
+
+    def test_rejects_prior_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_payoffs(attack_prior=1.5)
+
+    def test_rejects_bad_prior_shape(self):
+        with pytest.raises(ValueError):
+            make_payoffs(attack_prior=np.array([0.5, 0.5, 0.5]))
+
+
+class TestUtilityMatrix:
+    def test_eq3_by_hand(self):
+        # Ua = -Pat*M + (1 - Pat)*R - K.
+        p = make_payoffs()
+        pat = np.array([[0.5, 0.0], [1.0, 0.25]])
+        ua = p.utility_matrix(pat)
+        assert np.isclose(ua[0, 0], -0.5 * 5 + 0.5 * 4 - 0.5)
+        assert np.isclose(ua[0, 1], 0.0 - 0.5)  # benign: R=0
+        assert np.isclose(ua[1, 0], -5.0 - 0.5)  # always caught
+        assert np.isclose(ua[1, 1], -0.25 * 5 + 0.75 * 6 - 0.5)
+
+    def test_no_detection_gives_r_minus_k(self):
+        p = make_payoffs()
+        ua = p.utility_matrix(np.zeros((2, 2)))
+        assert np.allclose(ua, p.benefit - p.attack_cost)
+
+    def test_utility_decreases_with_detection(self):
+        p = make_payoffs()
+        low = p.utility_matrix(np.full((2, 2), 0.2))
+        high = p.utility_matrix(np.full((2, 2), 0.8))
+        assert np.all(high <= low)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            make_payoffs().utility_matrix(np.zeros((3, 3)))
+
+
+class TestAuditorLoss:
+    def test_weighted_sum(self):
+        p = make_payoffs(attack_prior=np.array([0.5, 1.0]))
+        assert np.isclose(
+            p.auditor_loss(np.array([2.0, 3.0])), 0.5 * 2 + 3.0
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            make_payoffs().auditor_loss(np.zeros(3))

@@ -1,0 +1,157 @@
+"""Credit synthesizer, Table IX rules, and the Rea B game."""
+
+import numpy as np
+import pytest
+
+from repro.core import BENIGN
+from repro.datasets import (
+    CREDIT_BENEFITS,
+    CREDIT_PURPOSES,
+    CREDIT_TYPE_NAMES,
+    CREDIT_TYPE_STATS,
+    alert_type_for,
+    rea_b,
+    simulate_credit_batches,
+    synthesize_applicants,
+)
+
+
+class TestAlertRules:
+    def test_no_checking_fires_for_every_purpose(self):
+        attrs = {
+            "checking_status": "none",
+            "job": "skilled",
+            "credit_history": "existing-paid",
+        }
+        for purpose in CREDIT_PURPOSES:
+            assert alert_type_for(attrs, purpose) == 0
+
+    def test_overdrawn_car_education(self):
+        attrs = {
+            "checking_status": "<0",
+            "job": "skilled",
+            "credit_history": "existing-paid",
+        }
+        assert alert_type_for(attrs, "new-car") == 1
+        assert alert_type_for(attrs, "education") == 1
+        assert alert_type_for(attrs, "repairs") == BENIGN
+
+    def test_positive_unskilled_education(self):
+        attrs = {
+            "checking_status": "0<=x<200",
+            "job": "unskilled",
+            "credit_history": "existing-paid",
+        }
+        assert alert_type_for(attrs, "education") == 2
+
+    def test_positive_unskilled_appliance(self):
+        attrs = {
+            "checking_status": ">=200",
+            "job": "unskilled",
+            "credit_history": "all-paid",
+        }
+        for purpose in (
+            "furniture-equipment", "radio-television",
+            "domestic-appliances",
+        ):
+            assert alert_type_for(attrs, purpose) == 3
+
+    def test_positive_critical_business(self):
+        attrs = {
+            "checking_status": "0<=x<200",
+            "job": "skilled",
+            "credit_history": "critical",
+        }
+        assert alert_type_for(attrs, "business") == 4
+        assert alert_type_for(attrs, "repairs") == BENIGN
+
+    def test_priority_no_checking_wins(self):
+        # A no-checking unskilled education applicant is type 1, not 3.
+        attrs = {
+            "checking_status": "none",
+            "job": "unskilled",
+            "credit_history": "critical",
+        }
+        assert alert_type_for(attrs, "education") == 0
+
+    def test_rejects_unknown_purpose(self):
+        attrs = {
+            "checking_status": "none",
+            "job": "skilled",
+            "credit_history": "critical",
+        }
+        with pytest.raises(ValueError):
+            alert_type_for(attrs, "yacht")
+
+
+class TestSynthesizer:
+    def test_attribute_domains(self, rng):
+        for applicant in synthesize_applicants(200, rng):
+            assert applicant.checking_status in (
+                "<0", "0<=x<200", ">=200", "none"
+            )
+            assert applicant.declared_purpose in CREDIT_PURPOSES
+            assert 4 <= applicant.duration_months <= 72
+            assert 19 <= applicant.age <= 75
+
+    def test_marginals_roughly_statlog(self, rng):
+        applicants = synthesize_applicants(4000, rng)
+        none_share = np.mean(
+            [a.checking_status == "none" for a in applicants]
+        )
+        assert abs(none_share - 0.394) < 0.03
+
+    def test_rejects_bad_count(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_applicants(0, rng)
+
+    def test_batch_counts_near_table9(self, rng):
+        counts = simulate_credit_batches(n_periods=6, rng=rng)
+        for name, (mean, _) in zip(
+            CREDIT_TYPE_NAMES, CREDIT_TYPE_STATS
+        ):
+            observed = counts[name].mean()
+            assert abs(observed - mean) < max(0.5 * mean, 10.0)
+
+
+class TestReaBGame:
+    @pytest.fixture(scope="class")
+    def game(self):
+        return rea_b(budget=100)
+
+    def test_dimensions(self, game):
+        assert game.n_types == 5
+        assert game.n_adversaries == 100
+        assert game.n_victims == 8
+
+    def test_every_adversary_generates_an_alert(self, game):
+        matrix = game.attack_map.deterministic_types()
+        assert np.all((matrix != BENIGN).any(axis=1))
+
+    def test_published_distributions(self, game):
+        for model, (mean, std) in zip(
+            game.counts.marginals, CREDIT_TYPE_STATS
+        ):
+            assert model.mean_param == pytest.approx(mean)
+
+    def test_benefits(self, game):
+        matrix = game.attack_map.deterministic_types()
+        for t in range(5):
+            mask = matrix == t
+            if mask.any():
+                assert np.all(
+                    game.payoffs.benefit[mask] == CREDIT_BENEFITS[t]
+                )
+
+    def test_penalty_and_refrain(self, game):
+        assert np.all(game.payoffs.penalty == 20.0)
+        assert game.payoffs.attackers_can_refrain
+
+    def test_simulated_mode(self):
+        game = rea_b(budget=50, distributions="simulated",
+                     n_periods=4)
+        assert game.counts.marginals[0].mean() > 200.0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            rea_b(distributions="guesswork")

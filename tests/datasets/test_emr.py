@@ -1,0 +1,118 @@
+"""EMR world, log simulation and the Rea A game."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    EMR_BENEFITS,
+    EMR_TYPE_NAMES,
+    EMR_TYPE_STATS,
+    EMRConfig,
+    build_emr_world,
+    rea_a,
+    simulate_emr_log,
+)
+from repro.tdmt import filter_repeated_accesses, period_type_counts
+
+SMALL = EMRConfig(
+    n_days=4,
+    pool_margin=1.05,
+    benign_daily_mean=150.0,
+    benign_daily_std=20.0,
+    seed=99,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_emr_world(SMALL)
+
+
+@pytest.fixture(scope="module")
+def log(world):
+    return simulate_emr_log(world)
+
+
+class TestWorld:
+    def test_pools_cover_targets(self, world):
+        for k, (mean, std) in enumerate(EMR_TYPE_STATS):
+            assert len(world.pair_pools[k]) >= mean + 4 * std
+
+    def test_pool_pairs_have_exact_type(self, world):
+        # Every planted pair must label as exactly its pool's type; the
+        # strict scheme raises if an unnamed combination ever arises.
+        for k, pool in enumerate(world.pair_pools):
+            for employee, patient in pool[:25]:
+                assert world.engine.label_pair(employee, patient) == \
+                    EMR_TYPE_NAMES[k]
+
+    def test_benign_pairs_are_benign(self, world):
+        for employee, patient in world.benign_pairs[:25]:
+            assert world.engine.label_pair(employee, patient) is None
+
+    def test_disjoint_roles(self, world):
+        assert not set(world.employees) & set(world.patients)
+
+
+class TestLog:
+    def test_repeat_fraction_near_paper(self, log):
+        assert abs(log.repeat_fraction - 0.795) < 0.05
+
+    def test_periods_in_range(self, log):
+        periods = {event.period for event in log.events}
+        assert periods <= set(range(SMALL.n_days))
+
+    def test_calibration_rough(self, world, log):
+        distinct, _ = filter_repeated_accesses(log.events)
+        alerts = world.engine.label_events(distinct)
+        counts = period_type_counts(
+            alerts, EMR_TYPE_NAMES, SMALL.n_days
+        )
+        for name, (mean, std) in zip(EMR_TYPE_NAMES, EMR_TYPE_STATS):
+            observed = counts[name].mean()
+            # 4 periods only: allow a wide tolerance band.
+            assert abs(observed - mean) < max(3.0 * std, 10.0)
+
+
+class TestReaAGame:
+    @pytest.fixture(scope="class")
+    def game(self):
+        return rea_a(budget=40, config=SMALL)
+
+    def test_dimensions(self, game):
+        assert game.n_types == 7
+        assert game.n_adversaries == 50
+        assert game.n_victims == 50
+
+    def test_published_distributions(self, game):
+        for model, (mean, std) in zip(
+            game.counts.marginals, EMR_TYPE_STATS
+        ):
+            assert model.mean_param == pytest.approx(mean)
+            assert model.std_param == pytest.approx(std)
+
+    def test_every_type_present_in_grid(self, game):
+        matrix = game.attack_map.deterministic_types()
+        present = set(matrix[matrix >= 0].tolist())
+        assert present == set(range(7))
+
+    def test_benefit_vector(self, game):
+        matrix = game.attack_map.deterministic_types()
+        benefit = game.payoffs.benefit
+        for t in range(7):
+            mask = matrix == t
+            assert np.all(benefit[mask] == EMR_BENEFITS[t])
+
+    def test_refrain_allowed(self, game):
+        assert game.payoffs.attackers_can_refrain
+
+    def test_simulated_distributions_mode(self):
+        game = rea_a(budget=40, config=SMALL,
+                     distributions="simulated")
+        means = [m.mean() for m in game.counts.marginals]
+        # Learned means should be in the right ballpark of Table VIII.
+        assert means[0] > 50.0  # same-last-name is the biggest type
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            rea_a(distributions="guesswork", config=SMALL)

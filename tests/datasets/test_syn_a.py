@@ -1,0 +1,105 @@
+"""Syn A: exact Table II reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.core import BENIGN
+from repro.datasets import (
+    SYN_A_BENEFITS,
+    SYN_A_MEANS,
+    SYN_A_RULES,
+    SYN_A_STDS,
+    syn_a,
+)
+
+
+class TestStructure:
+    def test_dimensions(self):
+        game = syn_a()
+        assert game.n_types == 4
+        assert game.n_adversaries == 5
+        assert game.n_victims == 8
+
+    def test_count_model_matches_table2a(self):
+        game = syn_a()
+        for model, mean, std in zip(
+            game.counts.marginals, SYN_A_MEANS, SYN_A_STDS
+        ):
+            assert model.mean_param == mean
+            assert model.std_param == std
+
+    def test_coverage_halfwidths(self):
+        # Table IIa's 99.5% coverage row: +/- (5, 4, 3, 3).
+        game = syn_a()
+        halves = [m.halfwidth for m in game.counts.marginals]
+        assert halves == [5, 4, 3, 3]
+
+    def test_upper_bounds_match_paper(self):
+        # J = mean + coverage = [11, 9, 7, 7].
+        game = syn_a()
+        assert game.counts.upper_bounds().tolist() == [11, 9, 7, 7]
+
+    def test_rule_matrix_matches_table2b(self):
+        game = syn_a()
+        matrix = game.attack_map.deterministic_types()
+        assert np.array_equal(matrix, np.asarray(SYN_A_RULES))
+        # Spot-check the published cells (1-indexed in the paper).
+        assert matrix[0, 0] == BENIGN  # e1/r1 is "-"
+        assert matrix[0, 7] == 0       # e1/r8 is type 1
+        assert matrix[4, 3] == 3       # e5/r4 is type 4
+
+    def test_benefits_follow_types(self):
+        game = syn_a()
+        matrix = game.attack_map.deterministic_types()
+        benefit = game.payoffs.benefit
+        for e in range(5):
+            for v in range(8):
+                if matrix[e, v] == BENIGN:
+                    assert benefit[e, v] == 0.0
+                else:
+                    assert benefit[e, v] == SYN_A_BENEFITS[
+                        matrix[e, v]
+                    ]
+
+    def test_penalty_and_costs(self):
+        game = syn_a()
+        assert np.all(game.payoffs.penalty == 4.0)
+        assert np.all(game.payoffs.attack_cost == 0.4)
+        assert np.all(game.costs == 1.0)
+
+    def test_no_refrain_option(self):
+        # Table III's objective goes negative: attackers must attack.
+        assert not syn_a().payoffs.attackers_can_refrain
+
+    def test_budget_parameter(self):
+        assert syn_a(budget=14).budget == 14.0
+
+    def test_exact_scenarios_available(self):
+        game = syn_a()
+        assert game.counts.n_exact_scenarios() == 11 * 9 * 7 * 7
+
+
+class TestPublishedValues:
+    """Anchors against Table III at the published thresholds."""
+
+    @pytest.mark.parametrize(
+        "budget,thresholds,paper_value,tolerance",
+        [
+            (2, [1, 1, 1, 1], 12.2945, 0.1),
+            (4, [2, 1, 1, 2], 7.7176, 0.15),
+            (6, [2, 2, 2, 2], 3.2651, 0.2),
+        ],
+    )
+    def test_objective_close_to_paper(
+        self, budget, thresholds, paper_value, tolerance
+    ):
+        from repro.solvers import EnumerationSolver
+
+        game = syn_a(budget=budget)
+        scenarios = game.scenario_set()
+        solution = EnumerationSolver(game, scenarios).solve(
+            np.asarray(thresholds, dtype=float)
+        )
+        assert solution.objective == pytest.approx(
+            paper_value, abs=tolerance
+        )

@@ -1,0 +1,99 @@
+"""AlertCountModel shared behaviour: Poisson, Constant, validation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    AlertCountModel,
+    ConstantCount,
+    DiscretizedGaussian,
+    TruncatedPoisson,
+)
+
+
+class TestTruncatedPoisson:
+    def test_support_starts_at_zero(self):
+        model = TruncatedPoisson(rate=4.0)
+        assert model.min_count == 0
+
+    def test_pmf_sums_to_one(self):
+        model = TruncatedPoisson(rate=4.0)
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_mean_near_rate(self):
+        model = TruncatedPoisson(rate=9.0)
+        assert abs(model.mean() - 9.0) < 0.2
+
+    def test_coverage_extends_support(self):
+        narrow = TruncatedPoisson(rate=5.0, coverage=0.9)
+        wide = TruncatedPoisson(rate=5.0, coverage=0.9999)
+        assert wide.max_count > narrow.max_count
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TruncatedPoisson(rate=0.0)
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            TruncatedPoisson(rate=2.0, coverage=0.2)
+
+
+class TestConstantCount:
+    def test_point_mass(self):
+        model = ConstantCount(5)
+        assert model.pmf(5) == 1.0
+        assert model.pmf(4) == 0.0
+        assert model.mean() == 5.0
+        assert model.std() == 0.0
+
+    def test_sampling_is_constant(self, rng):
+        model = ConstantCount(3)
+        assert np.all(model.sample(rng, 10) == 3)
+
+    def test_zero_allowed(self):
+        assert ConstantCount(0).max_count == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantCount(-1)
+
+
+class TestSharedBehaviour:
+    @pytest.fixture(params=["gaussian", "poisson", "constant"])
+    def model(self, request) -> AlertCountModel:
+        return {
+            "gaussian": DiscretizedGaussian(6.0, 2.0),
+            "poisson": TruncatedPoisson(4.0),
+            "constant": ConstantCount(4),
+        }[request.param]
+
+    def test_support_matches_bounds(self, model):
+        support = model.support()
+        assert support[0] == model.min_count
+        assert support[-1] == model.max_count
+
+    def test_cdf_monotone(self, model):
+        values = model.cdf(model.support())
+        values = np.atleast_1d(values)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_quantile_extremes(self, model):
+        assert model.quantile(0.0) == model.min_count
+        assert model.quantile(1.0) == model.max_count
+
+    def test_quantile_rejects_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.quantile(1.5)
+
+    def test_validate_all_accepts(self, model):
+        AlertCountModel.validate_all([model])
+
+
+class TestValidateAll:
+    def test_flags_bad_pmf(self):
+        class Broken(ConstantCount):
+            def pmf(self, count):
+                return np.zeros_like(np.atleast_1d(count), dtype=float)
+
+        with pytest.raises(ValueError, match="sums to"):
+            AlertCountModel.validate_all([Broken(1)])

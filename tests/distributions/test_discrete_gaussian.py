@@ -1,0 +1,109 @@
+"""DiscretizedGaussian: Table II coverage, pmf shape, truncation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscretizedGaussian, coverage_halfwidth
+
+
+class TestCoverageHalfwidth:
+    def test_reproduces_table2_values(self):
+        # Table II: std (2, 1.6, 1.3, 1) -> coverage +/- (5, 4, 3, 3).
+        assert coverage_halfwidth(2.0) == 5
+        assert coverage_halfwidth(1.6) == 4
+        assert coverage_halfwidth(1.3) == 3
+        assert coverage_halfwidth(1.0) == 3
+
+    def test_minimum_width_is_one(self):
+        assert coverage_halfwidth(0.01) == 1
+
+    def test_scales_with_coverage(self):
+        assert coverage_halfwidth(2.0, 0.9999) > coverage_halfwidth(2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            coverage_halfwidth(0.0)
+        with pytest.raises(ValueError):
+            coverage_halfwidth(1.0, coverage=0.4)
+        with pytest.raises(ValueError):
+            coverage_halfwidth(1.0, coverage=1.0)
+
+
+class TestDiscretizedGaussian:
+    def test_syn_a_type1_support(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        assert model.min_count == 1
+        assert model.max_count == 11
+
+    def test_pmf_sums_to_one(self):
+        model = DiscretizedGaussian(mean=5.0, std=1.6)
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_pmf_zero_outside_support(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        assert model.pmf(0) == 0.0
+        assert model.pmf(12) == 0.0
+        assert model.pmf(-3) == 0.0
+
+    def test_pmf_peaks_at_mean(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        pmf = model.support_pmf()
+        assert np.argmax(pmf) == 6 - model.min_count
+
+    def test_pmf_symmetry_around_integer_mean(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        assert np.isclose(model.pmf(4), model.pmf(8), rtol=1e-9)
+
+    def test_mean_close_to_parameter(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        assert abs(model.mean() - 6.0) < 0.05
+
+    def test_std_close_to_parameter(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        # Truncation shrinks the std slightly.
+        assert 1.7 < model.std() <= 2.05
+
+    def test_floor_clips_support(self):
+        model = DiscretizedGaussian(mean=1.0, std=2.0, floor_count=0)
+        assert model.min_count == 0
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_floor_count_one(self):
+        model = DiscretizedGaussian(mean=2.0, std=2.0, floor_count=1)
+        assert model.min_count == 1
+
+    def test_cdf_reaches_one(self):
+        model = DiscretizedGaussian(mean=4.0, std=1.3)
+        assert np.isclose(model.cdf(model.max_count), 1.0)
+        assert model.cdf(model.min_count - 1) == 0.0
+
+    def test_cdf_vectorized(self):
+        model = DiscretizedGaussian(mean=4.0, std=1.0)
+        values = model.cdf(np.array([0, 4, 7]))
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_quantile_roundtrip(self):
+        model = DiscretizedGaussian(mean=6.0, std=2.0)
+        q = model.quantile(0.5)
+        assert model.cdf(q) >= 0.5
+        assert model.cdf(q - 1) < 0.5
+
+    def test_sampling_matches_pmf(self, rng):
+        model = DiscretizedGaussian(mean=4.0, std=1.0)
+        samples = model.sample(rng, 20_000)
+        assert samples.min() >= model.min_count
+        assert samples.max() <= model.max_count
+        assert abs(samples.mean() - model.mean()) < 0.05
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(ValueError):
+            DiscretizedGaussian(mean=5.0, std=0.0)
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            DiscretizedGaussian(mean=5.0, std=1.0, floor_count=-1)
+
+    def test_repr_mentions_parameters(self):
+        text = repr(DiscretizedGaussian(mean=6.0, std=2.0))
+        assert "6.0" in text and "2.0" in text

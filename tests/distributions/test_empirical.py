@@ -1,0 +1,72 @@
+"""EmpiricalCounts: fitting, truncation, pmf queries."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalCounts
+
+
+class TestFromSamples:
+    def test_simple_fit(self):
+        model = EmpiricalCounts.from_samples([2, 2, 3, 5])
+        assert model.min_count == 2
+        assert model.max_count == 5
+        assert np.isclose(model.pmf(2), 0.5)
+        assert np.isclose(model.pmf(3), 0.25)
+        assert model.pmf(4) == 0.0
+
+    def test_mean_matches_samples(self):
+        samples = [1, 4, 4, 7, 9]
+        model = EmpiricalCounts.from_samples(samples)
+        assert np.isclose(model.mean(), np.mean(samples))
+
+    def test_coverage_truncates_tail(self):
+        samples = [1] * 98 + [50, 60]
+        model = EmpiricalCounts.from_samples(samples, coverage=0.98)
+        assert model.max_count == 1
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_full_coverage_keeps_tail(self):
+        model = EmpiricalCounts.from_samples([1] * 98 + [50, 60])
+        assert model.max_count == 60
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts.from_samples([])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts.from_samples([3, -1])
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts.from_samples([1, 2], coverage=0.0)
+
+
+class TestDirectConstruction:
+    def test_from_pmf_mapping(self):
+        model = EmpiricalCounts({0: 0.25, 2: 0.75})
+        assert model.min_count == 0
+        assert model.max_count == 2
+        assert model.pmf(1) == 0.0
+
+    def test_renormalizes(self):
+        model = EmpiricalCounts({1: 2.0, 2: 2.0})
+        assert np.isclose(model.pmf(1), 0.5)
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts({})
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts({1: -0.5, 2: 1.5})
+
+    def test_rejects_negative_support(self):
+        with pytest.raises(ValueError):
+            EmpiricalCounts({-1: 1.0})
+
+    def test_sampling_within_support(self, rng):
+        model = EmpiricalCounts({3: 0.5, 7: 0.5})
+        samples = model.sample(rng, 500)
+        assert set(np.unique(samples)) <= {3, 7}

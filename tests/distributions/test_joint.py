@@ -1,0 +1,135 @@
+"""JointCountModel and ScenarioSet."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    ConstantCount,
+    DiscretizedGaussian,
+    EmpiricalCounts,
+    JointCountModel,
+    ScenarioSet,
+)
+
+
+class TestScenarioSet:
+    def test_valid_construction(self):
+        sc = ScenarioSet(
+            counts=np.array([[1, 2], [3, 4]]),
+            weights=np.array([0.25, 0.75]),
+        )
+        assert sc.n_scenarios == 2
+        assert sc.n_types == 2
+
+    def test_weights_renormalized(self):
+        sc = ScenarioSet(
+            counts=np.array([[1], [2]]),
+            weights=np.array([0.5, 0.5]),
+        )
+        assert np.isclose(sc.weights.sum(), 1.0)
+
+    def test_expected_counts(self):
+        sc = ScenarioSet(
+            counts=np.array([[0, 10], [10, 0]]),
+            weights=np.array([0.3, 0.7]),
+        )
+        assert np.allclose(sc.expected_counts(), [7.0, 3.0])
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(ValueError):
+            ScenarioSet(
+                counts=np.array([[1], [2]]), weights=np.array([1.0])
+            )
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ScenarioSet(
+                counts=np.array([[-1]]), weights=np.array([1.0])
+            )
+
+    def test_rejects_unnormalized_weights(self):
+        with pytest.raises(ValueError):
+            ScenarioSet(
+                counts=np.array([[1], [2]]),
+                weights=np.array([0.2, 0.2]),
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScenarioSet(
+                counts=np.zeros((0, 2)), weights=np.zeros(0)
+            )
+
+
+class TestJointCountModel:
+    def test_exact_enumeration_matches_product(self):
+        joint = JointCountModel(
+            [EmpiricalCounts({0: 0.5, 1: 0.5}),
+             EmpiricalCounts({2: 0.25, 3: 0.75})]
+        )
+        sc = joint.exact_scenarios()
+        assert sc.exact
+        assert sc.n_scenarios == 4
+        # P(Z = (1, 3)) = 0.5 * 0.75.
+        row = np.nonzero(
+            (sc.counts == np.array([1, 3])).all(axis=1)
+        )[0]
+        assert np.isclose(sc.weights[row[0]], 0.375)
+
+    def test_exact_scenario_count(self):
+        joint = JointCountModel(
+            [DiscretizedGaussian(6, 2.0), DiscretizedGaussian(5, 1.6)]
+        )
+        assert joint.n_exact_scenarios() == 11 * 9
+        assert joint.exact_scenarios().n_scenarios == 99
+
+    def test_exact_guard(self):
+        joint = JointCountModel([ConstantCount(1), ConstantCount(2)])
+        with pytest.raises(ValueError):
+            joint.exact_scenarios(max_scenarios=0)
+
+    def test_sampling_shape_and_support(self, rng):
+        joint = JointCountModel(
+            [DiscretizedGaussian(6, 2.0), ConstantCount(4)]
+        )
+        sc = joint.sample_scenarios(100, rng)
+        assert not sc.exact
+        assert sc.counts.shape == (100, 2)
+        assert np.all(sc.counts[:, 1] == 4)
+        assert sc.counts[:, 0].min() >= 1
+
+    def test_scenarios_prefers_exact_when_small(self, rng):
+        joint = JointCountModel([ConstantCount(1), ConstantCount(2)])
+        sc = joint.scenarios(rng=rng)
+        assert sc.exact
+
+    def test_scenarios_samples_when_large(self, rng):
+        joint = JointCountModel(
+            [DiscretizedGaussian(100, 30.0) for _ in range(4)]
+        )
+        sc = joint.scenarios(rng=rng, n_samples=64,
+                             prefer_exact_below=10)
+        assert not sc.exact
+        assert sc.n_scenarios == 64
+
+    def test_scenarios_requires_rng_when_large(self):
+        joint = JointCountModel(
+            [DiscretizedGaussian(100, 30.0) for _ in range(4)]
+        )
+        with pytest.raises(ValueError):
+            joint.scenarios(prefer_exact_below=10)
+
+    def test_upper_bounds(self):
+        joint = JointCountModel(
+            [DiscretizedGaussian(6, 2.0), ConstantCount(3)]
+        )
+        assert joint.upper_bounds().tolist() == [11, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            JointCountModel([])
+
+    def test_rejects_bad_sample_count(self, rng):
+        joint = JointCountModel([ConstantCount(1)])
+        with pytest.raises(ValueError):
+            joint.sample_scenarios(0, rng)

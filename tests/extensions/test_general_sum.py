@@ -1,0 +1,113 @@
+"""General-sum extension: evaluation and single-adversary Stackelberg."""
+
+import numpy as np
+import pytest
+
+from repro.core import AuditPolicy, Ordering
+from repro.extensions import (
+    AuditorLossModel,
+    evaluate_general_sum,
+    solve_single_adversary,
+)
+from repro.solvers import EnumerationSolver
+
+
+@pytest.fixture()
+def loss_model(syn_a_game):
+    return AuditorLossModel.proportional(syn_a_game, damage_factor=2.0)
+
+
+class TestAuditorLossModel:
+    def test_proportional_scaling(self, syn_a_game, loss_model):
+        assert np.allclose(
+            loss_model.undetected_loss, 2.0 * syn_a_game.payoffs.benefit
+        )
+        assert np.all(loss_model.detected_loss == 0.0)
+
+    def test_expected_loss_interpolates(self, loss_model):
+        detection = np.full_like(loss_model.undetected_loss, 0.25)
+        expected = loss_model.expected_loss_matrix(detection)
+        assert np.allclose(expected, 0.75 * loss_model.undetected_loss)
+
+
+class TestEvaluateGeneralSum:
+    def test_zero_detection_pays_full_damage(
+        self, syn_a_game, syn_a_scenarios, loss_model
+    ):
+        policy = AuditPolicy.pure(
+            Ordering((0, 1, 2, 3)), [0.0, 0.0, 0.0, 0.0]
+        )
+        outcome = evaluate_general_sum(
+            syn_a_game, loss_model, policy, syn_a_scenarios
+        )
+        # Nothing is audited: every adversary attacks its best victim
+        # and the auditor pays 2x that benefit.
+        best_benefit = syn_a_game.payoffs.benefit.max(axis=1)
+        assert outcome.auditor_loss == pytest.approx(
+            float((2.0 * best_benefit).sum()), abs=1e-9
+        )
+
+    def test_detection_reduces_loss(
+        self, syn_a_game, syn_a_scenarios, loss_model
+    ):
+        none = AuditPolicy.pure(
+            Ordering((0, 1, 2, 3)), [0.0, 0.0, 0.0, 0.0]
+        )
+        solution = EnumerationSolver(
+            syn_a_game, syn_a_scenarios
+        ).solve(np.array([3.0, 3.0, 3.0, 3.0]))
+        unaudited = evaluate_general_sum(
+            syn_a_game, loss_model, none, syn_a_scenarios
+        )
+        audited = evaluate_general_sum(
+            syn_a_game, loss_model, solution.policy, syn_a_scenarios
+        )
+        assert audited.auditor_loss < unaudited.auditor_loss
+
+    def test_victims_recorded(self, syn_a_game, syn_a_scenarios,
+                              loss_model):
+        policy = AuditPolicy.pure(
+            Ordering((0, 1, 2, 3)), [3.0, 3.0, 3.0, 3.0]
+        )
+        outcome = evaluate_general_sum(
+            syn_a_game, loss_model, policy, syn_a_scenarios
+        )
+        assert len(outcome.attacked_victims) == 5
+
+
+class TestSingleAdversary:
+    def test_beats_zero_sum_policy_for_that_adversary(
+        self, syn_a_game, syn_a_scenarios, loss_model
+    ):
+        b = np.array([3.0, 3.0, 3.0, 3.0])
+        zero_sum = EnumerationSolver(
+            syn_a_game, syn_a_scenarios
+        ).solve(b)
+        _, stackelberg_loss = solve_single_adversary(
+            syn_a_game, loss_model, b, syn_a_scenarios, adversary=0
+        )
+        # Evaluate the zero-sum policy under the general-sum loss for
+        # adversary 0 alone.
+        outcome = evaluate_general_sum(
+            syn_a_game, loss_model, zero_sum.policy, syn_a_scenarios
+        )
+        response = outcome.attacked_victims[0]
+        detection = syn_a_game.attack_map.detection_probability(
+            syn_a_game.evaluate(
+                zero_sum.policy, syn_a_scenarios
+            ).mixed_pal
+        )
+        loss_matrix = loss_model.expected_loss_matrix(detection)
+        zero_sum_loss_e0 = (
+            0.0 if response < 0 else float(loss_matrix[0, response])
+        )
+        assert stackelberg_loss <= zero_sum_loss_e0 + 1e-6
+
+    def test_policy_is_valid(self, syn_a_game, syn_a_scenarios,
+                             loss_model):
+        policy, loss = solve_single_adversary(
+            syn_a_game, loss_model, np.array([2.0, 2.0, 2.0, 2.0]),
+            syn_a_scenarios, adversary=1,
+        )
+        assert np.isclose(policy.probabilities.sum(), 1.0)
+        assert loss >= 0.0

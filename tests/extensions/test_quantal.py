@@ -1,0 +1,101 @@
+"""Quantal-response attacker extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import AuditPolicy, Ordering
+from repro.extensions import (
+    evaluate_quantal,
+    quantal_response_distribution,
+    rationality_sweep,
+)
+from repro.solvers import EnumerationSolver
+from tests.conftest import make_tiny_game
+
+
+class TestChoiceDistribution:
+    def test_zero_rationality_is_uniform(self):
+        eu = np.array([[1.0, -5.0]])
+        dist = quantal_response_distribution(
+            eu, 0.0, include_refrain=True
+        )
+        assert np.allclose(dist, 1 / 3)
+
+    def test_high_rationality_concentrates(self):
+        eu = np.array([[1.0, -5.0]])
+        dist = quantal_response_distribution(
+            eu, 100.0, include_refrain=False
+        )
+        assert dist[0, 0] > 0.999
+        assert dist[0, -1] == 0.0  # refrain excluded
+
+    def test_refrain_column_present(self):
+        eu = np.array([[-10.0, -10.0]])
+        dist = quantal_response_distribution(
+            eu, 10.0, include_refrain=True
+        )
+        assert dist[0, -1] > 0.99
+
+    def test_rows_sum_to_one(self):
+        eu = np.random.default_rng(0).normal(size=(4, 3))
+        dist = quantal_response_distribution(eu, 1.7, True)
+        assert np.allclose(dist.sum(axis=1), 1.0)
+
+    def test_rejects_negative_rationality(self):
+        with pytest.raises(ValueError):
+            quantal_response_distribution(np.zeros((1, 1)), -1.0, True)
+
+
+class TestEvaluateQuantal:
+    def test_converges_to_best_response(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        solution = EnumerationSolver(
+            syn_a_game, syn_a_scenarios
+        ).solve(np.array([3.0, 3.0, 3.0, 3.0]))
+        quantal = evaluate_quantal(
+            syn_a_game, solution.policy, syn_a_scenarios,
+            rationality=200.0,
+        )
+        assert quantal.auditor_loss == pytest.approx(
+            solution.objective, abs=0.01
+        )
+
+    def test_best_response_upper_bounds_quantal(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        # A rational attacker extracts at least as much as any
+        # quantal one (max >= softmax average).
+        solution = EnumerationSolver(
+            syn_a_game, syn_a_scenarios
+        ).solve(np.array([3.0, 3.0, 3.0, 3.0]))
+        for lam in (0.0, 1.0, 10.0):
+            quantal = evaluate_quantal(
+                syn_a_game, solution.policy, syn_a_scenarios, lam
+            )
+            assert quantal.auditor_loss <= solution.objective + 1e-9
+
+    def test_refrain_rate_with_deterrence(self, tiny_scenarios):
+        game = make_tiny_game(budget=50.0, attackers_can_refrain=True)
+        policy = AuditPolicy.pure(
+            Ordering((0, 1)),
+            game.threshold_upper_bounds().astype(float),
+        )
+        quantal = evaluate_quantal(
+            game, policy, tiny_scenarios, rationality=50.0
+        )
+        assert 0.0 <= quantal.refrain_rate <= 1.0
+
+    def test_sweep_is_monotone_in_rationality(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        solution = EnumerationSolver(
+            syn_a_game, syn_a_scenarios
+        ).solve(np.array([3.0, 3.0, 3.0, 3.0]))
+        sweep = rationality_sweep(
+            syn_a_game, solution.policy, syn_a_scenarios,
+            rationalities=(0.0, 0.5, 2.0, 10.0),
+        )
+        losses = [q.auditor_loss for q in sweep]
+        # More rational attackers extract (weakly) more.
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))

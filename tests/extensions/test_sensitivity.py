@@ -1,0 +1,73 @@
+"""Sensitivity analysis extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import scale_payoffs, sensitivity_sweep
+from tests.conftest import make_tiny_game
+
+
+class TestScalePayoffs:
+    def test_penalty_scaling(self, tiny_game):
+        scaled = scale_payoffs(tiny_game, "penalty", 2.0)
+        assert np.allclose(
+            scaled.payoffs.penalty, 2.0 * tiny_game.payoffs.penalty
+        )
+        # Original untouched.
+        assert np.all(tiny_game.payoffs.penalty == 5.0)
+
+    def test_benefit_scaling(self, tiny_game):
+        scaled = scale_payoffs(tiny_game, "benefit", 0.5)
+        assert np.allclose(
+            scaled.payoffs.benefit, 0.5 * tiny_game.payoffs.benefit
+        )
+
+    def test_prior_clipped_to_one(self, tiny_game):
+        scaled = scale_payoffs(tiny_game, "attack_prior", 10.0)
+        assert np.all(scaled.payoffs.attack_prior <= 1.0)
+
+    def test_rejects_unknown_component(self, tiny_game):
+        with pytest.raises(ValueError):
+            scale_payoffs(tiny_game, "magic", 1.0)
+
+    def test_rejects_negative_scale(self, tiny_game):
+        with pytest.raises(ValueError):
+            scale_payoffs(tiny_game, "penalty", -1.0)
+
+
+class TestSensitivitySweep:
+    def test_higher_penalty_weakly_helps_auditor(self):
+        game = make_tiny_game(budget=3.0)
+        rows = sensitivity_sweep(
+            game, "penalty", scales=(0.5, 1.0, 2.0), step_size=0.5,
+            n_scenarios=200,
+        )
+        objectives = [row.objective for row in rows]
+        assert objectives[0] >= objectives[-1] - 1e-6
+
+    def test_higher_benefit_weakly_hurts_auditor(self):
+        game = make_tiny_game(budget=3.0)
+        rows = sensitivity_sweep(
+            game, "benefit", scales=(0.5, 2.0), step_size=0.5,
+            n_scenarios=200,
+        )
+        assert rows[0].objective <= rows[1].objective + 1e-6
+
+    def test_custom_solver_hook(self):
+        game = make_tiny_game(budget=3.0)
+        calls = []
+
+        class FakeResult:
+            objective = 1.0
+            thresholds = np.zeros(2)
+
+        def fake_solve(g):
+            calls.append(g)
+            return FakeResult()
+
+        rows = sensitivity_sweep(
+            game, "penalty", scales=(1.0, 2.0), solve=fake_solve
+        )
+        assert len(calls) == 2
+        assert all(row.objective == 1.0 for row in rows)
+        assert all(row.n_deterred == -1 for row in rows)

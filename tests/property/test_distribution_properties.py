@@ -1,0 +1,92 @@
+"""Property-based tests for alert-count distributions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    DiscretizedGaussian,
+    EmpiricalCounts,
+    JointCountModel,
+    TruncatedPoisson,
+)
+
+gaussian_params = st.tuples(
+    st.floats(0.5, 60.0), st.floats(0.3, 15.0)
+)
+
+
+@given(gaussian_params)
+@settings(max_examples=50, deadline=None)
+def test_gaussian_pmf_normalized(params):
+    mean, std = params
+    model = DiscretizedGaussian(mean, std)
+    assert np.isclose(model.support_pmf().sum(), 1.0, atol=1e-9)
+
+
+@given(gaussian_params)
+@settings(max_examples=50, deadline=None)
+def test_gaussian_support_contains_rounded_mean(params):
+    mean, std = params
+    model = DiscretizedGaussian(mean, std)
+    center = int(round(mean))
+    assert model.min_count <= max(center, 0)
+    assert model.max_count >= center
+
+
+@given(gaussian_params, st.floats(0.01, 0.99))
+@settings(max_examples=50, deadline=None)
+def test_quantile_inverts_cdf(params, q):
+    mean, std = params
+    model = DiscretizedGaussian(mean, std)
+    n = model.quantile(q)
+    assert model.cdf(n) >= q - 1e-9
+    if n > model.min_count:
+        assert model.cdf(n - 1) < q + 1e-9
+
+
+@given(st.floats(0.5, 40.0))
+@settings(max_examples=40, deadline=None)
+def test_poisson_mean_below_rate(rate):
+    # Upper truncation can only pull the mean down.
+    model = TruncatedPoisson(rate)
+    assert model.mean() <= rate + 1e-9
+
+
+@given(
+    st.lists(st.integers(0, 30), min_size=1, max_size=40)
+)
+@settings(max_examples=50, deadline=None)
+def test_empirical_mean_matches_samples(samples):
+    model = EmpiricalCounts.from_samples(samples)
+    assert np.isclose(model.mean(), np.mean(samples), atol=1e-9)
+
+
+@given(
+    st.lists(gaussian_params, min_size=1, max_size=3),
+    st.integers(1, 200),
+)
+@settings(max_examples=30, deadline=None)
+def test_joint_sampling_within_marginal_supports(params, n):
+    joint = JointCountModel(
+        [DiscretizedGaussian(m, s) for m, s in params]
+    )
+    sc = joint.sample_scenarios(n, np.random.default_rng(0))
+    for t, marginal in enumerate(joint.marginals):
+        assert sc.counts[:, t].min() >= marginal.min_count
+        assert sc.counts[:, t].max() <= marginal.max_count
+
+
+@given(st.lists(gaussian_params, min_size=1, max_size=2))
+@settings(max_examples=20, deadline=None)
+def test_exact_scenarios_weights_match_product(params):
+    joint = JointCountModel(
+        [DiscretizedGaussian(m, s) for m, s in params]
+    )
+    if joint.n_exact_scenarios() > 5000:
+        return
+    sc = joint.exact_scenarios()
+    assert np.isclose(sc.weights.sum(), 1.0, atol=1e-9)
+    # Expected counts equal the product of marginal means.
+    expected = np.array([m.mean() for m in joint.marginals])
+    assert np.allclose(sc.expected_counts(), expected, atol=1e-6)

@@ -1,0 +1,108 @@
+"""Property-based tests on game-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttackTypeMap,
+    AuditPolicy,
+    PayoffModel,
+    all_orderings,
+)
+from repro.distributions import ConstantCount, JointCountModel
+from tests.conftest import make_tiny_game
+
+
+@st.composite
+def random_policy_and_game(draw):
+    budget = draw(st.floats(0.0, 8.0))
+    game = make_tiny_game(budget=budget)
+    orderings = all_orderings(2)
+    weights = np.array(
+        [draw(st.floats(0.05, 1.0)) for _ in orderings]
+    )
+    thresholds = np.array(
+        [draw(st.floats(0.0, 6.0)) for _ in range(2)]
+    )
+    policy = AuditPolicy(
+        orderings=tuple(orderings),
+        probabilities=weights / weights.sum(),
+        thresholds=thresholds,
+    )
+    return game, policy
+
+
+@given(random_policy_and_game())
+@settings(max_examples=40, deadline=None)
+def test_auditor_loss_bounded_by_extremes(pair):
+    """Loss lies between total deterrence and undetected free-for-all."""
+    game, policy = pair
+    scenarios = game.scenario_set()
+    ev = game.evaluate(policy, scenarios)
+    worst = float(
+        (game.payoffs.benefit.max(axis=1)
+         - game.payoffs.attack_cost.min()).sum()
+    )
+    best = float(
+        -(game.payoffs.penalty.max() + game.payoffs.attack_cost.max())
+        * game.n_adversaries
+    )
+    assert best - 1e-9 <= ev.auditor_loss <= worst + 1e-9
+
+
+@given(random_policy_and_game())
+@settings(max_examples=40, deadline=None)
+def test_mixed_pal_is_convex_combination(pair):
+    game, policy = pair
+    scenarios = game.scenario_set()
+    ev = game.evaluate(policy, scenarios)
+    lower = ev.pal_rows.min(axis=0) - 1e-12
+    upper = ev.pal_rows.max(axis=0) + 1e-12
+    assert np.all(ev.mixed_pal >= lower)
+    assert np.all(ev.mixed_pal <= upper)
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(1, 3),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_utility_matrix_affine_in_detection(n_e, n_v, n_t, seed):
+    """Eq. 3 is affine in Pat: mixing detections mixes utilities."""
+    rng = np.random.default_rng(seed)
+    payoffs = PayoffModel.create(
+        n_adversaries=n_e,
+        n_victims=n_v,
+        benefit=rng.uniform(0, 5, size=(n_e, n_v)),
+        penalty=rng.uniform(0, 5),
+        attack_cost=rng.uniform(0, 1),
+    )
+    pat_a = rng.uniform(0, 1, size=(n_e, n_v))
+    pat_b = rng.uniform(0, 1, size=(n_e, n_v))
+    lam = rng.uniform(0, 1)
+    mixed = payoffs.utility_matrix(lam * pat_a + (1 - lam) * pat_b)
+    direct = lam * payoffs.utility_matrix(pat_a) + (
+        1 - lam
+    ) * payoffs.utility_matrix(pat_b)
+    assert np.allclose(mixed, direct)
+
+
+@given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_deterministic_counts_make_pal_deterministic(z0, z1, seed):
+    """With constant counts the scenario expectation is a single term."""
+    rng = np.random.default_rng(seed)
+    counts = JointCountModel([ConstantCount(z0), ConstantCount(z1)])
+    game = make_tiny_game(budget=float(rng.integers(0, 6)),
+                          counts=counts)
+    scenarios = game.scenario_set()
+    assert scenarios.n_scenarios == 1
+    policy = AuditPolicy.pure(
+        all_orderings(2)[0],
+        rng.uniform(0, 5, size=2),
+    )
+    ev = game.evaluate(policy, scenarios)
+    assert np.all((ev.mixed_pal == 0) | (ev.mixed_pal > 0))

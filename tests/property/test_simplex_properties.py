@@ -1,0 +1,74 @@
+"""Property-based cross-validation of the simplex against HiGHS."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.lp import (
+    LinearProgram,
+    solve_with_scipy,
+    solve_with_simplex,
+)
+
+
+@st.composite
+def feasible_lp(draw):
+    """Random LPs guaranteed feasible by construction.
+
+    ``A_ub x0 <= b_ub`` holds for a sampled interior point ``x0 >= 0``,
+    so phase 1 always succeeds; objectives stay bounded because all
+    variables get finite upper bounds.
+    """
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 4))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    a_ub = rng.uniform(-2.0, 2.0, size=(m, n)).round(2)
+    x0 = rng.uniform(0.0, 2.0, size=n).round(2)
+    slack = rng.uniform(0.1, 1.5, size=m).round(2)
+    b_ub = a_ub @ x0 + slack
+    c = rng.uniform(-3.0, 3.0, size=n).round(2)
+    bounds = tuple((0.0, 5.0) for _ in range(n))
+    return LinearProgram(
+        objective=c, a_ub=a_ub, b_ub=b_ub, bounds=bounds
+    )
+
+
+@given(feasible_lp())
+@settings(max_examples=60, deadline=None)
+def test_simplex_matches_scipy_objective(lp):
+    ours = solve_with_simplex(lp)
+    reference = solve_with_scipy(lp)
+    assert ours.is_optimal == reference.is_optimal
+    if ours.is_optimal:
+        assert np.isclose(
+            ours.objective_value,
+            reference.objective_value,
+            atol=1e-6,
+            rtol=1e-6,
+        )
+
+
+@given(feasible_lp())
+@settings(max_examples=60, deadline=None)
+def test_simplex_solution_is_feasible(lp):
+    sol = solve_with_simplex(lp)
+    if not sol.is_optimal:
+        return
+    assert np.all(lp.a_ub @ sol.x <= lp.b_ub + 1e-7)
+    for value, (lo, hi) in zip(sol.x, lp.bounds):
+        assert value >= lo - 1e-7
+        assert value <= hi + 1e-7
+
+
+@given(feasible_lp())
+@settings(max_examples=40, deadline=None)
+def test_weak_duality_bound(lp):
+    """Dual value y'b (y <= 0 on <= rows) lower-bounds the optimum.
+
+    With finite variable bounds the full dual also involves bound
+    multipliers, so we check the inequality rather than equality.
+    """
+    sol = solve_with_simplex(lp)
+    if not sol.is_optimal:
+        return
+    assert np.all(sol.dual_ub <= 1e-9)

@@ -1,0 +1,157 @@
+"""TDMT engine labeling and log aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscretizedGaussian, EmpiricalCounts
+from repro.tdmt import (
+    AccessEvent,
+    AlertRecord,
+    CompositeScheme,
+    RelationshipRule,
+    TDMTEngine,
+    filter_repeated_accesses,
+    fit_count_models,
+    period_type_counts,
+    summarize_counts,
+)
+
+
+@pytest.fixture()
+def engine() -> TDMTEngine:
+    rules = (
+        RelationshipRule(
+            "L", lambda a, t: a["last"] == t["last"]
+        ),
+        RelationshipRule(
+            "N", lambda a, t: abs(a["x"] - t["x"]) <= 1.0
+        ),
+    )
+    scheme = CompositeScheme(
+        {
+            frozenset({"L"}): "lastname",
+            frozenset({"N"}): "neighbor",
+            frozenset({"L", "N"}): "both",
+        }
+    )
+    actors = {
+        "e1": {"last": "ng", "x": 0.0},
+        "e2": {"last": "wu", "x": 10.0},
+    }
+    targets = {
+        "p1": {"last": "ng", "x": 0.5},   # L + N with e1
+        "p2": {"last": "ng", "x": 50.0},  # L with e1
+        "p3": {"last": "xu", "x": 9.5},   # N with e2
+        "p4": {"last": "li", "x": 99.0},  # benign for both
+    }
+    return TDMTEngine(
+        rules=rules, scheme=scheme, actors=actors, targets=targets
+    )
+
+
+class TestEngine:
+    def test_flags(self, engine):
+        assert engine.flags_for("e1", "p1") == frozenset({"L", "N"})
+        assert engine.flags_for("e1", "p2") == frozenset({"L"})
+        assert engine.flags_for("e2", "p4") == frozenset()
+
+    def test_label_pair(self, engine):
+        assert engine.label_pair("e1", "p1") == "both"
+        assert engine.label_pair("e2", "p3") == "neighbor"
+        assert engine.label_pair("e1", "p4") is None
+
+    def test_unknown_actor(self, engine):
+        with pytest.raises(KeyError, match="actor"):
+            engine.label_pair("ghost", "p1")
+
+    def test_label_events(self, engine):
+        events = [
+            AccessEvent(0, "e1", "p1"),
+            AccessEvent(0, "e1", "p4"),  # benign: no record
+            AccessEvent(1, "e2", "p3"),
+        ]
+        alerts = engine.label_events(events)
+        assert [a.alert_type for a in alerts] == ["both", "neighbor"]
+
+    def test_type_matrix(self, engine):
+        matrix = engine.type_matrix(
+            ["e1", "e2"], ["p1", "p4"], ["lastname", "neighbor", "both"]
+        )
+        assert matrix == [[2, -1], [-1, -1]]
+
+    def test_type_matrix_missing_type(self, engine):
+        with pytest.raises(KeyError):
+            engine.type_matrix(["e1"], ["p1"], ["lastname"])
+
+    def test_duplicate_rule_names_rejected(self, engine):
+        with pytest.raises(ValueError):
+            TDMTEngine(
+                rules=(engine.rules[0], engine.rules[0]),
+                scheme=engine.scheme,
+                actors={},
+                targets={},
+            )
+
+
+class TestAggregation:
+    def test_filter_repeats(self):
+        events = [
+            AccessEvent(0, "e1", "p1"),
+            AccessEvent(0, "e1", "p1"),
+            AccessEvent(1, "e1", "p1"),  # new period: not a repeat
+        ]
+        distinct, repeats = filter_repeated_accesses(events)
+        assert len(distinct) == 2
+        assert repeats == 1
+
+    def test_period_counts(self):
+        alerts = [
+            AlertRecord(0, "e1", "p1", "a"),
+            AlertRecord(0, "e2", "p1", "a"),
+            AlertRecord(1, "e1", "p1", "b"),
+        ]
+        counts = period_type_counts(alerts, ["a", "b"], n_periods=2)
+        assert counts["a"].tolist() == [2, 0]
+        assert counts["b"].tolist() == [0, 1]
+
+    def test_period_counts_dedupes(self):
+        alerts = [
+            AlertRecord(0, "e1", "p1", "a"),
+            AlertRecord(0, "e1", "p1", "a"),
+        ]
+        counts = period_type_counts(alerts, ["a"], n_periods=1)
+        assert counts["a"].tolist() == [1]
+
+    def test_period_counts_validates_types(self):
+        with pytest.raises(ValueError):
+            period_type_counts(
+                [AlertRecord(0, "e", "p", "zzz")], ["a"], 1
+            )
+
+    def test_period_counts_validates_periods(self):
+        with pytest.raises(ValueError):
+            period_type_counts(
+                [AlertRecord(5, "e", "p", "a")], ["a"], 2
+            )
+
+    def test_fit_gaussian_models(self):
+        counts = {"a": np.array([10, 12, 8, 11, 9])}
+        models = fit_count_models(counts, ["a"], method="gaussian")
+        assert isinstance(models[0], DiscretizedGaussian)
+        assert abs(models[0].mean() - 10.0) < 0.5
+
+    def test_fit_empirical_models(self):
+        counts = {"a": np.array([2, 2, 3])}
+        models = fit_count_models(counts, ["a"], method="empirical")
+        assert isinstance(models[0], EmpiricalCounts)
+        assert models[0].pmf(2) == pytest.approx(2 / 3)
+
+    def test_fit_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            fit_count_models({"a": np.array([1])}, ["a"],
+                             method="magic")
+
+    def test_summarize(self):
+        counts = {"a": np.array([1, 3])}
+        text = summarize_counts(counts, ["a"])
+        assert "a" in text and "2.00" in text

@@ -1,0 +1,98 @@
+"""TDMT events, relationship rules and composite schemes."""
+
+import pytest
+
+from repro.tdmt import AccessEvent, AlertRecord, CompositeScheme, \
+    RelationshipRule
+
+
+class TestAccessEvent:
+    def test_key(self):
+        event = AccessEvent(period=3, actor="e1", target="p9")
+        assert event.key == (3, "e1", "p9")
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(ValueError):
+            AccessEvent(period=-1, actor="a", target="b")
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ValueError):
+            AccessEvent(period=0, actor="", target="b")
+
+
+class TestAlertRecord:
+    def test_for_event(self):
+        event = AccessEvent(period=2, actor="a", target="b")
+        record = AlertRecord.for_event(event, "vip")
+        assert (record.period, record.alert_type) == (2, "vip")
+
+
+class TestRelationshipRule:
+    def test_matches_delegates_to_predicate(self):
+        rule = RelationshipRule(
+            "same-team",
+            lambda a, t: a["team"] == t["team"],
+        )
+        assert rule.matches({"team": 1}, {"team": 1})
+        assert not rule.matches({"team": 1}, {"team": 2})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RelationshipRule("", lambda a, t: True)
+
+
+class TestCompositeScheme:
+    def test_lookup(self):
+        scheme = CompositeScheme(
+            {
+                frozenset({"L"}): "lastname",
+                frozenset({"L", "N"}): "lastname+neighbor",
+            }
+        )
+        assert scheme.type_for_flags(frozenset({"L"})) == "lastname"
+        assert scheme.type_for_flags(
+            frozenset({"N", "L"})
+        ) == "lastname+neighbor"
+
+    def test_empty_flags_are_benign(self):
+        scheme = CompositeScheme({frozenset({"L"}): "lastname"})
+        assert scheme.type_for_flags(frozenset()) is None
+
+    def test_strict_raises_on_unknown_combo(self):
+        scheme = CompositeScheme({frozenset({"L"}): "lastname"})
+        with pytest.raises(KeyError):
+            scheme.type_for_flags(frozenset({"X"}))
+
+    def test_lenient_ignores_unknown_combo(self):
+        scheme = CompositeScheme(
+            {frozenset({"L"}): "lastname"}, strict=False
+        )
+        assert scheme.type_for_flags(frozenset({"X"})) is None
+
+    def test_identity_scheme(self):
+        scheme = CompositeScheme.identity(["a", "b"])
+        assert scheme.type_for_flags(frozenset({"a"})) == "a"
+        assert scheme.type_for_flags(frozenset({"a", "b"})) is None
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            CompositeScheme(
+                {
+                    frozenset({"a"}): "same",
+                    frozenset({"b"}): "same",
+                }
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeScheme({})
+
+    def test_type_names_deterministic(self):
+        scheme = CompositeScheme(
+            {
+                frozenset({"b"}): "tb",
+                frozenset({"a"}): "ta",
+                frozenset({"a", "b"}): "tab",
+            }
+        )
+        assert scheme.type_names == ("ta", "tb", "tab")
