@@ -2,31 +2,34 @@
 
 Section IV-C discusses eps as the key knob: finer steps approach the
 optimum but explore more threshold vectors.  This bench quantifies both
-sides on one Syn A instance.
+sides on one Syn A instance.  The timed sweep runs through one cold
+:class:`~repro.engine.AuditEngine`, so vectors shared *between* step
+sizes are priced once while the measurement stays independent of other
+benchmarks' caches.
 """
 
 import numpy as np
-from conftest import emit, full_mode
+from conftest import emit, engine_for, full_mode
 
 from repro.analysis import render_table
-from repro.datasets import syn_a
-from repro.solvers import iterative_shrink, solve_optimal
 
 
 def test_ablation_step_size(benchmark):
     steps = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5) if full_mode() \
         else (0.1, 0.3, 0.5)
-    game = syn_a(budget=10)
-    scenarios = game.scenario_set()
-    optimal = solve_optimal(game, scenarios)
+    # Time the sweep on a cold, dedicated engine so the measurement
+    # reflects solver work, not cache hits seeded by other benchmarks
+    # (or by the brute-force reference, which therefore runs after).
+    from repro.datasets import syn_a
+    from repro.engine import AuditEngine
+
+    engine = AuditEngine(syn_a(budget=10))
 
     def run():
-        return [
-            iterative_shrink(game, scenarios, step_size=s)
-            for s in steps
-        ]
+        return [engine.solve("ishm", step_size=s) for s in steps]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    optimal = engine_for("syn_a", 10).solve("bruteforce")
     rows = []
     for step, result in zip(steps, results):
         gap = result.objective - optimal.objective
@@ -35,7 +38,7 @@ def test_ablation_step_size(benchmark):
                 f"{step:g}",
                 f"{result.objective:.4f}",
                 f"{gap:.4f}",
-                str(result.lp_calls),
+                str(result.diagnostics["lp_calls"]),
                 np.array2string(result.thresholds.astype(int)),
             ]
         )
@@ -50,7 +53,7 @@ def test_ablation_step_size(benchmark):
     )
 
     # Finer steps must cost more probes and end (weakly) closer.
-    calls = [r.lp_calls for r in results]
+    calls = [r.diagnostics["lp_calls"] for r in results]
     assert all(b <= a for a, b in zip(calls, calls[1:]))
     assert results[0].objective <= results[-1].objective + 1e-6
     assert results[0].objective >= optimal.objective - 1e-9

@@ -1,0 +1,70 @@
+"""Engine ablation: the scenario/kernel cache win on a step-size sweep.
+
+A parameter sweep re-solves the same game many times; without the
+:class:`~repro.engine.AuditEngine` each run regenerates the scenario set
+and re-prices every threshold vector from scratch.  This bench runs the
+same ISHM step-size sweep twice — cold (a fresh engine per step, the
+pre-engine behavior) and warm (one shared engine) — and reports the
+timings plus the cache counters.  Results are bitwise identical: the
+cache only ever returns solutions for exactly-equal threshold vectors.
+"""
+
+import time
+
+from conftest import emit, full_mode
+
+from repro.analysis import render_table
+from repro.datasets import syn_a
+from repro.engine import AuditEngine
+
+
+def test_engine_cache_speedup(benchmark):
+    steps = (0.05, 0.1, 0.15, 0.2, 0.3, 0.5) if full_mode() \
+        else (0.1, 0.2, 0.3, 0.5)
+
+    def cold_sweep():
+        results = []
+        for step in steps:
+            engine = AuditEngine(syn_a(budget=10))
+            results.append(engine.solve("ishm", step_size=step))
+        return results
+
+    def warm_sweep():
+        engine = AuditEngine(syn_a(budget=10))
+        return (
+            engine,
+            [engine.solve("ishm", step_size=s) for s in steps],
+        )
+
+    started = time.perf_counter()
+    cold = cold_sweep()
+    cold_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine, warm = benchmark.pedantic(warm_sweep, rounds=1, iterations=1)
+    warm_time = time.perf_counter() - started
+
+    info = engine.cache_info()
+    emit(
+        "Engine cache — ISHM step-size sweep (Syn A, B=10)",
+        render_table(
+            ["variant", "wall time", "scenario sets built",
+             "LP solves", "cache hits"],
+            [
+                ["cold (fresh engine per step)", f"{cold_time:.2f}s",
+                 str(len(steps)), "-", "0"],
+                ["warm (one shared engine)", f"{warm_time:.2f}s",
+                 str(info.scenario_misses), str(info.solution_misses),
+                 str(info.solution_hits)],
+            ],
+        ),
+    )
+
+    # The cache must actually fire, and never change the answers.
+    assert info.scenario_misses == 1
+    assert info.solution_hits > 0
+    for c, w in zip(cold, warm):
+        assert c.objective == w.objective
+        assert c.thresholds.tolist() == w.thresholds.tolist()
+    # Warm runs strictly less work than cold; allow generous noise slack.
+    assert warm_time <= cold_time * 1.25

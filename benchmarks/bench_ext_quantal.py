@@ -8,12 +8,11 @@ assumption is.
 """
 
 import numpy as np
-from conftest import emit, full_mode
+from conftest import emit, engine_for, full_mode
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
 from repro.extensions import rationality_sweep
-from repro.solvers import iterative_shrink
 
 
 def test_quantal_rationality_sweep(benchmark):
@@ -23,8 +22,9 @@ def test_quantal_rationality_sweep(benchmark):
         else (0.0, 0.5, 2.0, 25.0)
     )
     game = syn_a(budget=10)
-    scenarios = game.scenario_set()
-    solved = iterative_shrink(game, scenarios, step_size=0.2)
+    engine = engine_for("syn_a", 10)
+    scenarios = engine.scenario_set()
+    solved = engine.solve("ishm", step_size=0.2)
 
     sweep = benchmark.pedantic(
         lambda: rationality_sweep(
@@ -55,8 +55,9 @@ def test_quantal_evaluation_speed(benchmark):
     from repro.extensions import evaluate_quantal
 
     game = syn_a(budget=10)
-    scenarios = game.scenario_set()
-    solved = iterative_shrink(game, scenarios, step_size=0.3)
+    engine = engine_for("syn_a", 10)
+    scenarios = engine.scenario_set()
+    solved = engine.solve("ishm", step_size=0.3)
     result = benchmark(
         lambda: evaluate_quantal(
             game, solved.policy, scenarios, rationality=2.0

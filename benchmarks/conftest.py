@@ -6,6 +6,11 @@ its rows.  Two grid sizes exist:
 * default ("fast") — reduced budget/step grids so the whole suite runs
   in minutes;
 * full — the paper's exact grids; enable with ``REPRO_FULL=1``.
+
+Benchmarks that repeatedly solve the *same* game share one
+:class:`repro.engine.AuditEngine` via :func:`engine_for`, so scenario
+sets and fixed-threshold master solutions persist across the whole
+benchmark session instead of being regenerated per test.
 """
 
 from __future__ import annotations
@@ -13,6 +18,11 @@ from __future__ import annotations
 import os
 
 import pytest
+
+from repro import datasets
+from repro.engine import AuditEngine
+
+_ENGINES: dict[tuple, AuditEngine] = {}
 
 
 def full_mode() -> bool:
@@ -23,6 +33,22 @@ def full_mode() -> bool:
 @pytest.fixture(scope="session")
 def is_full() -> bool:
     return full_mode()
+
+
+def engine_for(dataset: str, budget: float, **engine_kwargs) -> AuditEngine:
+    """Session-shared engine for one ``(dataset, budget)`` pair.
+
+    ``dataset`` is a builder name from :mod:`repro.datasets` (``syn_a``,
+    ``rea_a``, ``rea_b``).  All benchmarks asking for the same key get
+    the same engine — and therefore warm scenario/solution caches.
+    """
+    key = (dataset, float(budget), tuple(sorted(engine_kwargs.items())))
+    engine = _ENGINES.get(key)
+    if engine is None:
+        factory = getattr(datasets, dataset)
+        engine = AuditEngine(factory(budget=budget), **engine_kwargs)
+        _ENGINES[key] = engine
+    return engine
 
 
 def emit(title: str, body: str) -> None:

@@ -8,15 +8,12 @@ small budget sweep — a miniature of Figure 2.
 Run:  python examples/credit_fraud.py
 """
 
-import numpy as np
-
-from repro.baselines import GreedyBenefitBaseline, RandomOrderBaseline
 from repro.datasets import (
     CREDIT_TYPE_NAMES,
     rea_b,
     simulate_credit_batches,
 )
-from repro.solvers import iterative_shrink, make_fixed_solver
+from repro.engine import AuditEngine
 from repro.tdmt import summarize_counts
 
 
@@ -33,20 +30,17 @@ def budget_sweep() -> None:
     print(f"\n{'B':>6} {'proposed':>10} {'rand-order':>11} "
           f"{'benefit-greedy':>15}")
     for budget in budgets:
-        game = rea_b(budget=budget)
-        rng = np.random.default_rng(7)
-        scenarios = game.scenario_set(rng=rng, n_samples=500)
-        solver = make_fixed_solver(game, scenarios, rng=rng)
-        result = iterative_shrink(
-            game, scenarios, step_size=0.3, solver=solver
+        engine = AuditEngine(rea_b(budget=budget), seed=7, n_samples=500)
+        result = engine.solve("ishm", step_size=0.3)
+        rand = engine.solve(
+            "random-order",
+            thresholds=tuple(result.thresholds.tolist()),
+            n_orderings=120,
         )
-        rand = RandomOrderBaseline(
-            game, scenarios, n_orderings=120, rng=rng
-        ).run(result.thresholds)
-        greedy = GreedyBenefitBaseline(game, scenarios).run()
+        greedy = engine.solve("benefit-greedy")
         print(
             f"{budget:6.0f} {result.objective:10.2f} "
-            f"{rand.auditor_loss:11.2f} {greedy.auditor_loss:15.2f}"
+            f"{rand.objective:11.2f} {greedy.objective:15.2f}"
         )
     print("\nAs the budget grows the proposed policy drives the loss "
           "toward 0 (full deterrence), as in Figure 2.")

@@ -23,7 +23,8 @@ from repro.core import (
     PayoffModel,
 )
 from repro.distributions import JointCountModel
-from repro.solvers import iterative_shrink, response_report
+from repro.engine import AuditEngine
+from repro.solvers import response_report
 from repro.tdmt import (
     AccessEvent,
     CompositeScheme,
@@ -132,8 +133,9 @@ def main() -> None:
         adversary_names=tuple(agents),
         victim_names=tuple(targets),
     )
-    scenarios = game.scenario_set(rng=rng, n_samples=800)
-    result = iterative_shrink(game, scenarios, step_size=0.2)
+    audit_engine = AuditEngine(game, seed=5, n_samples=800)
+    result = audit_engine.solve("ishm", step_size=0.2)
+    scenarios = audit_engine.scenario_set()
     print(f"\nauditor loss: {result.objective:.3f}")
     print(result.policy.describe(TYPE_NAMES))
     print()

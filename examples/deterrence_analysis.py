@@ -14,11 +14,9 @@ Run:  python examples/deterrence_analysis.py
 
 from dataclasses import replace
 
-import numpy as np
-
 from repro.datasets import syn_a
+from repro.engine import AuditEngine
 from repro.extensions import evaluate_quantal
-from repro.solvers import iterative_shrink
 
 
 def deterrable_game(budget: float):
@@ -35,12 +33,11 @@ def main() -> None:
     deterrence_budget = None
     for budget in (2, 6, 10, 14, 18, 22, 26, 30):
         game = deterrable_game(budget)
-        scenarios = game.scenario_set()
-        result = iterative_shrink(game, scenarios, step_size=0.1)
-        evaluation = game.evaluate(result.policy, scenarios)
-        policies[budget] = (game, result.policy, scenarios)
+        engine = AuditEngine(game)
+        result = engine.solve("ishm", step_size=0.1)
+        policies[budget] = (game, result.policy, engine.scenario_set())
         print(f"{budget:4d} {result.objective:9.4f} "
-              f"{evaluation.n_deterred:6d}/5")
+              f"{result.n_deterred:6d}/5")
         if deterrence_budget is None and result.objective <= 1e-9:
             deterrence_budget = budget
     if deterrence_budget is None:

@@ -15,20 +15,13 @@ Run:  python examples/emr_audit.py        (takes a couple of minutes)
 
 import sys
 
-import numpy as np
-
-from repro.baselines import (
-    GreedyBenefitBaseline,
-    RandomOrderBaseline,
-    RandomThresholdBaseline,
-)
 from repro.datasets import (
     EMR_TYPE_NAMES,
     build_emr_world,
     rea_a,
     simulate_emr_log,
 )
-from repro.solvers import iterative_shrink, make_fixed_solver
+from repro.engine import AuditEngine
 from repro.tdmt import (
     filter_repeated_accesses,
     period_type_counts,
@@ -60,31 +53,30 @@ def solve_game(fast: bool) -> None:
     n_scenarios = 500 if fast else 1000
     game = rea_a(budget=budget)
     print(f"\n{game.describe()}")
-    rng = np.random.default_rng(42)
-    scenarios = game.scenario_set(rng=rng, n_samples=n_scenarios)
 
-    solver = make_fixed_solver(game, scenarios, rng=rng)
-    result = iterative_shrink(
-        game, scenarios, step_size=step_size, solver=solver
-    )
+    # One engine for the whole comparison: the proposed solve and every
+    # baseline share one scenario set and one fixed-solve cache.
+    engine = AuditEngine(game, seed=42, n_samples=n_scenarios)
+    result = engine.solve("ishm", step_size=step_size)
     print(f"\nproposed model (ISHM+CGGS, eps={step_size}):")
     print(f"  auditor loss: {result.objective:.2f}")
     print(f"  thresholds:   {result.thresholds.astype(int).tolist()}")
-    evaluation = game.evaluate(result.policy, scenarios)
-    print(f"  deterred:     {evaluation.n_deterred}/"
+    print(f"  deterred:     {result.n_deterred}/"
           f"{game.n_adversaries} employees")
 
-    rand_orders = RandomOrderBaseline(
-        game, scenarios, n_orderings=500, rng=rng
-    ).run(result.thresholds)
-    rand_thresholds = RandomThresholdBaseline(
-        game, scenarios, n_draws=10 if fast else 30, rng=rng
-    ).run()
-    greedy = GreedyBenefitBaseline(game, scenarios).run()
+    rand_orders = engine.solve(
+        "random-order",
+        thresholds=tuple(result.thresholds.tolist()),
+        n_orderings=500,
+    )
+    rand_thresholds = engine.solve(
+        "random-threshold", n_draws=10 if fast else 30
+    )
+    greedy = engine.solve("benefit-greedy")
     print("\nbaseline auditor losses (lower is better):")
-    print(f"  random orders:     {rand_orders.auditor_loss:10.2f}")
-    print(f"  random thresholds: {rand_thresholds.mean_loss:10.2f}")
-    print(f"  benefit greedy:    {greedy.auditor_loss:10.2f}")
+    print(f"  random orders:     {rand_orders.objective:10.2f}")
+    print(f"  random thresholds: {rand_thresholds.objective:10.2f}")
+    print(f"  benefit greedy:    {greedy.objective:10.2f}")
     print(f"  proposed:          {result.objective:10.2f}   <-- ")
 
 

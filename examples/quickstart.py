@@ -19,7 +19,8 @@ from repro.core import (
     PayoffModel,
 )
 from repro.distributions import DiscretizedGaussian, JointCountModel
-from repro.solvers import iterative_shrink, response_report
+from repro.engine import AuditEngine
+from repro.solvers import response_report
 
 
 def build_game() -> AuditGame:
@@ -76,15 +77,18 @@ def main() -> None:
     print(game.describe())
     print()
 
-    # One scenario set per solve: every candidate policy is scored on the
-    # same joint realizations of benign alert counts.
-    scenarios = game.scenario_set()
+    # The engine owns one shared scenario set: every candidate policy is
+    # scored on the same joint realizations of benign alert counts, and
+    # repeated solves reuse already-priced threshold vectors.
+    engine = AuditEngine(game)
+    scenarios = engine.scenario_set()
     print(f"scenario set: {scenarios.n_scenarios} joint outcomes "
           f"(exact={scenarios.exact})")
 
-    result = iterative_shrink(game, scenarios, step_size=0.1)
+    result = engine.solve("ishm", step_size=0.1)
     print(f"\nISHM objective (auditor loss): {result.objective:.4f}")
-    print(f"threshold vectors explored:     {result.lp_calls}")
+    print(f"threshold vectors explored:     "
+          f"{result.diagnostics['lp_calls']}")
     print("\nOptimal randomized policy:")
     print(result.policy.describe(game.alert_types.names))
 

@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
 The offline build environment lacks the ``wheel`` package, so PEP 517
-editable installs fail; this shim lets ``pip install -e .`` fall back to
-``setup.py develop``.  All project metadata lives in ``pyproject.toml``.
+editable installs fail there; this shim keeps ``python setup.py
+develop`` working as the offline fallback.  All project metadata lives
+in ``pyproject.toml``; networked environments should just ``pip
+install -e .``.
 """
 
 from setuptools import setup

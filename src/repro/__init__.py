@@ -10,32 +10,50 @@ figure of the evaluation.
 
 Quickstart::
 
-    import numpy as np
-    from repro import datasets, solvers
+    from repro.datasets import syn_a
+    from repro.engine import AuditEngine
 
-    game = datasets.syn_a(budget=10)
-    scenarios = game.scenario_set()
-    result = solvers.iterative_shrink(game, scenarios, step_size=0.1)
+    engine = AuditEngine(syn_a(budget=10))
+    result = engine.solve("ishm", step_size=0.1)
     print(result.objective)
-    print(result.policy.describe(game.alert_types.names))
+    print(result.policy.describe(engine.game.alert_types.names))
+
+Every solver and baseline lives in the :mod:`repro.engine` registry and
+returns the same :class:`~repro.engine.SolveResult`; the old
+free-function entry points (``iterative_shrink``, ``solve_optimal``)
+are deprecated shims over that registry.
 """
 
-from . import analysis, baselines, core, datasets, distributions, extensions, solvers, tdmt
+from . import (
+    analysis,
+    baselines,
+    core,
+    datasets,
+    distributions,
+    engine,
+    extensions,
+    solvers,
+    tdmt,
+)
 from .core import AuditGame, AuditPolicy, Ordering
+from .engine import AuditEngine, SolveResult
 from .solvers import iterative_shrink, solve_optimal
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AuditEngine",
     "AuditGame",
     "AuditPolicy",
     "Ordering",
+    "SolveResult",
     "__version__",
     "analysis",
     "baselines",
     "core",
     "datasets",
     "distributions",
+    "engine",
     "extensions",
     "iterative_shrink",
     "solve_optimal",

@@ -1,10 +1,22 @@
 """Command-line experiment runner.
 
-Regenerates the paper's tables and figures as text artifacts::
+Two modes share one entry point (``python -m repro.run_experiments``):
+
+**Experiment mode** regenerates the paper's tables and figures as text
+artifacts::
 
     python -m repro.run_experiments --out results/          # fast grids
     python -m repro.run_experiments --out results/ --full   # paper grids
     python -m repro.run_experiments --only table3 fig2
+
+**Solver mode** dispatches one registry solver against a dataset via the
+:mod:`repro.engine` facade — any solver name from
+``--list-solvers``, configured with ``k=v`` pairs coerced onto the
+solver's typed config::
+
+    python -m repro.run_experiments --solver ishm --dataset syn_a \
+        --budget 10 --config step_size=0.2 inner=cggs
+    python -m repro.run_experiments --list-solvers
 
 Each artifact is written to ``<out>/<name>.txt`` and echoed to stdout.
 """
@@ -16,7 +28,14 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from ..datasets import SYN_A_BUDGETS, rea_a, rea_b
+from ..datasets import SYN_A_BUDGETS, rea_a, rea_b, syn_a
+from ..engine import (
+    AuditEngine,
+    all_names,
+    available,
+    get_solver,
+    solver_table,
+)
 from .experiments import (
     FULL_STEP_SIZES,
     run_ishm_grid,
@@ -25,10 +44,17 @@ from .experiments import (
     run_table6,
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "DATASETS"]
 
 FAST_BUDGETS = (2, 6, 10)
 FAST_STEPS = (0.1, 0.3, 0.5)
+
+#: Dataset builders reachable from ``--dataset`` (each accepts budget=).
+DATASETS: dict[str, Callable[..., object]] = {
+    "syn_a": syn_a,
+    "rea_a": rea_a,
+    "rea_b": rea_b,
+}
 
 
 def _table3(full: bool) -> str:
@@ -110,10 +136,54 @@ EXPERIMENTS: dict[str, Callable[[bool], str]] = {
 }
 
 
+def _parse_config_pairs(pairs: list[str]) -> dict[str, str]:
+    """``["k=v", ...]`` -> dict, with a clear error on malformed items."""
+    config: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--config expects k=v pairs, got {pair!r}"
+            )
+        config[key] = value
+    return config
+
+
+def _run_solver(args: argparse.Namespace) -> int:
+    """Solver mode: registry dispatch through an :class:`AuditEngine`."""
+    spec = get_solver(args.solver)  # KeyError -> argparse already checked
+    game = DATASETS[args.dataset](budget=args.budget)
+    engine = AuditEngine(game, seed=args.seed)
+    config = _parse_config_pairs(args.config)
+    started = time.time()
+    try:
+        result = engine.solve(spec.name, config)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--config error: {exc}") from exc
+    elapsed = time.time() - started
+    text = "\n".join(
+        [
+            f"dataset={args.dataset} budget={args.budget:g} "
+            f"solver={spec.name}",
+            f"config: {result.config.describe()}",
+            result.summary(game.alert_types.names),
+        ]
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    path = args.out / f"solve_{spec.name}.txt"
+    path.write_text(text + "\n")
+    print(f"== solve:{spec.name} ({elapsed:.1f}s) -> {path}")
+    print(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.run_experiments",
-        description="Regenerate the paper's tables and figures.",
+        description=(
+            "Regenerate the paper's tables and figures, or dispatch one "
+            "registry solver (--solver)."
+        ),
     )
     parser.add_argument(
         "--out", type=Path, default=Path("results"),
@@ -127,7 +197,47 @@ def main(argv: list[str] | None = None) -> int:
         "--only", nargs="+", choices=sorted(EXPERIMENTS),
         help="run a subset of experiments",
     )
+    parser.add_argument(
+        "--solver",
+        choices=all_names(),
+        metavar="NAME",
+        help=(
+            "dispatch one registry solver instead of the experiment "
+            "suite (see --list-solvers)"
+        ),
+    )
+    parser.add_argument(
+        "--config", nargs="*", default=[], metavar="K=V",
+        help="solver config overrides, coerced onto the typed config",
+    )
+    parser.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="syn_a",
+        help="dataset for --solver mode",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=10.0,
+        help="audit budget for --solver mode",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="engine seed (scenarios + solver randomness)",
+    )
+    parser.add_argument(
+        "--list-solvers", action="store_true",
+        help="print the solver registry table and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_solvers:
+        print(solver_table())
+        return 0
+    if args.solver is not None:
+        if args.only or args.full:
+            parser.error(
+                "--solver runs a single registry solver; it cannot be "
+                "combined with the experiment-mode flags --only/--full"
+            )
+        return _run_solver(args)
 
     names = args.only if args.only else list(EXPERIMENTS)
     args.out.mkdir(parents=True, exist_ok=True)

@@ -14,19 +14,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..baselines import (
-    GreedyBenefitBaseline,
-    RandomOrderBaseline,
-    RandomThresholdBaseline,
-)
 from ..core.game import AuditGame
 from ..datasets import SYN_A_BUDGETS, syn_a
-from ..solvers import (
-    ISHMResult,
-    iterative_shrink,
-    make_fixed_solver,
-    solve_optimal,
-)
+from ..engine import AuditEngine
 from .metrics import mean_relative_precision
 from .reporting import format_thresholds, render_series, render_table
 
@@ -110,9 +100,8 @@ def run_table3(
     """Brute-force the OAP on Syn A for each budget (Table III)."""
     rows = []
     for budget in budgets:
-        game = syn_a(budget=budget)
-        scenarios = game.scenario_set()
-        result = solve_optimal(game, scenarios, backend=backend)
+        engine = AuditEngine(syn_a(budget=budget), backend=backend)
+        result = engine.solve("bruteforce")
         policy = result.policy.pruned()
         rows.append(
             OptimalRow(
@@ -201,19 +190,16 @@ def run_ishm_grid(
     """Tables IV (method='enumeration') / V (method='cggs') on Syn A."""
     grid: list[tuple[GridCell, ...]] = []
     for budget in budgets:
-        game = syn_a(budget=budget)
-        scenarios = game.scenario_set()
+        # One engine per budget: the step-size sweep shares its scenario
+        # set (and, for the enumeration inner solver, every
+        # fixed-threshold solution probed along the way).
+        engine = AuditEngine(
+            syn_a(budget=budget), backend=backend, seed=seed
+        )
         row: list[GridCell] = []
         for step in step_sizes:
-            solver = make_fixed_solver(
-                game,
-                scenarios,
-                method=method,
-                backend=backend,
-                rng=np.random.default_rng(seed),
-            )
-            result: ISHMResult = iterative_shrink(
-                game, scenarios, step_size=step, solver=solver
+            result = engine.solve(
+                "ishm", step_size=float(step), inner=method
             )
             row.append(
                 GridCell(
@@ -221,7 +207,7 @@ def run_ishm_grid(
                     step_size=float(step),
                     objective=result.objective,
                     thresholds=result.thresholds,
-                    lp_calls=result.lp_calls,
+                    lp_calls=int(result.diagnostics["lp_calls"]),
                 )
             )
         grid.append(tuple(row))
@@ -357,15 +343,15 @@ def run_loss_figure(
 
     for budget in budgets:
         game: AuditGame = game_factory(budget)
-        rng = np.random.default_rng(seed)
-        scenarios = game.scenario_set(rng=rng, n_samples=n_scenarios)
+        # One engine per budget point: the proposed-policy sweep and all
+        # three baselines share one scenario set and one solution cache.
+        engine = AuditEngine(
+            game, seed=seed, n_samples=n_scenarios
+        )
         anchor_thresholds = None
         for step in step_sizes:
-            solver = make_fixed_solver(
-                game, scenarios, rng=np.random.default_rng(seed + 1)
-            )
-            result = iterative_shrink(
-                game, scenarios, step_size=float(step), solver=solver
+            result = engine.solve(
+                "ishm", step_size=float(step), seed=seed + 1
             )
             proposed[float(step)].append(result.objective)
             if float(step) == anchor_step:
@@ -373,26 +359,22 @@ def run_loss_figure(
                 if deterrence is None and result.objective <= 1e-6:
                     deterrence = budget
         if include_baselines:
-            rng_b = np.random.default_rng(seed + 2)
             rand_orders.append(
-                RandomOrderBaseline(
-                    game,
-                    scenarios,
+                engine.solve(
+                    "random-order",
+                    thresholds=tuple(anchor_thresholds.tolist()),
                     n_orderings=n_random_orderings,
-                    rng=rng_b,
-                ).run(anchor_thresholds).auditor_loss
+                    seed=seed + 2,
+                ).objective
             )
             rand_thresholds.append(
-                RandomThresholdBaseline(
-                    game,
-                    scenarios,
+                engine.solve(
+                    "random-threshold",
                     n_draws=n_threshold_draws,
-                    rng=rng_b,
-                ).run().mean_loss
+                    seed=seed + 3,
+                ).objective
             )
-            greedy.append(
-                GreedyBenefitBaseline(game, scenarios).run().auditor_loss
-            )
+            greedy.append(engine.solve("benefit-greedy").objective)
 
     return FigureCurves(
         dataset=dataset,

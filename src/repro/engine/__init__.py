@@ -1,0 +1,77 @@
+"""Unified solving API: facade, solver registry, and result contract.
+
+This package is the one true entry point for solving the Optimal
+Auditing Problem.  Every solver — the exact brute force, Algorithm 1
+(CGGS), Algorithm 2 (ISHM) and the three Section V-B baselines — is
+registered under a string key with a typed config, and returns the same
+frozen :class:`SolveResult`::
+
+    from repro.datasets import syn_a
+    from repro.engine import AuditEngine
+
+    engine = AuditEngine(syn_a(budget=10))
+    result = engine.solve("ishm", step_size=0.1)
+    print(result.objective, result.diagnostics["lp_calls"])
+    print(result.policy.describe())
+
+``engine.solve`` caches scenario sets and fixed-threshold master
+solutions across calls, so sweeps (step sizes, configs, baselines on the
+same game) stop re-pricing identical threshold vectors.  For one-shot
+use without an engine, :func:`solve` dispatches directly.
+
+Register your own solver with :func:`register_solver`; it becomes
+reachable from the CLI (``python -m repro.run_experiments --solver
+NAME``) and everywhere else with no further wiring.
+"""
+
+from .cache import CacheInfo, FixedSolveCache
+from .config import (
+    BruteForceConfig,
+    CGGSConfig,
+    EnumerationConfig,
+    GreedyBenefitConfig,
+    ISHMConfig,
+    RandomOrderConfig,
+    RandomThresholdConfig,
+    SolverConfig,
+)
+from .facade import AuditEngine, EngineCacheInfo
+from .registry import (
+    Solver,
+    SolverSpec,
+    all_names,
+    available,
+    get_solver,
+    register_solver,
+    solve,
+    solver_table,
+)
+from .result import SolveResult, finalize_result
+
+# Importing the adapters populates the registry as a side effect.
+from . import builtin as _builtin  # noqa: E402,F401  (registration)
+
+__all__ = [
+    "AuditEngine",
+    "BruteForceConfig",
+    "CGGSConfig",
+    "CacheInfo",
+    "EngineCacheInfo",
+    "EnumerationConfig",
+    "FixedSolveCache",
+    "GreedyBenefitConfig",
+    "ISHMConfig",
+    "RandomOrderConfig",
+    "RandomThresholdConfig",
+    "Solver",
+    "SolverConfig",
+    "SolverSpec",
+    "SolveResult",
+    "all_names",
+    "available",
+    "finalize_result",
+    "get_solver",
+    "register_solver",
+    "solve",
+    "solver_table",
+]

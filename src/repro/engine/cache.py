@@ -1,0 +1,149 @@
+"""Cross-call caching of fixed-threshold master solves.
+
+The expensive primitive every solver shares is "price one threshold
+vector ``b``": build the detection kernels for candidate orderings and
+solve the master LP of eq. 5.  ISHM probes hundreds of vectors, the
+brute-force optimum enumerates a grid of them, and the random-threshold
+baseline draws yet more — and a parameter sweep (step sizes, gamma,
+budgets at fixed game) re-prices many of the *same* vectors run after
+run.
+
+:class:`FixedSolveCache` memoizes
+:class:`~repro.solvers.master.FixedThresholdSolution` objects per
+``(inner method, backend, thresholds)`` for one ``(game, scenarios)``
+pair.  :class:`repro.engine.AuditEngine` keeps one instance per scenario
+set, which is what makes warm sweeps cheap (see
+``benchmarks/bench_engine_cache.py``).  Cross-call reuse is restricted
+to the deterministic enumeration method so cached answers are always
+identical to what a cold engine would compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..distributions.joint import ScenarioSet
+from ..solvers.ishm import (
+    ENUMERATION_TYPE_LIMIT,
+    FixedSolver,
+    make_fixed_solver,
+)
+from ..solvers.master import FixedThresholdSolution
+
+__all__ = ["CacheInfo", "FixedSolveCache"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters describing one cache's effectiveness."""
+
+    solutions: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FixedSolveCache:
+    """Memoized fixed-threshold solving for one ``(game, scenarios)``.
+
+    Only the deterministic inner method (enumeration) shares solutions
+    *across* :meth:`solver` calls — and across seeds, since its answers
+    do not depend on them.  CGGS is stateful (its warm-start column pool
+    and rng advance as it solves), so each :meth:`solver` call gets a
+    fresh :class:`~repro.solvers.cggs.CGGSSolver` and a private memo
+    scope: within one call (e.g. one ISHM run) repeated vectors are
+    still deduplicated, but results never depend on what the engine
+    solved earlier, preserving the equal-seed ⇒ equal-result guarantee.
+    """
+
+    def __init__(self, game: AuditGame, scenarios: ScenarioSet) -> None:
+        self.game = game
+        self.scenarios = scenarios
+        self._solvers: dict[tuple, FixedSolver] = {}
+        self._solutions: dict[tuple, FixedThresholdSolution] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _resolve(self, method: str) -> str:
+        if method == "auto":
+            return (
+                "enumeration"
+                if self.game.n_types <= ENUMERATION_TYPE_LIMIT
+                else "cggs"
+            )
+        return method
+
+    def solver(
+        self,
+        method: str = "auto",
+        backend: str = "scipy",
+        seed: int = 0,
+        **kwargs: object,
+    ) -> FixedSolver:
+        """A memoizing fixed-threshold solver closure.
+
+        ``kwargs`` pass through to
+        :func:`~repro.solvers.ishm.make_fixed_solver` (and into the memo
+        key, so differently-tuned solvers never share entries).
+        """
+        method = self._resolve(method)
+        options = tuple(sorted(kwargs.items()))
+        if method == "enumeration":
+            # Deterministic: share the solver and its solutions across
+            # calls, and drop the seed so runs with different seeds
+            # still share solutions.
+            solver_key = (method, backend, options)
+            solution_scope = (method, backend, options)
+            base = self._solvers.get(solver_key)
+            if base is None:
+                base = make_fixed_solver(
+                    self.game,
+                    self.scenarios,
+                    method=method,
+                    backend=backend,
+                    **kwargs,
+                )
+                self._solvers[solver_key] = base
+            solutions = self._solutions
+        else:
+            # Stateful (CGGS): fresh solver + a memo local to this call,
+            # so earlier engine solves cannot leak into this one and the
+            # engine-lifetime dict does not grow with unreusable entries.
+            solution_scope = (method, backend, seed, options)
+            base = make_fixed_solver(
+                self.game,
+                self.scenarios,
+                method=method,
+                backend=backend,
+                rng=np.random.default_rng(seed),
+                **kwargs,
+            )
+            solutions = {}
+
+        def cached(thresholds: np.ndarray) -> FixedThresholdSolution:
+            b = np.asarray(thresholds, dtype=np.float64)
+            key = solution_scope + (tuple(np.round(b, 9).tolist()),)
+            hit = solutions.get(key)
+            if hit is not None:
+                self.hits += 1
+                return hit
+            self.misses += 1
+            solution = base(b)
+            solutions[key] = solution
+            return solution
+
+        return cached
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            solutions=len(self._solutions),
+            hits=self.hits,
+            misses=self.misses,
+        )

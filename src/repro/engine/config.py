@@ -1,0 +1,184 @@
+"""Typed per-solver configuration dataclasses.
+
+Each registry solver declares a frozen ``SolverConfig`` subclass; the
+fields are the solver's complete tuning surface.  Configs are
+constructible from string-valued dictionaries (:meth:`SolverConfig.from_dict`)
+so CLI and JSON-driven runs — ``--solver ishm --config step_size=0.2`` —
+dispatch without bespoke argument parsing per solver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from dataclasses import dataclass
+
+__all__ = [
+    "SolverConfig",
+    "ISHMConfig",
+    "BruteForceConfig",
+    "EnumerationConfig",
+    "CGGSConfig",
+    "RandomOrderConfig",
+    "RandomThresholdConfig",
+    "GreedyBenefitConfig",
+]
+
+_NONE_WORDS = frozenset({"none", "null", ""})
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _coerce(text: str, annotation: object) -> object:
+    """Parse one ``k=v`` string value according to a field annotation."""
+    origin = typing.get_origin(annotation)
+    if origin in (typing.Union, types.UnionType):
+        args = [
+            a for a in typing.get_args(annotation) if a is not type(None)
+        ]
+        if text.strip().lower() in _NONE_WORDS:
+            return None
+        return _coerce(text, args[0])
+    if annotation is bool:
+        word = text.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+        raise ValueError(f"cannot parse {text!r} as a boolean")
+    if annotation is int:
+        return int(text)
+    if annotation is float:
+        return float(text)
+    if origin is tuple:
+        element = typing.get_args(annotation)[0]
+        parts = [p for p in text.split(",") if p.strip()]
+        return tuple(_coerce(p, element) for p in parts)
+    return text
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Options shared by every registry solver.
+
+    Attributes
+    ----------
+    backend:
+        LP backend name (``"scipy"`` or ``"simplex"``).
+    seed:
+        Seed for every random draw the solver makes.  Two runs with equal
+        seeds (and equal remaining config) produce identical
+        :class:`~repro.engine.result.SolveResult` policies/objectives.
+    """
+
+    backend: str = "scipy"
+    seed: int = 0
+
+    @classmethod
+    def from_dict(
+        cls, data: typing.Mapping[str, object]
+    ) -> "SolverConfig":
+        """Build a config from (possibly all-string) key/value pairs.
+
+        String values are coerced to the annotated field types, so the
+        CLI's ``--config step_size=0.2 max_probes=none`` round-trips into
+        proper ``float`` / ``None`` values.  Unknown keys raise with the
+        list of valid options.
+        """
+        hints = typing.get_type_hints(cls)
+        valid = {f.name for f in dataclasses.fields(cls)}
+        kwargs: dict[str, object] = {}
+        for key, value in data.items():
+            if key not in valid:
+                raise ValueError(
+                    f"{cls.__name__} has no option {key!r}; valid options: "
+                    f"{', '.join(sorted(valid))}"
+                )
+            kwargs[key] = (
+                _coerce(value, hints[key])
+                if isinstance(value, str)
+                else value
+            )
+        return cls(**kwargs)
+
+    def replace(self, **changes: object) -> "SolverConfig":
+        """Functional update (alias for :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """``k=v`` one-liner used by the CLI and result echoes."""
+        pairs = (
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+        )
+        return f"{type(self).__name__}({', '.join(pairs)})"
+
+
+@dataclass(frozen=True)
+class ISHMConfig(SolverConfig):
+    """Algorithm 2 (Iterative Shrink Heuristic Method) options."""
+
+    step_size: float = 0.1
+    inner: str = "auto"  # fixed-threshold master: enumeration/cggs/auto
+    quantize: str = "round"
+    quantum: float = 1.0
+    improvement_tol: float = 1e-9
+    max_probes: int | None = None
+    initial_thresholds: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class BruteForceConfig(SolverConfig):
+    """Exact OAP search over the integer threshold grid (Table III)."""
+
+    max_vectors: int = 500_000
+    enforce_budget_floor: bool = True
+    tie_break: str = "smallest"
+
+
+@dataclass(frozen=True)
+class _FixedThresholdConfig(SolverConfig):
+    """Shared options for solvers that take the threshold vector as input.
+
+    ``thresholds=None`` means the full-coverage upper bounds
+    ``J_t * C_t`` (the ISHM starting point).
+    """
+
+    thresholds: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class EnumerationConfig(_FixedThresholdConfig):
+    """Exact master LP over all ``|T|!`` ordering columns."""
+
+    max_orderings: int = 5040
+
+
+@dataclass(frozen=True)
+class CGGSConfig(_FixedThresholdConfig):
+    """Algorithm 1 (Column Generation Greedy Search) options."""
+
+    max_columns: int = 200
+    reduced_cost_tol: float = 1e-7
+    warm_start_pool: int = 48
+
+
+@dataclass(frozen=True)
+class RandomOrderConfig(_FixedThresholdConfig):
+    """Baseline: uniform mixture over random orderings (Section V-B)."""
+
+    n_orderings: int = 2000
+
+
+@dataclass(frozen=True)
+class RandomThresholdConfig(SolverConfig):
+    """Baseline: random thresholds, LP-optimal orderings per draw."""
+
+    n_draws: int = 100
+    inner: str = "auto"
+
+
+@dataclass(frozen=True)
+class GreedyBenefitConfig(SolverConfig):
+    """Baseline: deterministic benefit-ranked exhaustive auditing."""

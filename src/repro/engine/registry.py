@@ -1,0 +1,208 @@
+"""String-keyed solver registry and module-level dispatch.
+
+Solvers register themselves with :func:`register_solver`::
+
+    @register_solver(
+        "ishm",
+        config=ISHMConfig,
+        summary="threshold shrink heuristic",
+        paper_section="IV-C, Algorithm 2",
+    )
+    def _solve_ishm(game, scenarios, config, *, cache=None, **kwargs):
+        ...
+        return finalize_result(...)
+
+Every registered callable follows the :class:`Solver` protocol: it takes
+``(game, scenarios, config)`` plus an optional shared
+:class:`~repro.engine.cache.FixedSolveCache`, and returns a
+:class:`~repro.engine.result.SolveResult`.  Dispatch by name happens via
+:func:`solve` (or :meth:`repro.engine.AuditEngine.solve`, which adds
+scenario/kernel caching on top).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Protocol, runtime_checkable
+
+from .config import SolverConfig
+from .result import SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..core.game import AuditGame
+    from ..distributions.joint import ScenarioSet
+    from .cache import FixedSolveCache
+
+__all__ = [
+    "Solver",
+    "SolverSpec",
+    "all_names",
+    "available",
+    "get_solver",
+    "make_config",
+    "register_solver",
+    "solve",
+    "solver_table",
+]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Callable contract every registry solver satisfies."""
+
+    def __call__(
+        self,
+        game: "AuditGame",
+        scenarios: "ScenarioSet",
+        config: SolverConfig,
+        *,
+        cache: "FixedSolveCache | None" = None,
+        **kwargs: object,
+    ) -> SolveResult: ...
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registry entry: the solver plus its metadata."""
+
+    name: str
+    func: Callable[..., SolveResult]
+    config_cls: type[SolverConfig]
+    summary: str
+    paper_section: str
+    aliases: tuple[str, ...] = ()
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_solver(
+    name: str,
+    *,
+    config: type[SolverConfig] = SolverConfig,
+    summary: str = "",
+    paper_section: str = "",
+    aliases: tuple[str, ...] = (),
+) -> Callable[[Callable[..., SolveResult]], Callable[..., SolveResult]]:
+    """Class/function decorator adding a solver under ``name``."""
+    if not issubclass(config, SolverConfig):
+        raise TypeError(
+            f"config must subclass SolverConfig, got {config!r}"
+        )
+
+    def decorator(
+        func: Callable[..., SolveResult]
+    ) -> Callable[..., SolveResult]:
+        for key in (name, *aliases):
+            if key in _REGISTRY or key in _ALIASES:
+                raise ValueError(f"solver {key!r} is already registered")
+        spec = SolverSpec(
+            name=name,
+            func=func,
+            config_cls=config,
+            summary=summary,
+            paper_section=paper_section,
+            aliases=tuple(aliases),
+        )
+        _REGISTRY[name] = spec
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return func
+
+    return decorator
+
+
+def available() -> tuple[str, ...]:
+    """Canonical names of every registered solver, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_names() -> tuple[str, ...]:
+    """Every accepted solver name — canonical names plus aliases."""
+    return tuple(sorted({*_REGISTRY, *_ALIASES}))
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Resolve a name or alias to its :class:`SolverSpec`."""
+    canonical = _ALIASES.get(name, name)
+    spec = _REGISTRY.get(canonical)
+    if spec is None:
+        raise KeyError(
+            f"no solver registered under {name!r}; available: "
+            f"{', '.join(available())}"
+        )
+    return spec
+
+
+def make_config(
+    spec: SolverSpec,
+    config: SolverConfig | Mapping[str, object] | None = None,
+    /,
+    **overrides: object,
+) -> SolverConfig:
+    """Normalize whatever the caller passed into the spec's config type.
+
+    ``config`` may be ``None`` (defaults), a mapping (string values are
+    coerced, for CLI/JSON runs) or an existing config instance;
+    ``overrides`` are applied on top in all three cases.
+    """
+    if config is None:
+        base = spec.config_cls()
+    elif isinstance(config, SolverConfig):
+        if not isinstance(config, spec.config_cls):
+            raise TypeError(
+                f"solver {spec.name!r} expects {spec.config_cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        base = config
+    else:
+        base = spec.config_cls.from_dict(config)
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return base
+
+
+def solve(
+    game: "AuditGame",
+    scenarios: "ScenarioSet",
+    method: str,
+    config: SolverConfig | Mapping[str, object] | None = None,
+    **kwargs: object,
+) -> SolveResult:
+    """One-shot registry dispatch (no cross-call caching).
+
+    For repeated solves on the same game — sweeps, grids, baselines
+    sharing scenario sets — prefer :class:`repro.engine.AuditEngine`,
+    which reuses scenario sets and fixed-threshold solutions between
+    calls.
+    """
+    spec = get_solver(method)
+    cfg = make_config(spec, config)
+    return spec.func(game, scenarios, cfg, **kwargs)
+
+
+def solver_table() -> str:
+    """Registry overview: name, paper section, config options, summary."""
+    rows = [("name", "paper section", "config", "summary")]
+    for name in available():
+        spec = _REGISTRY[name]
+        options = ", ".join(
+            f.name for f in dataclasses.fields(spec.config_cls)
+        )
+        label = name
+        if spec.aliases:
+            label += f" ({', '.join(spec.aliases)})"
+        rows.append((label, spec.paper_section, options, spec.summary))
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""The unified :class:`SolveResult` contract.
+
+Every registry solver — exact, heuristic or baseline — returns this one
+frozen record: the solved policy, the headline objective, the
+per-adversary best responses to that policy, solver diagnostics, wall
+clock timing and an echo of the configuration that produced it.  The
+experiments layer, CLI, benchmarks and examples consume only this type,
+so new solvers plug in without touching any of them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..core.objective import BestResponse, PolicyEvaluation
+from ..core.policy import AuditPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.game import AuditGame
+    from ..distributions.joint import ScenarioSet
+    from .config import SolverConfig
+
+__all__ = ["SolveResult", "finalize_result"]
+
+
+@dataclass(frozen=True, eq=False)
+class SolveResult:
+    """Outcome of one :func:`repro.engine.solve` call.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the solver that produced the result.
+    objective:
+        The solver's headline auditor loss.  For most solvers this is the
+        loss of ``policy``; aggregate baselines (``random-threshold``)
+        report their aggregate (mean over draws) here while ``policy``
+        holds the best single draw.
+    policy:
+        The (mixed) audit policy returned by the solver.
+    best_responses:
+        Each adversary's best response *to* ``policy`` — attacked victim
+        (or refrain) and attained utility.
+    diagnostics:
+        Read-only solver-specific counters (LP calls, columns generated,
+        vectors enumerated, ...).
+    wall_time:
+        Wall-clock seconds spent inside the solver call.
+    config:
+        The fully-resolved :class:`~repro.engine.config.SolverConfig`
+        echo, so a result is reproducible from itself.
+    raw:
+        The solver's native result object (e.g.
+        :class:`~repro.solvers.ishm.ISHMResult`) for power users; ``None``
+        when the solver has no richer representation.
+    """
+
+    solver: str
+    objective: float
+    policy: AuditPolicy
+    best_responses: tuple[BestResponse, ...]
+    diagnostics: Mapping[str, object]
+    wall_time: float
+    config: "SolverConfig"
+    raw: object = field(default=None, repr=False)
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        """The policy's threshold vector ``b``."""
+        return self.policy.thresholds
+
+    @property
+    def adversary_utilities(self) -> np.ndarray:
+        """``u_e`` per adversary under ``policy``."""
+        return np.array([r.utility for r in self.best_responses])
+
+    @property
+    def n_deterred(self) -> int:
+        """Adversaries for whom refraining beats every attack."""
+        return sum(1 for r in self.best_responses if r.deterred)
+
+    def summary(self, type_names: Sequence[str] | None = None) -> str:
+        """Multi-line human-readable report (CLI / examples output)."""
+        diag = ", ".join(f"{k}={v}" for k, v in self.diagnostics.items())
+        lines = [
+            f"solver={self.solver}  objective={self.objective:.4f}  "
+            f"wall_time={self.wall_time:.2f}s",
+            f"deterred {self.n_deterred}/{len(self.best_responses)} "
+            "adversaries",
+        ]
+        if diag:
+            lines.append(f"diagnostics: {diag}")
+        lines.append(self.policy.describe(type_names))
+        return "\n".join(lines)
+
+
+def finalize_result(
+    game: "AuditGame",
+    scenarios: "ScenarioSet",
+    *,
+    solver: str,
+    policy: AuditPolicy,
+    objective: float,
+    config: "SolverConfig",
+    started: float,
+    diagnostics: Mapping[str, object] | None = None,
+    raw: object = None,
+    evaluation: PolicyEvaluation | None = None,
+) -> SolveResult:
+    """Assemble a :class:`SolveResult`, evaluating the best responses.
+
+    ``started`` is the ``time.perf_counter()`` reading taken when the
+    solver began; the wall time is stamped here so every solver measures
+    the same span (including this final evaluation).  Solvers that have
+    already evaluated ``policy`` on ``scenarios`` pass their
+    ``evaluation`` to skip the duplicate work.
+    """
+    if evaluation is None:
+        evaluation = game.evaluate(policy, scenarios)
+    diag = dict(diagnostics or {})
+    diag.setdefault("n_scenarios", scenarios.n_scenarios)
+    return SolveResult(
+        solver=solver,
+        objective=float(objective),
+        policy=policy,
+        best_responses=evaluation.responses,
+        diagnostics=MappingProxyType(diag),
+        wall_time=time.perf_counter() - started,
+        config=config,
+        raw=raw,
+    )

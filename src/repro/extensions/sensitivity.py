@@ -17,7 +17,8 @@ import numpy as np
 
 from ..core.game import AuditGame
 from ..core.payoffs import PayoffModel
-from ..solvers.ishm import ISHMResult, iterative_shrink, make_fixed_solver
+from ..engine import AuditEngine, SolveResult
+from ..solvers.ishm import ISHMResult
 
 __all__ = ["SensitivityRow", "scale_payoffs", "sensitivity_sweep"]
 
@@ -67,23 +68,18 @@ def sensitivity_sweep(
     step_size: float = 0.2,
     n_scenarios: int = 500,
     seed: int = 0,
-    solve: Callable[[AuditGame], ISHMResult] | None = None,
+    solve: Callable[[AuditGame], ISHMResult | SolveResult] | None = None,
 ) -> list[SensitivityRow]:
     """Re-solve the game across payoff scales; one row per scale."""
     rows: list[SensitivityRow] = []
     for scale in scales:
         scaled = scale_payoffs(game, component, float(scale))
         if solve is None:
-            rng = np.random.default_rng(seed)
-            scenarios = scaled.scenario_set(
-                rng=rng, n_samples=n_scenarios
+            engine = AuditEngine(
+                scaled, seed=seed, n_samples=n_scenarios
             )
-            solver = make_fixed_solver(scaled, scenarios, rng=rng)
-            result = iterative_shrink(
-                scaled, scenarios, step_size=step_size, solver=solver
-            )
-            evaluation = scaled.evaluate(result.policy, scenarios)
-            n_deterred = evaluation.n_deterred
+            result = engine.solve("ishm", step_size=step_size)
+            n_deterred = result.n_deterred
         else:
             result = solve(scaled)
             n_deterred = -1

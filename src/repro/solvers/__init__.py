@@ -12,6 +12,7 @@
 from .best_response import ResponseReport, deterrence_budget, response_report
 from .bruteforce import (
     BruteForceResult,
+    run_solve_optimal,
     solve_optimal,
     threshold_grid_size,
 )
@@ -21,6 +22,7 @@ from .ishm import (
     ISHMResult,
     iterative_shrink,
     make_fixed_solver,
+    run_iterative_shrink,
 )
 from .master import FixedThresholdSolution, MasterProblem, PolicyContext
 
@@ -38,6 +40,8 @@ __all__ = [
     "iterative_shrink",
     "make_fixed_solver",
     "response_report",
+    "run_iterative_shrink",
+    "run_solve_optimal",
     "solve_optimal",
     "threshold_grid_size",
 ]

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -22,7 +24,12 @@ from ..distributions.joint import ScenarioSet
 from .enumeration import EnumerationSolver
 from .master import FixedThresholdSolution
 
-__all__ = ["BruteForceResult", "solve_optimal", "threshold_grid_size"]
+__all__ = [
+    "BruteForceResult",
+    "run_solve_optimal",
+    "solve_optimal",
+    "threshold_grid_size",
+]
 
 DEFAULT_MAX_VECTORS = 500_000
 
@@ -73,15 +80,20 @@ class BruteForceResult:
         )
 
 
-def solve_optimal(
+def run_solve_optimal(
     game: AuditGame,
     scenarios: ScenarioSet,
     backend: str = "scipy",
     max_vectors: int = DEFAULT_MAX_VECTORS,
     enforce_budget_floor: bool = True,
     tie_break: str = "smallest",
+    solver: Callable[[np.ndarray], FixedThresholdSolution] | None = None,
 ) -> BruteForceResult:
     """Exhaustively search integer thresholds; LP-optimal orderings per b.
+
+    This is the raw implementation invoked by the ``"bruteforce"``
+    registry solver; prefer
+    ``repro.engine.AuditEngine(game).solve("bruteforce")``.
 
     Parameters
     ----------
@@ -92,6 +104,11 @@ def solve_optimal(
         ``"smallest"`` prefers the lexicographically/elementwise smallest
         optimal vector (the paper reports "the smallest optimal threshold"
         when ties occur); ``"first"`` keeps the first one found.
+    solver:
+        Optional fixed-threshold master solver; defaults to a fresh
+        :class:`EnumerationSolver`.  The engine passes its shared
+        memoizing solver here so grid points priced by earlier solves
+        (e.g. ISHM probes) are reused.
     """
     if tie_break not in ("smallest", "first"):
         raise ValueError(f"unknown tie_break {tie_break!r}")
@@ -100,9 +117,10 @@ def solve_optimal(
         raise ValueError(
             f"threshold grid has {total} vectors "
             f"(> max_vectors={max_vectors}); brute force is intractable — "
-            "use iterative_shrink instead"
+            "use the 'ishm' solver instead"
         )
-    solver = EnumerationSolver(game, scenarios, backend=backend)
+    if solver is None:
+        solver = EnumerationSolver(game, scenarios, backend=backend).solve
 
     best_objective = math.inf
     best_thresholds: np.ndarray | None = None
@@ -112,7 +130,7 @@ def solve_optimal(
         b = np.asarray(combo, dtype=np.float64)
         if enforce_budget_floor and b.sum() < game.budget:
             continue
-        candidate = solver.solve(b)
+        candidate = solver(b)
         evaluated += 1
         improved = candidate.objective < best_objective - 1e-12
         tied = (
@@ -137,3 +155,36 @@ def solve_optimal(
         n_vectors_evaluated=evaluated,
         n_vectors_total=total,
     )
+
+
+def solve_optimal(
+    game: AuditGame,
+    scenarios: ScenarioSet,
+    backend: str = "scipy",
+    max_vectors: int = DEFAULT_MAX_VECTORS,
+    enforce_budget_floor: bool = True,
+    tie_break: str = "smallest",
+) -> BruteForceResult:
+    """Deprecated free-function entry point for the brute-force optimum.
+
+    Delegates to the ``"bruteforce"`` solver of :mod:`repro.engine`'s
+    registry and returns the native :class:`BruteForceResult`.  Use
+    ``AuditEngine(game).solve("bruteforce")`` (or ``repro.engine.solve``)
+    instead for the unified :class:`~repro.engine.SolveResult` contract
+    and cross-call solution caching.
+    """
+    warnings.warn(
+        "solve_optimal() is deprecated; use "
+        "repro.engine.AuditEngine(game).solve('bruteforce') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..engine import BruteForceConfig, solve as engine_solve
+
+    config = BruteForceConfig(
+        backend=backend,
+        max_vectors=max_vectors,
+        enforce_budget_floor=enforce_budget_floor,
+        tie_break=tie_break,
+    )
+    return engine_solve(game, scenarios, "bruteforce", config).raw

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.cli import EXPERIMENTS, main
+from repro.analysis.cli import DATASETS, EXPERIMENTS, main
 
 
 class TestRegistry:
@@ -11,6 +11,68 @@ class TestRegistry:
             "table3", "table4", "table5", "table6", "table7",
             "fig1", "fig2",
         }
+
+    def test_covers_every_dataset(self):
+        assert set(DATASETS) == {"syn_a", "rea_a", "rea_b"}
+
+
+class TestSolverMode:
+    def test_list_solvers(self, capsys):
+        assert main(["--list-solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "ishm" in out
+        assert "bruteforce" in out
+
+    def test_solver_dispatch_writes_artifact(self, tmp_path):
+        code = main(
+            [
+                "--solver", "ishm",
+                "--dataset", "syn_a",
+                "--budget", "2",
+                "--config", "step_size=0.5",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        text = (tmp_path / "solve_ishm.txt").read_text()
+        assert "solver=ishm" in text
+        assert "step_size=0.5" in text
+        assert "lp_calls" in text
+
+    def test_baseline_dispatch(self, tmp_path):
+        code = main(
+            [
+                "--solver", "benefit-greedy",
+                "--budget", "2",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "solve_benefit-greedy.txt").exists()
+
+    def test_malformed_config_pair(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--solver", "ishm",
+                    "--config", "step_size",
+                    "--out", str(tmp_path),
+                ]
+            )
+
+    def test_unknown_solver_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--solver", "gradient", "--out", str(tmp_path)])
+
+    def test_solver_conflicts_with_experiment_flags(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--solver", "ishm",
+                    "--only", "table3",
+                    "--out", str(tmp_path),
+                ]
+            )
 
 
 class TestMain:

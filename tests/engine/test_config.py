@@ -1,0 +1,89 @@
+"""SolverConfig construction and CLI-style string coercion."""
+
+import pytest
+
+from repro.engine import (
+    BruteForceConfig,
+    CGGSConfig,
+    ISHMConfig,
+    RandomOrderConfig,
+    SolverConfig,
+    get_solver,
+)
+from repro.engine.registry import make_config
+
+
+class TestFromDict:
+    def test_float_and_int_coercion(self):
+        config = ISHMConfig.from_dict(
+            {"step_size": "0.25", "max_probes": "50", "seed": "3"}
+        )
+        assert config.step_size == 0.25
+        assert config.max_probes == 50
+        assert config.seed == 3
+
+    def test_optional_none_words(self):
+        config = ISHMConfig.from_dict({"max_probes": "none"})
+        assert config.max_probes is None
+
+    def test_bool_coercion(self):
+        for word, expected in (
+            ("true", True), ("1", True), ("Yes", True),
+            ("false", False), ("0", False), ("off", False),
+        ):
+            config = BruteForceConfig.from_dict(
+                {"enforce_budget_floor": word}
+            )
+            assert config.enforce_budget_floor is expected
+
+    def test_bad_bool_raises(self):
+        with pytest.raises(ValueError, match="boolean"):
+            BruteForceConfig.from_dict({"enforce_budget_floor": "maybe"})
+
+    def test_tuple_of_floats(self):
+        config = CGGSConfig.from_dict({"thresholds": "1,2.5,3"})
+        assert config.thresholds == (1.0, 2.5, 3.0)
+
+    def test_string_passthrough(self):
+        config = ISHMConfig.from_dict({"inner": "cggs"})
+        assert config.inner == "cggs"
+
+    def test_non_string_values_kept(self):
+        config = RandomOrderConfig.from_dict({"n_orderings": 7})
+        assert config.n_orderings == 7
+
+    def test_unknown_key_lists_options(self):
+        with pytest.raises(ValueError, match="step_size"):
+            ISHMConfig.from_dict({"stepsize": "0.1"})
+
+
+class TestMakeConfig:
+    def test_defaults(self):
+        spec = get_solver("ishm")
+        config = make_config(spec)
+        assert isinstance(config, ISHMConfig)
+        assert config.step_size == ISHMConfig().step_size
+
+    def test_overrides_on_instance(self):
+        spec = get_solver("ishm")
+        config = make_config(spec, ISHMConfig(step_size=0.5), seed=9)
+        assert config.step_size == 0.5
+        assert config.seed == 9
+
+    def test_mapping_is_coerced(self):
+        spec = get_solver("ishm")
+        config = make_config(spec, {"step_size": "0.4"})
+        assert config.step_size == 0.4
+
+    def test_wrong_config_type_raises(self):
+        spec = get_solver("ishm")
+        with pytest.raises(TypeError, match="ISHMConfig"):
+            make_config(spec, BruteForceConfig())
+
+    def test_base_config_rejected_for_specialized_solver(self):
+        spec = get_solver("ishm")
+        with pytest.raises(TypeError):
+            make_config(spec, SolverConfig())
+
+    def test_describe_mentions_fields(self):
+        assert "step_size" in ISHMConfig().describe()

@@ -1,0 +1,210 @@
+"""AuditEngine caching behavior, overrides, and the deprecated shims."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AuditEngine, ISHMConfig, register_solver
+from repro.engine import registry as registry_module
+from repro.engine.cache import FixedSolveCache
+from repro.solvers import (
+    BruteForceResult,
+    ISHMResult,
+    iterative_shrink,
+    solve_optimal,
+)
+
+
+@pytest.fixture()
+def engine(tiny_game):
+    return AuditEngine(tiny_game)
+
+
+class TestScenarioCache:
+    def test_same_key_same_object(self, engine):
+        first = engine.scenario_set()
+        assert engine.scenario_set() is first
+        info = engine.cache_info()
+        assert info.scenario_sets == 1
+        assert info.scenario_hits == 1
+        assert info.scenario_misses == 1
+
+    def test_different_key_different_object(self, engine):
+        first = engine.scenario_set()
+        other = engine.scenario_set(seed=99)
+        assert other is not first
+        assert engine.cache_info().scenario_sets == 2
+
+    def test_clear_caches(self, engine):
+        engine.scenario_set()
+        engine.clear_caches()
+        info = engine.cache_info()
+        assert info.scenario_sets == 0
+        assert info.scenario_hits == 0
+
+
+class TestSolutionCache:
+    def test_repeat_solve_hits_cache(self, engine):
+        first = engine.solve("ishm", step_size=0.5)
+        cold = engine.cache_info()
+        second = engine.solve("ishm", step_size=0.5)
+        warm = engine.cache_info()
+        assert second.objective == first.objective
+        assert warm.solution_hits > cold.solution_hits
+        assert warm.solution_misses == cold.solution_misses
+
+    def test_cache_shared_across_solvers(self, engine):
+        engine.solve("bruteforce")
+        cold = engine.cache_info()
+        # ISHM starts from full coverage, which brute force has already
+        # priced whenever the grid includes it; at minimum the counters
+        # keep aggregating in one shared cache.
+        engine.solve("ishm", step_size=0.5)
+        warm = engine.cache_info()
+        assert warm.fixed_solutions >= cold.fixed_solutions
+        assert warm.solution_hits >= cold.solution_hits
+
+    def test_identical_results_cold_vs_warm(self, tiny_game):
+        warm_engine = AuditEngine(tiny_game)
+        warm_engine.solve("bruteforce")  # prime the cache
+        warm = warm_engine.solve("ishm", step_size=0.25)
+        cold = AuditEngine(tiny_game).solve("ishm", step_size=0.25)
+        assert warm.objective == cold.objective
+        assert warm.thresholds.tolist() == cold.thresholds.tolist()
+
+
+class TestSolveArguments:
+    def test_override_conflict_raises(self, engine):
+        with pytest.raises(TypeError, match="step_size"):
+            engine.solve(
+                "ishm", {"step_size": "0.5"}, step_size=0.25
+            )
+
+    def test_engine_defaults_injected(self, engine):
+        result = engine.solve("ishm", step_size=0.5)
+        assert result.config.backend == engine.backend
+        assert result.config.seed == engine.seed
+
+    def test_explicit_config_object_respected(self, tiny_game):
+        engine = AuditEngine(tiny_game, seed=5)
+        config = ISHMConfig(step_size=0.5, seed=11)
+        result = engine.solve("ishm", config)
+        assert result.config.seed == 11
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(KeyError):
+            engine.solve("gradient-descent")
+
+    def test_evaluate_uses_cached_scenarios(self, engine):
+        result = engine.solve("benefit-greedy")
+        evaluation = engine.evaluate(result.policy)
+        assert evaluation.auditor_loss == pytest.approx(
+            result.objective
+        )
+
+
+class TestCustomSolverRegistration:
+    def test_registered_solver_reachable_via_engine(
+        self, engine, monkeypatch
+    ):
+        monkeypatch.setattr(
+            registry_module, "_REGISTRY", dict(registry_module._REGISTRY)
+        )
+        monkeypatch.setattr(
+            registry_module, "_ALIASES", dict(registry_module._ALIASES)
+        )
+
+        @register_solver("constant", summary="test stub")
+        def _solve_constant(game, scenarios, config, *, cache=None):
+            import time
+
+            from repro.engine import finalize_result
+            from repro.core.policy import AuditPolicy, Ordering
+
+            started = time.perf_counter()
+            policy = AuditPolicy.pure(
+                Ordering(tuple(range(game.n_types))),
+                game.threshold_upper_bounds(),
+            )
+            evaluation = game.evaluate(policy, scenarios)
+            return finalize_result(
+                game,
+                scenarios,
+                solver="constant",
+                policy=policy,
+                objective=evaluation.auditor_loss,
+                config=config,
+                started=started,
+            )
+
+        result = engine.solve("constant")
+        assert result.solver == "constant"
+        assert np.isfinite(result.objective)
+
+
+class TestFixedSolveCacheUnit:
+    def test_enumeration_solutions_shared_across_seeds(
+        self, tiny_game, tiny_scenarios
+    ):
+        cache = FixedSolveCache(tiny_game, tiny_scenarios)
+        b = tiny_game.threshold_upper_bounds().astype(float)
+        cache.solver(method="enumeration", seed=0)(b)
+        cache.solver(method="enumeration", seed=1)(b)
+        info = cache.info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+    def test_cggs_solutions_not_shared_across_calls(
+        self, tiny_game, tiny_scenarios
+    ):
+        # CGGS is stateful; sharing solutions across solver() calls
+        # would make warm engines diverge from cold ones.
+        cache = FixedSolveCache(tiny_game, tiny_scenarios)
+        b = tiny_game.threshold_upper_bounds().astype(float)
+        cache.solver(method="cggs", seed=0)(b)
+        cache.solver(method="cggs", seed=0)(b)
+        assert cache.info().misses == 2
+
+    def test_cggs_warm_engine_matches_cold(self, tiny_game):
+        warm_engine = AuditEngine(tiny_game)
+        warm_engine.solve("ishm", step_size=0.5, inner="cggs")
+        warm = warm_engine.solve("ishm", step_size=0.25, inner="cggs")
+        cold = AuditEngine(tiny_game).solve(
+            "ishm", step_size=0.25, inner="cggs"
+        )
+        assert warm.objective == cold.objective
+        assert warm.thresholds.tolist() == cold.thresholds.tolist()
+        assert (
+            warm.policy.probabilities.tolist()
+            == cold.policy.probabilities.tolist()
+        )
+
+
+class TestDeprecatedShims:
+    def test_iterative_shrink_warns_and_delegates(
+        self, tiny_game, tiny_scenarios
+    ):
+        with pytest.deprecated_call():
+            result = iterative_shrink(
+                tiny_game, tiny_scenarios, step_size=0.5
+            )
+        assert isinstance(result, ISHMResult)
+
+    def test_solve_optimal_warns_and_delegates(
+        self, tiny_game, tiny_scenarios
+    ):
+        with pytest.deprecated_call():
+            result = solve_optimal(tiny_game, tiny_scenarios)
+        assert isinstance(result, BruteForceResult)
+
+    def test_shim_matches_engine(self, tiny_game, tiny_scenarios):
+        with pytest.deprecated_call():
+            legacy = iterative_shrink(
+                tiny_game, tiny_scenarios, step_size=0.5
+            )
+        modern = AuditEngine(tiny_game).solve(
+            "ishm", step_size=0.5, scenarios=tiny_scenarios
+        )
+        assert legacy.objective == modern.objective
+        assert (
+            legacy.thresholds.tolist() == modern.thresholds.tolist()
+        )

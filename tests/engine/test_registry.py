@@ -1,0 +1,137 @@
+"""The solver registry: coverage, the SolveResult contract, determinism.
+
+The contract test is the ISSUE's acceptance gate: every registered
+solver must solve the small Syn A instance and return a well-formed
+:class:`~repro.engine.SolveResult`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import syn_a
+from repro.engine import (
+    AuditEngine,
+    SolveResult,
+    SolverConfig,
+    available,
+    get_solver,
+    register_solver,
+    solve,
+    solver_table,
+)
+
+#: Small configs so the all-solver sweep stays fast.
+SMALL_CONFIGS: dict[str, dict] = {
+    "ishm": {"step_size": 0.5},
+    "bruteforce": {},
+    "enumeration": {},
+    "cggs": {},
+    "random-order": {"n_orderings": 8},
+    "random-threshold": {"n_draws": 4},
+    "benefit-greedy": {},
+}
+
+
+@pytest.fixture(scope="module")
+def small_engine():
+    """One shared engine for the whole module (warm caches are part of
+    the point: every solver must behave with a shared cache)."""
+    return AuditEngine(syn_a(budget=2))
+
+
+class TestRegistryCoverage:
+    def test_every_builtin_is_registered(self):
+        assert set(available()) == set(SMALL_CONFIGS)
+
+    def test_aliases_resolve(self):
+        assert get_solver("optimal").name == "bruteforce"
+        assert get_solver("iterative-shrink").name == "ishm"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="ishm"):
+            get_solver("no-such-solver")
+
+    def test_table_mentions_every_solver(self):
+        table = solver_table()
+        for name in available():
+            assert name in table
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver("ishm")(lambda *a, **k: None)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_CONFIGS))
+class TestSolveResultContract:
+    def test_contract(self, small_engine, name):
+        game = small_engine.game
+        result = small_engine.solve(name, SMALL_CONFIGS[name])
+
+        assert isinstance(result, SolveResult)
+        assert result.solver == name
+        # Objective is a finite auditor loss.
+        assert np.isfinite(result.objective)
+        # Policy is feasible: complete orderings over the game's types,
+        # a proper distribution, non-negative thresholds within the
+        # brute-force grid ceiling.
+        policy = result.policy
+        assert policy.n_types == game.n_types
+        assert np.isclose(policy.probabilities.sum(), 1.0)
+        assert policy.probabilities.min() >= 0.0
+        assert policy.thresholds.min() >= 0.0
+        upper = np.ceil(game.threshold_upper_bounds())
+        assert (policy.thresholds <= upper + 1e-9).all()
+        for ordering in policy.orderings:
+            assert ordering.is_complete(game.n_types)
+        # Best responses cover every adversary.
+        assert len(result.best_responses) == game.n_adversaries
+        # Timing and diagnostics are populated.
+        assert result.wall_time > 0.0
+        assert result.diagnostics["n_scenarios"] > 0
+        # The config echo is the solver's own typed config.
+        assert isinstance(
+            result.config, get_solver(name).config_cls
+        )
+        assert isinstance(result.config, SolverConfig)
+        # summary() renders without error and names the solver.
+        assert name in result.summary()
+
+
+@pytest.mark.parametrize(
+    "name", ["ishm", "cggs", "random-order", "random-threshold"]
+)
+class TestSeedDeterminism:
+    def test_same_seed_same_result(self, tiny_game, tiny_scenarios, name):
+        config = dict(SMALL_CONFIGS[name], seed=7)
+        first = solve(tiny_game, tiny_scenarios, name, config)
+        second = solve(tiny_game, tiny_scenarios, name, config)
+        assert first.objective == second.objective
+        assert first.thresholds.tolist() == second.thresholds.tolist()
+        assert (
+            first.policy.probabilities.tolist()
+            == second.policy.probabilities.tolist()
+        )
+        assert [tuple(o) for o in first.policy.orderings] == [
+            tuple(o) for o in second.policy.orderings
+        ]
+        assert first.best_responses == second.best_responses
+
+
+class TestModuleLevelSolve:
+    def test_one_shot_dispatch(self, tiny_game, tiny_scenarios):
+        result = solve(
+            tiny_game, tiny_scenarios, "ishm", {"step_size": "0.5"}
+        )
+        assert isinstance(result, SolveResult)
+        assert result.diagnostics["lp_calls"] > 0
+
+    def test_aggregate_baseline_reports_mean(
+        self, tiny_game, tiny_scenarios
+    ):
+        result = solve(
+            tiny_game, tiny_scenarios, "random-threshold", {"n_draws": 5}
+        )
+        # The headline is the mean over draws; the policy is the best
+        # draw, so its own loss can only be at least as good.
+        assert result.diagnostics["min_loss"] <= result.objective
+        assert result.diagnostics["n_draws"] == 5
