@@ -8,7 +8,7 @@ grows.
 """
 
 import numpy as np
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -16,8 +16,10 @@ from repro.solvers import EnumerationSolver
 
 
 def test_ablation_scenario_count(benchmark):
-    sample_counts = (
-        (50, 200, 1000, 5000) if full_mode() else (50, 200, 1000)
+    sample_counts = pick(
+        smoke=(50, 1000),
+        fast=(50, 200, 1000),
+        full=(50, 200, 1000, 5000),
     )
     game = syn_a(budget=10)
     exact = game.scenario_set()

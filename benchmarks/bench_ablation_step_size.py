@@ -9,14 +9,17 @@ benchmarks' caches.
 """
 
 import numpy as np
-from conftest import emit, engine_for, full_mode
+from conftest import emit, engine_for, pick
 
 from repro.analysis import render_table
 
 
 def test_ablation_step_size(benchmark):
-    steps = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5) if full_mode() \
-        else (0.1, 0.3, 0.5)
+    steps = pick(
+        smoke=(0.3, 0.5),
+        fast=(0.1, 0.3, 0.5),
+        full=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    )
     # Time the sweep on a cold, dedicated engine so the measurement
     # reflects solver work, not cache hits seeded by other benchmarks
     # (or by the brute-force reference, which therefore runs after).

@@ -1,0 +1,101 @@
+"""Batch-parallel threshold pricing: the workers knob on an ISHM sweep.
+
+Every solver prices threshold vectors through the engine's
+``FixedSolveCache``; this bench runs the same ISHM step-size sweep on
+the 4-type Syn A game twice — ``workers=1`` (the serial reference path)
+and ``workers=4`` (each probe round priced as one batch: vectorized
+kernel construction, master LPs fanned out over a process pool) — and
+reports the wall-clock ratio.
+
+Correctness is asserted unconditionally: the parallel sweep must return
+bit-for-bit the same objectives, thresholds and probe counts as the
+serial one.  The >= 2x speedup is asserted only when the machine
+actually exposes >= 4 CPUs to this process (and not in smoke mode,
+where grids are too small for stable timing); on fewer cores the
+numbers are still printed.
+"""
+
+import os
+import time
+
+from conftest import emit, pick, smoke_mode
+
+from repro.analysis import render_table
+from repro.datasets import syn_a
+from repro.engine import AuditEngine
+
+WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS)
+        return os.cpu_count() or 1
+
+
+def _sweep(engine: AuditEngine, steps) -> tuple[list, float]:
+    started = time.perf_counter()
+    results = [engine.solve("ishm", step_size=s) for s in steps]
+    return results, time.perf_counter() - started
+
+
+def test_batch_pricing_speedup(benchmark):
+    steps = pick(
+        smoke=(0.5,),
+        fast=(0.1, 0.2, 0.3),
+        full=(0.05, 0.1, 0.2, 0.3, 0.5),
+    )
+    budget = 10
+
+    serial_engine = AuditEngine(syn_a(budget=budget), workers=1)
+    serial, serial_time = _sweep(serial_engine, steps)
+
+    def parallel_sweep():
+        with AuditEngine(syn_a(budget=budget), workers=WORKERS) as eng:
+            return _sweep(eng, steps)
+
+    parallel, parallel_time = benchmark.pedantic(
+        parallel_sweep, rounds=1, iterations=1
+    )
+
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    cpus = _usable_cpus()
+    emit(
+        f"Batch-parallel pricing — ISHM step sweep (Syn A, B={budget}, "
+        f"{cpus} usable CPUs)",
+        render_table(
+            ["variant", "wall time", "LP solves", "speedup"],
+            [
+                [
+                    "serial (workers=1)",
+                    f"{serial_time:.2f}s",
+                    str(sum(r.diagnostics["lp_calls"] for r in serial)),
+                    "1.00x",
+                ],
+                [
+                    f"batched (workers={WORKERS})",
+                    f"{parallel_time:.2f}s",
+                    str(
+                        sum(r.diagnostics["lp_calls"] for r in parallel)
+                    ),
+                    f"{speedup:.2f}x",
+                ],
+            ],
+        ),
+    )
+
+    # The determinism guarantee: identical results, bit for bit.
+    for s, p in zip(serial, parallel):
+        assert p.objective == s.objective
+        assert p.thresholds.tolist() == s.thresholds.tolist()
+        assert (
+            p.diagnostics["lp_calls"] == s.diagnostics["lp_calls"]
+        )
+
+    # The speedup claim needs real cores to be meaningful; a 1-2 core
+    # box (or the tiny smoke grid) only measures pool overhead.
+    if cpus >= WORKERS and not smoke_mode():
+        assert speedup >= 2.0, (
+            f"expected >= 2x on {cpus} CPUs, measured {speedup:.2f}x"
+        )

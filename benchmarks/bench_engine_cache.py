@@ -11,7 +11,7 @@ cache only ever returns solutions for exactly-equal threshold vectors.
 
 import time
 
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -19,8 +19,11 @@ from repro.engine import AuditEngine
 
 
 def test_engine_cache_speedup(benchmark):
-    steps = (0.05, 0.1, 0.15, 0.2, 0.3, 0.5) if full_mode() \
-        else (0.1, 0.2, 0.3, 0.5)
+    steps = pick(
+        smoke=(0.3, 0.5),
+        fast=(0.1, 0.2, 0.3, 0.5),
+        full=(0.05, 0.1, 0.15, 0.2, 0.3, 0.5),
+    )
 
     def cold_sweep():
         results = []

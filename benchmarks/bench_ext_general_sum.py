@@ -8,7 +8,7 @@ gap is what the zero-sum simplification costs.
 """
 
 import numpy as np
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -26,8 +26,11 @@ def test_general_sum_gap(benchmark):
     loss_model = AuditorLossModel.proportional(game, damage_factor=2.0)
     thresholds = np.array([3.0, 3.0, 3.0, 3.0])
     zero_sum = EnumerationSolver(game, scenarios).solve(thresholds)
-    adversaries = range(game.n_adversaries) if full_mode() \
-        else range(2)
+    adversaries = pick(
+        smoke=range(1),
+        fast=range(2),
+        full=range(game.n_adversaries),
+    )
 
     def run():
         outcome = evaluate_general_sum(

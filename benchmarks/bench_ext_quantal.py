@@ -8,7 +8,7 @@ assumption is.
 """
 
 import numpy as np
-from conftest import emit, engine_for, full_mode
+from conftest import emit, engine_for, pick
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -16,10 +16,10 @@ from repro.extensions import rationality_sweep
 
 
 def test_quantal_rationality_sweep(benchmark):
-    rationalities = (
-        (0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 25.0, 100.0)
-        if full_mode()
-        else (0.0, 0.5, 2.0, 25.0)
+    rationalities = pick(
+        smoke=(0.0, 2.0, 25.0),
+        fast=(0.0, 0.5, 2.0, 25.0),
+        full=(0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 25.0, 100.0),
     )
     game = syn_a(budget=10)
     engine = engine_for("syn_a", 10)

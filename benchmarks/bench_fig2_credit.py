@@ -6,7 +6,7 @@ baseline, and the loss reaches 0 as the budget approaches the full
 alert volume.
 """
 
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import run_loss_figure
 from repro.datasets import rea_b
@@ -18,9 +18,11 @@ FAST_STEPS = (0.3,)
 
 
 def test_figure2_credit_loss_curves(benchmark):
-    budgets = FULL_BUDGETS if full_mode() else FAST_BUDGETS
-    steps = FULL_STEPS if full_mode() else FAST_STEPS
-    n_scenarios = 1000 if full_mode() else 400
+    budgets = pick(
+        smoke=(10, 250), fast=FAST_BUDGETS, full=FULL_BUDGETS
+    )
+    steps = pick(smoke=FAST_STEPS, fast=FAST_STEPS, full=FULL_STEPS)
+    n_scenarios = pick(smoke=200, fast=400, full=1000)
 
     curves = benchmark.pedantic(
         lambda: run_loss_figure(
@@ -29,8 +31,8 @@ def test_figure2_credit_loss_curves(benchmark):
             budgets=budgets,
             step_sizes=steps,
             n_scenarios=n_scenarios,
-            n_random_orderings=2000 if full_mode() else 300,
-            n_threshold_draws=40 if full_mode() else 8,
+            n_random_orderings=pick(smoke=100, fast=300, full=2000),
+            n_threshold_draws=pick(smoke=4, fast=8, full=40),
         ),
         rounds=1,
         iterations=1,

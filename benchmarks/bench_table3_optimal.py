@@ -4,12 +4,13 @@ Paper reference (Table III): objective falls monotonically from 12.2945
 at B=2 (thresholds [1,1,1,1]) to -8.1561 at B=20 ([9,7,6,6]).
 """
 
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import run_table3
 from repro.datasets import SYN_A_BUDGETS
 
 FAST_BUDGETS = (2, 6, 10)
+SMOKE_BUDGETS = (2, 6)
 
 PAPER_OBJECTIVES = {
     2: 12.2945, 4: 7.7176, 6: 3.2651, 8: -0.4517, 10: -2.1314,
@@ -18,7 +19,9 @@ PAPER_OBJECTIVES = {
 
 
 def test_table3_optimal(benchmark):
-    budgets = SYN_A_BUDGETS if full_mode() else FAST_BUDGETS
+    budgets = pick(
+        smoke=SMOKE_BUDGETS, fast=FAST_BUDGETS, full=SYN_A_BUDGETS
+    )
 
     result = benchmark.pedantic(
         lambda: run_table3(budgets=budgets), rounds=1, iterations=1

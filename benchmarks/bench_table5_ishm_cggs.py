@@ -5,7 +5,7 @@ quality versus solving the master LP to optimality — gamma2 stays within
 a fraction of a percent of gamma1 (Table VI).
 """
 
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import FULL_STEP_SIZES, run_ishm_grid
 from repro.datasets import SYN_A_BUDGETS
@@ -15,8 +15,12 @@ FAST_STEPS = (0.1, 0.3, 0.5)
 
 
 def test_table5_ishm_cggs_grid(benchmark):
-    budgets = SYN_A_BUDGETS if full_mode() else FAST_BUDGETS
-    steps = FULL_STEP_SIZES if full_mode() else FAST_STEPS
+    budgets = pick(
+        smoke=(2, 10), fast=FAST_BUDGETS, full=SYN_A_BUDGETS
+    )
+    steps = pick(
+        smoke=(0.5,), fast=FAST_STEPS, full=FULL_STEP_SIZES
+    )
 
     grid = benchmark.pedantic(
         lambda: run_ishm_grid(

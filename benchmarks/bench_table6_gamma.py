@@ -4,7 +4,7 @@ Paper reference: gamma1 ~= 0.998 for eps <= 0.2, still ~0.90 at
 eps = 0.5; gamma2 trails gamma1 only slightly.
 """
 
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import (
     FULL_STEP_SIZES,
@@ -19,8 +19,12 @@ FAST_STEPS = (0.1, 0.3, 0.5)
 
 
 def test_table6_gamma_precision(benchmark):
-    budgets = SYN_A_BUDGETS if full_mode() else FAST_BUDGETS
-    steps = FULL_STEP_SIZES if full_mode() else FAST_STEPS
+    budgets = pick(
+        smoke=(2, 6), fast=FAST_BUDGETS, full=SYN_A_BUDGETS
+    )
+    steps = pick(
+        smoke=(0.1, 0.5), fast=FAST_STEPS, full=FULL_STEP_SIZES
+    )
 
     def run():
         optimal = run_table3(budgets=budgets)

@@ -7,7 +7,7 @@ brute-force grid (2.51% at eps = 0.2).
 """
 
 import numpy as np
-from conftest import emit, full_mode
+from conftest import emit, pick
 
 from repro.analysis import exploration_ratio, render_table, run_ishm_grid
 from repro.datasets import SYN_A_BUDGETS, syn_a
@@ -19,8 +19,12 @@ TABLE7_STEPS = (0.1, 0.2, 0.3, 0.4, 0.5)
 
 
 def test_table7_exploration_counts(benchmark):
-    budgets = SYN_A_BUDGETS if full_mode() else FAST_BUDGETS
-    steps = TABLE7_STEPS
+    budgets = pick(
+        smoke=(2, 10), fast=FAST_BUDGETS, full=SYN_A_BUDGETS
+    )
+    steps = pick(
+        smoke=(0.1, 0.2, 0.5), fast=TABLE7_STEPS, full=TABLE7_STEPS
+    )
 
     grid = benchmark.pedantic(
         lambda: run_ishm_grid(budgets=budgets, step_sizes=steps,

@@ -1,11 +1,17 @@
 """Shared benchmark configuration.
 
 Every benchmark regenerates one table or figure of the paper and prints
-its rows.  Two grid sizes exist:
+its rows.  Three grid sizes exist:
 
 * default ("fast") — reduced budget/step grids so the whole suite runs
   in minutes;
-* full — the paper's exact grids; enable with ``REPRO_FULL=1``.
+* full — the paper's exact grids; enable with ``REPRO_FULL=1``;
+* smoke — minimal grids (tiny games, one repetition) so CI can exercise
+  every benchmark path, including parallel pricing, in seconds; enable
+  with ``REPRO_SMOKE=1`` (wins over ``REPRO_FULL``).
+
+Benchmarks select grids with :func:`pick`, e.g.
+``pick(smoke=(0.5,), fast=(0.1, 0.3), full=FULL_STEP_SIZES)``.
 
 Benchmarks that repeatedly solve the *same* game share one
 :class:`repro.engine.AuditEngine` via :func:`engine_for`, so scenario
@@ -28,6 +34,20 @@ _ENGINES: dict[tuple, AuditEngine] = {}
 def full_mode() -> bool:
     """True when REPRO_FULL=1 requests the paper's full grids."""
     return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def smoke_mode() -> bool:
+    """True when REPRO_SMOKE=1 requests minimal CI grids."""
+    return os.environ.get("REPRO_SMOKE", "0") == "1"
+
+
+def pick(smoke, fast, full):
+    """Select a grid by run mode: smoke > full > fast (the default)."""
+    if smoke_mode():
+        return smoke
+    if full_mode():
+        return full
+    return fast
 
 
 @pytest.fixture(scope="session")

@@ -137,13 +137,26 @@ EXPERIMENTS: dict[str, Callable[[bool], str]] = {
 
 
 def _parse_config_pairs(pairs: list[str]) -> dict[str, str]:
-    """``["k=v", ...]`` -> dict, with a clear error on malformed items."""
+    """``["k=v", ...]`` -> dict, with a clear error on malformed items.
+
+    Splits on the *first* ``=`` only, so values may themselves contain
+    ``=`` (e.g. ``initial_thresholds=1,2,3`` stays intact whatever the
+    value holds).  A bare key (``--config quantize``), an empty key
+    (``--config =0.5``) and a repeated key each exit with a message
+    instead of a traceback.
+    """
     config: dict[str, str] = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep or not key:
             raise SystemExit(
-                f"--config expects k=v pairs, got {pair!r}"
+                f"--config expects key=value pairs, got {pair!r} "
+                "(e.g. --config step_size=0.2 inner=cggs)"
+            )
+        if key in config:
+            raise SystemExit(
+                f"--config option {key!r} given more than once "
+                f"({key}={config[key]!r} and {pair!r})"
             )
         config[key] = value
     return config

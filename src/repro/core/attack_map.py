@@ -28,10 +28,12 @@ class AttackTypeMap:
             raise ValueError(
                 f"probabilities must have shape (E, V, T), got {probs.shape}"
             )
-        if probs.min() < 0.0:
+        # size guard: an adversary- or victim-free tensor is legal (the
+        # empty game) but has no elements to reduce over.
+        if probs.size and probs.min() < 0.0:
             raise ValueError("trigger probabilities must be non-negative")
         row_sums = probs.sum(axis=2)
-        if row_sums.max() > 1.0 + 1e-9:
+        if row_sums.size and row_sums.max() > 1.0 + 1e-9:
             raise ValueError(
                 "trigger probabilities of an event must sum to at most 1 "
                 f"(max sum {row_sums.max():.6f})"
@@ -99,7 +101,7 @@ class AttackTypeMap:
     def validate_single_type(self, atol: float = 1e-12) -> None:
         """Enforce the paper's "at most one alert type per event" rule."""
         positive = (self._probs > atol).sum(axis=2)
-        if positive.max() > 1:
+        if positive.size and positive.max() > 1:
             e, v = np.unravel_index(
                 int(np.argmax(positive)), positive.shape
             )

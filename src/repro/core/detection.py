@@ -35,6 +35,7 @@ from .policy import Ordering
 
 __all__ = [
     "pal_for_ordering",
+    "pal_for_ordering_batch",
     "pal_for_orderings",
     "audited_counts",
     "remaining_budget",
@@ -151,6 +152,75 @@ def pal_for_ordering(
         ratio = audited / np.maximum(z_t, 1.0)
         pal[t] = float(weights @ ratio)
         consumed = consumed + np.minimum(b[t], z_t * c[t])
+    return pal
+
+
+def pal_for_ordering_batch(
+    ordering: Ordering | Sequence[int],
+    thresholds: np.ndarray,
+    scenarios: ScenarioSet,
+    costs: np.ndarray,
+    budget: float,
+    zero_count_rule: str = "unit",
+) -> np.ndarray:
+    """``Pal(o, b_j, .)`` for a stack of threshold vectors (eq. 1).
+
+    ``thresholds`` has shape ``(B, T)``; the result has the same shape,
+    one :func:`pal_for_ordering` row per vector.  The elementwise kernel
+    arithmetic broadcasts over the batch axis — one fused pass over a
+    ``(B, S)`` matrix instead of ``B`` passes over ``(S,)`` vectors —
+    while the closing expectation uses the *same* 1-D dot product per
+    row, so every output element is bit-for-bit identical to the serial
+    kernel.  Batched pricing (``FixedSolveCache.price_batch``) relies on
+    that identity for its workers>1 == workers=1 guarantee.
+    """
+    if zero_count_rule not in _ZERO_RULES:
+        raise ValueError(
+            f"zero_count_rule must be one of {_ZERO_RULES}, "
+            f"got {zero_count_rule!r}"
+        )
+    b = np.asarray(thresholds, dtype=np.float64)
+    if b.ndim != 2:
+        raise ValueError(
+            f"batched thresholds must have shape (B, T), got {b.shape}"
+        )
+    c = np.asarray(costs, dtype=np.float64)
+    if c.ndim != 1 or b.shape[1] != c.shape[0]:
+        raise ValueError(
+            f"thresholds {b.shape} and costs {c.shape} disagree on the "
+            "number of types"
+        )
+    if b.size and b.min() < 0:
+        raise ValueError("thresholds must be non-negative")
+    if c.min() <= 0:
+        raise ValueError("audit costs must be positive")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    n_vectors, n_types = b.shape
+    Z = scenarios.counts.astype(np.float64, copy=False)
+    if Z.shape[1] != n_types:
+        raise ValueError(
+            f"scenario set has {Z.shape[1]} types, thresholds have "
+            f"{n_types}"
+        )
+    weights = scenarios.weights
+    pal = np.zeros((n_vectors, n_types))
+    consumed = np.zeros((n_vectors, Z.shape[0]))
+    for t in ordering:
+        if not 0 <= t < n_types:
+            raise ValueError(f"type index {t} out of range")
+        capacity = np.maximum(np.floor((budget - consumed) / c[t]), 0.0)
+        quota = np.floor(b[:, t] / c[t])[:, None]
+        z_t = Z[:, t]
+        if zero_count_rule == "unit":
+            effective = np.maximum(z_t, 1.0)
+        else:
+            effective = z_t
+        audited = np.minimum(np.minimum(capacity, quota), effective)
+        ratio = audited / np.maximum(z_t, 1.0)
+        for j in range(n_vectors):
+            pal[j, t] = float(weights @ ratio[j])
+        consumed = consumed + np.minimum(b[:, t][:, None], z_t * c[t])
     return pal
 
 

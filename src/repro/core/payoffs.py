@@ -83,11 +83,13 @@ class PayoffModel:
                 f"attack_prior must have shape ({n_adversaries},), "
                 f"got {prior.shape}"
             )
-        if penalty_m.min() < 0:
+        # size guards: the adversary-free game is legal (nothing to
+        # validate) but empty arrays have no min/max.
+        if penalty_m.size and penalty_m.min() < 0:
             raise ValueError("penalty magnitudes must be non-negative")
-        if cost_m.min() < 0:
+        if cost_m.size and cost_m.min() < 0:
             raise ValueError("attack costs must be non-negative")
-        if prior.min() < 0 or prior.max() > 1:
+        if prior.size and (prior.min() < 0 or prior.max() > 1):
             raise ValueError("attack priors must lie in [0, 1]")
         return cls(
             benefit=benefit_m,

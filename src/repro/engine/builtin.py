@@ -70,22 +70,36 @@ def _solve_ishm(
     fixed_solver: FixedSolver | None = None,
 ) -> SolveResult:
     started = time.perf_counter()
+    owned_cache = None
     if fixed_solver is None:
-        cache = cache or FixedSolveCache(game, scenarios)
-        fixed_solver = cache.solver(
-            method=config.inner, backend=config.backend, seed=config.seed
+        if cache is None:
+            # One-shot dispatch (no engine): the throwaway cache must
+            # not leak its worker pool past this call.
+            cache = owned_cache = FixedSolveCache(game, scenarios)
+        batch_solver = cache.batch_solver(
+            method=config.inner,
+            backend=config.backend,
+            seed=config.seed,
+            workers=config.workers,
         )
-    raw = run_iterative_shrink(
-        game,
-        scenarios,
-        step_size=config.step_size,
-        solver=fixed_solver,
-        initial_thresholds=config.initial_thresholds,
-        improvement_tol=config.improvement_tol,
-        max_probes=config.max_probes,
-        quantize=config.quantize,
-        quantum=config.quantum,
-    )
+        solver_args = {"batch_solver": batch_solver}
+    else:
+        solver_args = {"solver": fixed_solver}
+    try:
+        raw = run_iterative_shrink(
+            game,
+            scenarios,
+            step_size=config.step_size,
+            initial_thresholds=config.initial_thresholds,
+            improvement_tol=config.improvement_tol,
+            max_probes=config.max_probes,
+            quantize=config.quantize,
+            quantum=config.quantum,
+            **solver_args,
+        )
+    finally:
+        if owned_cache is not None:
+            owned_cache.close()
     return finalize_result(
         game,
         scenarios,
@@ -117,20 +131,28 @@ def _solve_bruteforce(
     cache: FixedSolveCache | None = None,
 ) -> SolveResult:
     started = time.perf_counter()
-    cache = cache or FixedSolveCache(game, scenarios)
-    raw = run_solve_optimal(
-        game,
-        scenarios,
-        backend=config.backend,
-        max_vectors=config.max_vectors,
-        enforce_budget_floor=config.enforce_budget_floor,
-        tie_break=config.tie_break,
-        solver=cache.solver(
-            method="enumeration",
+    owned_cache = None
+    if cache is None:
+        cache = owned_cache = FixedSolveCache(game, scenarios)
+    try:
+        raw = run_solve_optimal(
+            game,
+            scenarios,
             backend=config.backend,
-            seed=config.seed,
-        ),
-    )
+            max_vectors=config.max_vectors,
+            enforce_budget_floor=config.enforce_budget_floor,
+            tie_break=config.tie_break,
+            batch_solver=cache.batch_solver(
+                method="enumeration",
+                backend=config.backend,
+                seed=config.seed,
+                workers=config.workers,
+            ),
+            chunk_size=config.chunk_size,
+        )
+    finally:
+        if owned_cache is not None:
+            owned_cache.close()
     return finalize_result(
         game,
         scenarios,
@@ -284,19 +306,32 @@ def _solve_random_threshold(
     fixed_solver: FixedSolver | None = None,
 ) -> SolveResult:
     started = time.perf_counter()
+    owned_cache = None
     if fixed_solver is None:
-        cache = cache or FixedSolveCache(game, scenarios)
-        fixed_solver = cache.solver(
-            method=config.inner, backend=config.backend, seed=config.seed
-        )
+        if cache is None:
+            cache = owned_cache = FixedSolveCache(game, scenarios)
+        solver_args = {
+            "batch_solver": cache.batch_solver(
+                method=config.inner,
+                backend=config.backend,
+                seed=config.seed,
+                workers=config.workers,
+            )
+        }
+    else:
+        solver_args = {"solver": fixed_solver}
     baseline = RandomThresholdBaseline(
         game,
         scenarios,
         n_draws=config.n_draws,
         rng=np.random.default_rng(config.seed),
-        solver=fixed_solver,
+        **solver_args,
     )
-    outcome = baseline.run()
+    try:
+        outcome = baseline.run()
+    finally:
+        if owned_cache is not None:
+            owned_cache.close()
     # The headline objective is the paper's aggregate (mean over draws);
     # the returned policy is the best single draw.
     return finalize_result(

@@ -16,11 +16,21 @@ set, which is what makes warm sweeps cheap (see
 ``benchmarks/bench_engine_cache.py``).  Cross-call reuse is restricted
 to the deterministic enumeration method so cached answers are always
 identical to what a cold engine would compute.
+
+Beyond the single-vector :meth:`FixedSolveCache.solver` closure, the
+cache exposes batched pricing: :meth:`FixedSolveCache.batch_solver` /
+:meth:`FixedSolveCache.price_batch` dedupe a ``(B, T)`` stack of
+candidate vectors against the memo, build the remaining detection
+kernels vectorized, and — for the deterministic enumeration method with
+``workers > 1`` — fan the leftover master LP solves out over a process
+pool (:mod:`repro.engine.parallel`).  Results come back in input order
+and are bit-for-bit identical to the ``workers=1`` serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -28,10 +38,12 @@ from ..core.game import AuditGame
 from ..distributions.joint import ScenarioSet
 from ..solvers.ishm import (
     ENUMERATION_TYPE_LIMIT,
+    BatchFixedSolver,
     FixedSolver,
     make_fixed_solver,
 )
 from ..solvers.master import FixedThresholdSolution
+from . import parallel
 
 __all__ = ["CacheInfo", "FixedSolveCache"]
 
@@ -68,6 +80,8 @@ class FixedSolveCache:
         self.scenarios = scenarios
         self._solvers: dict[tuple, FixedSolver] = {}
         self._solutions: dict[tuple, FixedThresholdSolution] = {}
+        self._executor = None
+        self._executor_workers = 0
         self.hits = 0
         self.misses = 0
 
@@ -140,6 +154,145 @@ class FixedSolveCache:
             return solution
 
         return cached
+
+    # ------------------------------------------------------------------
+    # Batched pricing
+    # ------------------------------------------------------------------
+
+    def batch_solver(
+        self,
+        method: str = "auto",
+        backend: str = "scipy",
+        seed: int = 0,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        **kwargs: object,
+    ) -> BatchFixedSolver:
+        """A memoizing *batched* fixed-threshold pricer.
+
+        The returned callable takes a ``(B, T)`` stack (or a single
+        vector) and returns one
+        :class:`~repro.solvers.master.FixedThresholdSolution` per row,
+        in input order.  Vectors already priced — earlier in the batch,
+        by a previous batch, or by the single-vector :meth:`solver`
+        closures — are served from the memo.
+
+        With ``workers > 1`` and the deterministic enumeration method,
+        the remaining misses fan out over a process pool in chunks
+        (``chunk_size`` vectors per task; default
+        :func:`repro.engine.parallel.default_chunk_size`), and the
+        results are gathered back in submission order — bit-for-bit
+        identical to ``workers=1``.  CGGS is stateful, so it always
+        prices serially in input order regardless of ``workers``.
+        """
+        method = self._resolve(method)
+        if method != "enumeration" or workers <= 1:
+            serial = self.solver(
+                method=method, backend=backend, seed=seed, **kwargs
+            )
+
+            def price_serial(
+                vectors: np.ndarray,
+            ) -> list[FixedThresholdSolution]:
+                return [serial(b) for b in self._as_batch(vectors)]
+
+            return price_serial
+
+        options = tuple(sorted(kwargs.items()))
+        scope = (method, backend, options)
+
+        def price(vectors: np.ndarray) -> list[FixedThresholdSolution]:
+            arr = self._as_batch(vectors)
+            keys = [
+                scope + (tuple(np.round(b, 9).tolist()),) for b in arr
+            ]
+            fresh: dict[tuple, np.ndarray] = {}
+            for key, b in zip(keys, arr):
+                if key in self._solutions or key in fresh:
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    fresh[key] = b
+            if fresh:
+                stack = np.stack(list(fresh.values()))
+                chunk = (
+                    chunk_size
+                    if chunk_size is not None
+                    else parallel.default_chunk_size(len(stack), workers)
+                )
+                solutions = parallel.price_parallel(
+                    self._ensure_executor(workers),
+                    backend,
+                    options,
+                    stack,
+                    chunk,
+                )
+                for key, solution in zip(fresh, solutions):
+                    self._solutions[key] = solution
+            return [self._solutions[key] for key in keys]
+
+        return price
+
+    def price_batch(
+        self,
+        vectors: np.ndarray | Sequence[Sequence[float]],
+        *,
+        method: str = "auto",
+        backend: str = "scipy",
+        seed: int = 0,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        **kwargs: object,
+    ) -> list[FixedThresholdSolution]:
+        """One-shot convenience wrapper around :meth:`batch_solver`."""
+        return self.batch_solver(
+            method=method,
+            backend=backend,
+            seed=seed,
+            workers=workers,
+            chunk_size=chunk_size,
+            **kwargs,
+        )(vectors)
+
+    def _as_batch(self, vectors) -> np.ndarray:
+        arr = np.asarray(vectors, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.game.n_types:
+            raise ValueError(
+                "batch must have shape (B, "
+                f"{self.game.n_types}), got {arr.shape}"
+            )
+        return arr
+
+    def _ensure_executor(self, workers: int):
+        if self._executor is not None and (
+            self._executor_workers != workers
+            # A pool whose worker died (OOM kill, crash) stays broken
+            # forever; rebuild instead of re-raising on every batch.
+            or getattr(self._executor, "_broken", False)
+        ):
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            self._executor = parallel.make_executor(
+                self.game, self.scenarios, workers
+            )
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; memo stays usable)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "FixedSolveCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def info(self) -> CacheInfo:
         return CacheInfo(

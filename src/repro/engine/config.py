@@ -117,7 +117,12 @@ class SolverConfig:
 
 @dataclass(frozen=True)
 class ISHMConfig(SolverConfig):
-    """Algorithm 2 (Iterative Shrink Heuristic Method) options."""
+    """Algorithm 2 (Iterative Shrink Heuristic Method) options.
+
+    ``workers > 1`` prices each probe round's candidate batch over a
+    process pool (enumeration inner method only; results bit-for-bit
+    equal to ``workers=1``).
+    """
 
     step_size: float = 0.1
     inner: str = "auto"  # fixed-threshold master: enumeration/cggs/auto
@@ -126,15 +131,22 @@ class ISHMConfig(SolverConfig):
     improvement_tol: float = 1e-9
     max_probes: int | None = None
     initial_thresholds: tuple[float, ...] | None = None
+    workers: int = 1
 
 
 @dataclass(frozen=True)
 class BruteForceConfig(SolverConfig):
-    """Exact OAP search over the integer threshold grid (Table III)."""
+    """Exact OAP search over the integer threshold grid (Table III).
+
+    ``workers > 1`` prices the grid in parallel chunks of
+    ``chunk_size`` vectors (identical optimum and tie-breaks).
+    """
 
     max_vectors: int = 500_000
     enforce_budget_floor: bool = True
     tie_break: str = "smallest"
+    workers: int = 1
+    chunk_size: int = 64
 
 
 @dataclass(frozen=True)
@@ -173,10 +185,15 @@ class RandomOrderConfig(_FixedThresholdConfig):
 
 @dataclass(frozen=True)
 class RandomThresholdConfig(SolverConfig):
-    """Baseline: random thresholds, LP-optimal orderings per draw."""
+    """Baseline: random thresholds, LP-optimal orderings per draw.
+
+    ``workers > 1`` prices all draws as one batch over a process pool
+    (enumeration inner method only; identical losses and best draw).
+    """
 
     n_draws: int = 100
     inner: str = "auto"
+    workers: int = 1
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,9 @@ Usage::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from ..core.game import AuditGame
 from ..core.objective import PolicyEvaluation
 from ..core.policy import AuditPolicy
 from ..distributions.joint import ScenarioSet
+from ..solvers.master import FixedThresholdSolution
 from . import registry
 from .cache import FixedSolveCache
 from .config import SolverConfig
@@ -68,6 +70,12 @@ class AuditEngine:
         one explicitly.
     seed:
         Default seed for scenario generation and solver randomness.
+    workers:
+        Default worker-process count for batched threshold pricing
+        (:meth:`price_batch` and solver configs with a ``workers``
+        field).  1 (the default) prices serially; >1 fans enumeration
+        master solves out over a process pool with results guaranteed
+        bit-for-bit equal to the serial path.
     n_samples, prefer_exact_below:
         Defaults for :meth:`scenario_set`.
     """
@@ -78,12 +86,16 @@ class AuditEngine:
         *,
         backend: str = "scipy",
         seed: int = 0,
+        workers: int = 1,
         n_samples: int = 2000,
         prefer_exact_below: int = 100_000,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.game = game
         self.backend = backend
         self.seed = seed
+        self.workers = workers
         self.n_samples = n_samples
         self.prefer_exact_below = prefer_exact_below
         self._scenarios: dict[tuple, ScenarioSet] = {}
@@ -144,7 +156,8 @@ class AuditEngine:
             self._caches[id(scenarios)] = cache
             while len(self._caches) > self.MAX_SOLUTION_CACHES:
                 # Evict the oldest (dict preserves insertion order).
-                self._caches.pop(next(iter(self._caches)))
+                evicted = self._caches.pop(next(iter(self._caches)))
+                evicted.close()
         return cache
 
     # ------------------------------------------------------------------
@@ -182,6 +195,11 @@ class AuditEngine:
             merged.update(overrides)
             merged.setdefault("backend", self.backend)
             merged.setdefault("seed", self.seed)
+            if any(
+                f.name == "workers"
+                for f in dataclasses.fields(spec.config_cls)
+            ):
+                merged.setdefault("workers", self.workers)
             cfg = registry.make_config(spec, merged)
         else:
             cfg = registry.make_config(spec, config, **overrides)
@@ -192,6 +210,41 @@ class AuditEngine:
             scenarios,
             cfg,
             cache=self.solution_cache(scenarios),
+        )
+
+    def price_batch(
+        self,
+        vectors: np.ndarray | Sequence[Sequence[float]],
+        *,
+        method: str = "auto",
+        backend: str | None = None,
+        seed: int | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        scenarios: ScenarioSet | None = None,
+        **kwargs: object,
+    ) -> list[FixedThresholdSolution]:
+        """Price a stack of threshold vectors through the shared cache.
+
+        ``vectors`` is a ``(B, T)`` array (or one vector); the result
+        holds one fixed-threshold master solution per row, in input
+        order.  Already-priced vectors come from the cache; the rest are
+        solved — in parallel over ``workers`` processes for the
+        deterministic enumeration method, serially otherwise — and
+        cached for later :meth:`solve`/:meth:`price_batch` calls.
+        ``workers > 1`` is guaranteed to return bit-for-bit the same
+        solutions as ``workers=1``.
+        """
+        if scenarios is None:
+            scenarios = self.scenario_set()
+        return self.solution_cache(scenarios).price_batch(
+            vectors,
+            method=method,
+            backend=self.backend if backend is None else backend,
+            seed=self.seed if seed is None else seed,
+            workers=self.workers if workers is None else workers,
+            chunk_size=chunk_size,
+            **kwargs,
         )
 
     def evaluate(
@@ -222,10 +275,22 @@ class AuditEngine:
 
     def clear_caches(self) -> None:
         """Drop every cached scenario set and solution."""
+        self.close()
         self._scenarios.clear()
         self._caches.clear()
         self._scenario_hits = 0
         self._scenario_misses = 0
+
+    def close(self) -> None:
+        """Shut down every cache's worker pool (caches stay usable)."""
+        for cache in self._caches.values():
+            cache.close()
+
+    def __enter__(self) -> "AuditEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         info = self.cache_info()

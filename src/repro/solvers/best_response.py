@@ -36,7 +36,14 @@ class ResponseReport:
 
     @property
     def deterrence_rate(self) -> float:
-        """Fraction of adversaries who prefer not to attack."""
+        """Fraction of adversaries who prefer not to attack.
+
+        An adversary-free game has nobody left to deter; by convention
+        the rate is 0.0 there (nobody was deterred) rather than a
+        ``ZeroDivisionError``.
+        """
+        if self.n_adversaries == 0:
+            return 0.0
         return self.n_deterred / self.n_adversaries
 
     def describe(self) -> str:

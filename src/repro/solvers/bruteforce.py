@@ -33,6 +33,9 @@ __all__ = [
 
 DEFAULT_MAX_VECTORS = 500_000
 
+#: Grid vectors priced per batch when a batched solver is used.
+DEFAULT_CHUNK_SIZE = 64
+
 
 def _grid_axes(game: AuditGame) -> list[range]:
     """Integer threshold choices per type.
@@ -88,6 +91,10 @@ def run_solve_optimal(
     enforce_budget_floor: bool = True,
     tie_break: str = "smallest",
     solver: Callable[[np.ndarray], FixedThresholdSolution] | None = None,
+    batch_solver: Callable[
+        [np.ndarray], "list[FixedThresholdSolution]"
+    ] | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> BruteForceResult:
     """Exhaustively search integer thresholds; LP-optimal orderings per b.
 
@@ -109,9 +116,19 @@ def run_solve_optimal(
         :class:`EnumerationSolver`.  The engine passes its shared
         memoizing solver here so grid points priced by earlier solves
         (e.g. ISHM probes) are reused.
+    batch_solver:
+        Batched pricer taking a ``(B, T)`` stack and returning solutions
+        in input order (``FixedSolveCache.batch_solver``).  When given,
+        the feasible grid is priced in ``chunk_size`` slices instead of
+        one vector at a time; the incumbent/tie-break scan runs in grid
+        order either way, so the result is identical to the serial path.
+    chunk_size:
+        Grid vectors per batch in the ``batch_solver`` path.
     """
     if tie_break not in ("smallest", "first"):
         raise ValueError(f"unknown tie_break {tie_break!r}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     total = threshold_grid_size(game)
     if total > max_vectors:
         raise ValueError(
@@ -119,30 +136,52 @@ def run_solve_optimal(
             f"(> max_vectors={max_vectors}); brute force is intractable — "
             "use the 'ishm' solver instead"
         )
-    if solver is None:
-        solver = EnumerationSolver(game, scenarios, backend=backend).solve
+    if batch_solver is None:
+        if solver is None:
+            # solve_batch is bit-for-bit equal to mapping solve() but
+            # builds the detection kernels one vectorized pass per
+            # ordering instead of per grid vector.
+            batch_solver = EnumerationSolver(
+                game, scenarios, backend=backend
+            ).solve_batch
+        else:
+            base = solver
+
+            def batch_solver(vectors: np.ndarray):
+                return [base(b) for b in vectors]
 
     best_objective = math.inf
     best_thresholds: np.ndarray | None = None
     best_solution: FixedThresholdSolution | None = None
     evaluated = 0
+
+    def scan(chunk: list[np.ndarray]) -> None:
+        nonlocal best_objective, best_thresholds, best_solution, evaluated
+        for b, candidate in zip(chunk, batch_solver(np.stack(chunk))):
+            evaluated += 1
+            improved = candidate.objective < best_objective - 1e-12
+            tied = (
+                abs(candidate.objective - best_objective) <= 1e-9
+                and tie_break == "smallest"
+                and best_thresholds is not None
+                and b.sum() < best_thresholds.sum()
+            )
+            if improved or tied:
+                best_objective = candidate.objective
+                best_thresholds = b
+                best_solution = candidate
+
+    chunk: list[np.ndarray] = []
     for combo in itertools.product(*_grid_axes(game)):
         b = np.asarray(combo, dtype=np.float64)
         if enforce_budget_floor and b.sum() < game.budget:
             continue
-        candidate = solver(b)
-        evaluated += 1
-        improved = candidate.objective < best_objective - 1e-12
-        tied = (
-            abs(candidate.objective - best_objective) <= 1e-9
-            and tie_break == "smallest"
-            and best_thresholds is not None
-            and b.sum() < best_thresholds.sum()
-        )
-        if improved or tied:
-            best_objective = candidate.objective
-            best_thresholds = b
-            best_solution = candidate
+        chunk.append(b)
+        if len(chunk) >= chunk_size:
+            scan(chunk)
+            chunk = []
+    if chunk:
+        scan(chunk)
     if best_solution is None:
         raise RuntimeError(
             "no feasible threshold vector (budget exceeds the whole grid?)"

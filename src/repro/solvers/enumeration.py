@@ -15,7 +15,12 @@ import numpy as np
 from ..core.game import AuditGame
 from ..core.policy import all_orderings
 from ..distributions.joint import ScenarioSet
-from .master import FixedThresholdSolution, MasterProblem, PolicyContext
+from .master import (
+    FixedThresholdSolution,
+    MasterProblem,
+    PolicyContext,
+    batch_policy_contexts,
+)
 
 __all__ = ["EnumerationSolver", "DEFAULT_MAX_ORDERINGS"]
 
@@ -46,7 +51,36 @@ class EnumerationSolver:
 
     def solve(self, thresholds: np.ndarray) -> FixedThresholdSolution:
         """Optimal restricted-strategy-space mixed policy for ``b``."""
-        context = PolicyContext(self.game, self.scenarios, thresholds)
+        return self._solve_context(
+            PolicyContext(self.game, self.scenarios, thresholds)
+        )
+
+    def solve_batch(
+        self, thresholds_batch: np.ndarray
+    ) -> list[FixedThresholdSolution]:
+        """Price a ``(B, T)`` stack of threshold vectors in one pass.
+
+        The detection kernels for all vectors are built batched (one
+        vectorized sweep per ordering); the per-vector master LPs then
+        run on the pre-warmed contexts.  Results are returned in input
+        order and are bit-for-bit identical to ``[solve(b) for b in
+        batch]`` — the parallel pricing layer depends on that identity.
+        """
+        arr = np.asarray(thresholds_batch, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(
+                f"thresholds batch must be 2-D (B, T), got {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            return []
+        contexts = batch_policy_contexts(
+            self.game, self.scenarios, arr, self._orderings
+        )
+        return [self._solve_context(context) for context in contexts]
+
+    def _solve_context(
+        self, context: PolicyContext
+    ) -> FixedThresholdSolution:
         master = MasterProblem(context, backend=self.backend)
         for ordering in self._orderings:
             master.add_ordering(ordering)

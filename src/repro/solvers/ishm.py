@@ -63,6 +63,11 @@ _QUANTIZE_MODES = ("round", "floor", "none")
 
 FixedSolver = Callable[[np.ndarray], FixedThresholdSolution]
 
+#: Prices a ``(B, T)`` stack of threshold vectors, results in input
+#: order.  ``FixedSolveCache.batch_solver`` builds these; a plain
+#: :data:`FixedSolver` is adapted by mapping it over the rows.
+BatchFixedSolver = Callable[[np.ndarray], "list[FixedThresholdSolution]"]
+
 
 def make_fixed_solver(
     game: AuditGame,
@@ -149,6 +154,7 @@ def run_iterative_shrink(
     max_probes: int | None = None,
     quantize: str = "round",
     quantum: float = 1.0,
+    batch_solver: BatchFixedSolver | None = None,
 ) -> ISHMResult:
     """Run Algorithm 2 and return the best threshold vector found.
 
@@ -176,6 +182,15 @@ def run_iterative_shrink(
         Optional hard cap on inner solves (None = faithful unbounded run).
     quantize, quantum:
         Rounding mode for shrunk thresholds (see module docstring).
+    batch_solver:
+        Batched fixed-threshold pricer (takes a ``(B, T)`` stack, returns
+        solutions in input order).  When given, each probe round's
+        candidate subset is priced as *one* batch — the engine passes
+        :meth:`~repro.engine.cache.FixedSolveCache.batch_solver` here so
+        rounds fan out over its worker pool.  The search visits exactly
+        the same vectors in the same round structure as the serial path,
+        so results (and ``lp_calls``) are identical.  Mutually exclusive
+        with ``solver``.
     """
     if not 0.0 < step_size < 1.0:
         raise ValueError(f"step size must be in (0, 1), got {step_size}")
@@ -185,8 +200,18 @@ def run_iterative_shrink(
         )
     if quantum <= 0:
         raise ValueError(f"quantum must be positive, got {quantum}")
-    if solver is None:
-        solver = make_fixed_solver(game, scenarios)
+    if batch_solver is None:
+        base = solver if solver is not None else make_fixed_solver(
+            game, scenarios
+        )
+
+        def batch_solver(vectors: np.ndarray):
+            return [base(b) for b in vectors]
+
+    elif solver is not None:
+        raise ValueError(
+            "pass either solver or batch_solver, not both"
+        )
 
     n_types = game.n_types
     if initial_thresholds is None:
@@ -202,17 +227,24 @@ def run_iterative_shrink(
 
     lp_calls = 0
 
-    def solve_cached(vector: np.ndarray) -> FixedThresholdSolution:
+    def price_round(
+        probes: list[np.ndarray],
+    ) -> list[FixedThresholdSolution]:
+        """Price one round of probes through the local memo as a batch."""
         nonlocal lp_calls
-        key = tuple(np.round(vector, 9).tolist())
-        hit = cache.get(key)
-        if hit is None:
-            hit = solver(vector)
-            cache[key] = hit
-            lp_calls += 1
-        return hit
+        keys = [tuple(np.round(p, 9).tolist()) for p in probes]
+        fresh: dict[tuple[float, ...], np.ndarray] = {}
+        for key, probe in zip(keys, probes):
+            if key not in cache and key not in fresh:
+                fresh[key] = probe
+        if fresh:
+            solutions = batch_solver(np.stack(list(fresh.values())))
+            for key, solution in zip(fresh, solutions):
+                cache[key] = solution
+            lp_calls += len(fresh)
+        return [cache[key] for key in keys]
 
-    best_solution = solve_cached(current)
+    best_solution = price_round([current])[0]
     best_objective = best_solution.objective
     history: list[tuple[np.ndarray, float]] = [
         (current.copy(), best_objective)
@@ -231,13 +263,26 @@ def run_iterative_shrink(
             round_best = math.inf
             round_probe: np.ndarray | None = None
             round_solution: FixedThresholdSolution | None = None
+            # Collect the round's probes, replicating the serial budget
+            # semantics: a probe costing a new solve is admitted only
+            # while lp_calls (plus the new solves already admitted this
+            # round) stays under max_probes; memo hits are free.
+            probes: list[np.ndarray] = []
+            fresh_keys: set[tuple[float, ...]] = set()
             for combo in combos:
-                if exhausted():
+                if (
+                    max_probes is not None
+                    and lp_calls + len(fresh_keys) >= max_probes
+                ):
                     break
                 probe = _shrunk(current, combo, ratio, quantize, quantum)
                 if np.array_equal(probe, current):
                     continue  # quantized away: cannot strictly improve
-                candidate = solve_cached(probe)
+                key = tuple(np.round(probe, 9).tolist())
+                if key not in cache:
+                    fresh_keys.add(key)
+                probes.append(probe)
+            for probe, candidate in zip(probes, price_round(probes)):
                 if candidate.objective < round_best:
                     round_best = candidate.objective
                     round_probe = probe

@@ -20,14 +20,19 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.detection import pal_for_ordering
+from ..core.detection import pal_for_ordering, pal_for_ordering_batch
 from ..core.game import AuditGame
 from ..core.objective import best_responses
 from ..core.policy import AuditPolicy, Ordering
 from ..distributions.joint import ScenarioSet
 from .lp import LinearProgram, LPSolution, solve_lp
 
-__all__ = ["PolicyContext", "MasterProblem", "FixedThresholdSolution"]
+__all__ = [
+    "PolicyContext",
+    "MasterProblem",
+    "FixedThresholdSolution",
+    "batch_policy_contexts",
+]
 
 
 class PolicyContext:
@@ -114,6 +119,20 @@ class PolicyContext:
             )
             self._pal_cache[key] = cached
         return cached
+
+    def seed_pal(
+        self, ordering: Ordering | Sequence[int], pal: np.ndarray
+    ) -> None:
+        """Pre-fill the ``Pal`` cache for one ordering.
+
+        Batched pricing computes detection vectors for many threshold
+        vectors in one pass (:func:`batch_policy_contexts`) and plants
+        each row here, so the master solve that follows never re-enters
+        the per-ordering kernel.
+        """
+        self._pal_cache[tuple(ordering)] = np.asarray(
+            pal, dtype=np.float64
+        )
 
     def utilities(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
         """``Ua(o, b, <e, v>)`` matrix for an ordering (cached)."""
@@ -300,3 +319,40 @@ class MasterProblem:
             solution.dual_eq[0]
         )
         return duals, y_eq
+
+
+def batch_policy_contexts(
+    game: AuditGame,
+    scenarios: ScenarioSet,
+    thresholds_batch: np.ndarray,
+    orderings: Sequence[Ordering],
+) -> list[PolicyContext]:
+    """One pre-warmed :class:`PolicyContext` per threshold vector.
+
+    Instead of letting each context lazily price its orderings one
+    ``(S,)`` kernel pass at a time, this builds the detection vectors for
+    *all* candidate threshold vectors per ordering in a single batched
+    pass (:func:`~repro.core.detection.pal_for_ordering_batch`) and seeds
+    the per-vector caches with the rows.  The seeded values are
+    bit-for-bit what the serial kernel would have produced, so a master
+    solve on a batched context equals a cold solve exactly.
+    """
+    arr = np.asarray(thresholds_batch, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != game.n_types:
+        raise ValueError(
+            f"thresholds batch must have shape (B, {game.n_types}), "
+            f"got {arr.shape}"
+        )
+    contexts = [PolicyContext(game, scenarios, b) for b in arr]
+    for ordering in orderings:
+        pal_rows = pal_for_ordering_batch(
+            ordering,
+            arr,
+            scenarios,
+            game.costs,
+            game.budget,
+            game.zero_count_rule,
+        )
+        for context, row in zip(contexts, pal_rows):
+            context.seed_pal(ordering, row)
+    return contexts

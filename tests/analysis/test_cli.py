@@ -51,11 +51,48 @@ class TestSolverMode:
         assert (tmp_path / "solve_benefit-greedy.txt").exists()
 
     def test_malformed_config_pair(self, tmp_path):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit, match="key=value"):
             main(
                 [
                     "--solver", "ishm",
                     "--config", "step_size",
+                    "--out", str(tmp_path),
+                ]
+            )
+
+    def test_empty_config_key_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(
+                [
+                    "--solver", "ishm",
+                    "--config", "=0.5",
+                    "--out", str(tmp_path),
+                ]
+            )
+
+    def test_duplicate_config_key_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="more than once"):
+            main(
+                [
+                    "--solver", "ishm",
+                    "--config", "step_size=0.5", "step_size=0.4",
+                    "--out", str(tmp_path),
+                ]
+            )
+
+    def test_config_value_may_contain_equals(self):
+        # Split on the first '=' only; the rest stays in the value.
+        from repro.analysis.cli import _parse_config_pairs
+
+        parsed = _parse_config_pairs(["tie_break=a=b", "seed=3"])
+        assert parsed == {"tie_break": "a=b", "seed": "3"}
+
+    def test_unknown_config_option_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="--config error"):
+            main(
+                [
+                    "--solver", "ishm",
+                    "--config", "stepsize=0.5",
                     "--out", str(tmp_path),
                 ]
             )

@@ -38,6 +38,42 @@ class TestResponseReport:
         if report.n_deterred:
             assert any("refrains" in a[1] for a in report.attacks)
 
+    def test_adversary_free_game_rate_is_zero(self):
+        # Regression: deterrence_rate raised ZeroDivisionError when
+        # n_adversaries == 0 (and the game validators choked on the
+        # empty payoff/trigger arrays before that).
+        import numpy as np
+
+        from repro.core import AttackTypeMap, AuditGame, PayoffModel
+        from tests.conftest import make_tiny_game as _base
+
+        template = _base()
+        empty_map = AttackTypeMap.from_type_matrix(
+            np.zeros((0, 3), dtype=np.int64), n_types=2
+        )
+        empty_payoffs = PayoffModel.create(
+            n_adversaries=0,
+            n_victims=3,
+            benefit=np.zeros((0, 3)),
+            penalty=5.0,
+            attack_cost=0.5,
+            attack_prior=1.0,
+        )
+        game = AuditGame(
+            alert_types=template.alert_types,
+            counts=template.counts,
+            attack_map=empty_map,
+            payoffs=empty_payoffs,
+            budget=3.0,
+            victim_names=("r1", "r2", "r3"),
+        )
+        policy = AuditPolicy.pure(Ordering((0, 1)), [2.0, 2.0])
+        report = response_report(game, policy, game.scenario_set())
+        assert report.n_adversaries == 0
+        assert report.deterrence_rate == 0.0
+        assert report.auditor_loss == 0.0
+        assert "0/0 adversaries deterred" in report.describe()
+
 
 class TestDeterrenceBudget:
     def test_finds_first_reaching_budget(self, tiny_scenarios):

@@ -1,0 +1,66 @@
+"""The deprecated free-function shims: warning + registry equivalence.
+
+``iterative_shrink`` and ``solve_optimal`` must emit a
+``DeprecationWarning`` and delegate to the ``"ishm"`` / ``"bruteforce"``
+registry solvers, returning results identical to the engine path at
+equal seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BruteForceConfig,
+    ISHMConfig,
+    solve as engine_solve,
+)
+from repro.solvers import iterative_shrink, solve_optimal
+
+
+class TestIterativeShrinkShim:
+    def test_emits_deprecation_warning(self, tiny_game, tiny_scenarios):
+        with pytest.warns(DeprecationWarning, match="iterative_shrink"):
+            iterative_shrink(tiny_game, tiny_scenarios, 0.5)
+
+    def test_matches_registry_path_at_equal_seed(
+        self, tiny_game, tiny_scenarios
+    ):
+        with pytest.warns(DeprecationWarning):
+            legacy = iterative_shrink(
+                tiny_game, tiny_scenarios, 0.5, max_probes=20
+            )
+        registry = engine_solve(
+            tiny_game,
+            tiny_scenarios,
+            "ishm",
+            ISHMConfig(step_size=0.5, max_probes=20),
+        )
+        assert legacy.objective == registry.objective
+        assert np.array_equal(legacy.thresholds, registry.thresholds)
+        assert np.array_equal(
+            legacy.policy.probabilities, registry.policy.probabilities
+        )
+        assert legacy.lp_calls == registry.diagnostics["lp_calls"]
+
+
+class TestSolveOptimalShim:
+    def test_emits_deprecation_warning(self, tiny_game, tiny_scenarios):
+        with pytest.warns(DeprecationWarning, match="solve_optimal"):
+            solve_optimal(tiny_game, tiny_scenarios)
+
+    def test_matches_registry_path_at_equal_seed(
+        self, tiny_game, tiny_scenarios
+    ):
+        with pytest.warns(DeprecationWarning):
+            legacy = solve_optimal(tiny_game, tiny_scenarios)
+        registry = engine_solve(
+            tiny_game, tiny_scenarios, "bruteforce", BruteForceConfig()
+        )
+        assert legacy.objective == registry.objective
+        assert np.array_equal(legacy.thresholds, registry.thresholds)
+        assert np.array_equal(
+            legacy.policy.probabilities, registry.policy.probabilities
+        )
+        assert legacy.n_vectors_evaluated == registry.diagnostics[
+            "n_vectors_evaluated"
+        ]
