@@ -1,0 +1,92 @@
+"""Multi-period replay: warm-started vs cold per-period re-solving.
+
+The simulator re-solves the Optimal Auditing Problem every period.  With
+``warm_start=True`` it keeps one engine per distinct (count model,
+budget) pair, so a period whose distributions did not change re-solves
+against warm scenario/fixed-solution caches; ``warm_start=False``
+rebuilds the engine (and re-prices every ISHM probe) each period.
+
+This bench replays the same stationary Syn A trajectory both ways and
+reports the wall-clock ratio.  Correctness is asserted unconditionally —
+the warm replay must make bit-for-bit the same decisions as the cold
+one — and the warm path must come out >= 1.5x faster (the acceptance
+bar; in practice the warm solve memo makes every period after the first
+nearly free, so the ratio approaches n_periods x).
+"""
+
+from conftest import emit, pick, smoke_mode
+
+from repro.analysis import render_table
+from repro.datasets import syn_a
+from repro.sim import simulate
+
+#: Minimum accepted warm-over-cold speedup across the replay.
+MIN_SPEEDUP = 1.5
+
+
+def _replay(warm: bool, n_periods: int, step_size: float):
+    return simulate(
+        syn_a(budget=10),
+        n_periods=n_periods,
+        warm_start=warm,
+        solver_options={"step_size": step_size},
+    )
+
+
+def test_sim_replay_warm_vs_cold(benchmark):
+    n_periods = pick(smoke=4, fast=8, full=16)
+    step_size = pick(smoke=0.5, fast=0.3, full=0.1)
+
+    cold = _replay(False, n_periods, step_size)
+
+    warm = benchmark.pedantic(
+        lambda: _replay(True, n_periods, step_size),
+        rounds=1,
+        iterations=1,
+    )
+
+    cold_time = cold.total_solve_seconds
+    warm_time = warm.total_solve_seconds
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    emit(
+        f"Simulator replay — warm vs cold re-solving (Syn A, B=10, "
+        f"{n_periods} periods, eps={step_size})",
+        render_table(
+            ["variant", "solve time", "pricings", "memoized periods",
+             "speedup"],
+            [
+                [
+                    "cold (fresh engine per period)",
+                    f"{cold_time:.2f}s",
+                    str(cold.total_lp_calls),
+                    f"{cold.n_memoized}/{n_periods}",
+                    "1.00x",
+                ],
+                [
+                    "warm (engines reused across periods)",
+                    f"{warm_time:.2f}s",
+                    str(warm.total_lp_calls),
+                    f"{warm.n_memoized}/{n_periods}",
+                    f"{speedup:.2f}x",
+                ],
+            ],
+        ),
+    )
+
+    # The warm-start guarantee: identical decision trajectories.
+    assert warm.records == cold.records
+
+    # Every period after the first replays the memoized solve when
+    # warm; the cold path never does.
+    assert warm.n_memoized == n_periods - 1
+    assert cold.n_memoized == 0
+
+    # The timing claim is skipped on the tiny smoke grid, where a
+    # single scheduler stall dwarfs the one real solve being measured
+    # (same convention as bench_batch_pricing.py); the numbers above
+    # are still printed.
+    if not smoke_mode():
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x warm speedup, "
+            f"measured {speedup:.2f}x"
+        )

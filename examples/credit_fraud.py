@@ -30,14 +30,16 @@ def budget_sweep() -> None:
     print(f"\n{'B':>6} {'proposed':>10} {'rand-order':>11} "
           f"{'benefit-greedy':>15}")
     for budget in budgets:
-        engine = AuditEngine(rea_b(budget=budget), seed=7, n_samples=500)
-        result = engine.solve("ishm", step_size=0.3)
-        rand = engine.solve(
-            "random-order",
-            thresholds=tuple(result.thresholds.tolist()),
-            n_orderings=120,
-        )
-        greedy = engine.solve("benefit-greedy")
+        with AuditEngine(
+            rea_b(budget=budget), seed=7, n_samples=500
+        ) as engine:
+            result = engine.solve("ishm", step_size=0.3)
+            rand = engine.solve(
+                "random-order",
+                thresholds=tuple(result.thresholds.tolist()),
+                n_orderings=120,
+            )
+            greedy = engine.solve("benefit-greedy")
         print(
             f"{budget:6.0f} {result.objective:10.2f} "
             f"{rand.objective:11.2f} {greedy.objective:15.2f}"

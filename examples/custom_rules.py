@@ -133,9 +133,9 @@ def main() -> None:
         adversary_names=tuple(agents),
         victim_names=tuple(targets),
     )
-    audit_engine = AuditEngine(game, seed=5, n_samples=800)
-    result = audit_engine.solve("ishm", step_size=0.2)
-    scenarios = audit_engine.scenario_set()
+    with AuditEngine(game, seed=5, n_samples=800) as audit_engine:
+        result = audit_engine.solve("ishm", step_size=0.2)
+        scenarios = audit_engine.scenario_set()
     print(f"\nauditor loss: {result.objective:.3f}")
     print(result.policy.describe(TYPE_NAMES))
     print()

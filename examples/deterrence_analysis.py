@@ -33,9 +33,10 @@ def main() -> None:
     deterrence_budget = None
     for budget in (2, 6, 10, 14, 18, 22, 26, 30):
         game = deterrable_game(budget)
-        engine = AuditEngine(game)
-        result = engine.solve("ishm", step_size=0.1)
-        policies[budget] = (game, result.policy, engine.scenario_set())
+        with AuditEngine(game) as engine:
+            result = engine.solve("ishm", step_size=0.1)
+            policies[budget] = (game, result.policy,
+                                engine.scenario_set())
         print(f"{budget:4d} {result.objective:9.4f} "
               f"{result.n_deterred:6d}/5")
         if deterrence_budget is None and result.objective <= 1e-9:

@@ -55,24 +55,25 @@ def solve_game(fast: bool) -> None:
     print(f"\n{game.describe()}")
 
     # One engine for the whole comparison: the proposed solve and every
-    # baseline share one scenario set and one fixed-solve cache.
-    engine = AuditEngine(game, seed=42, n_samples=n_scenarios)
-    result = engine.solve("ishm", step_size=step_size)
-    print(f"\nproposed model (ISHM+CGGS, eps={step_size}):")
-    print(f"  auditor loss: {result.objective:.2f}")
-    print(f"  thresholds:   {result.thresholds.astype(int).tolist()}")
-    print(f"  deterred:     {result.n_deterred}/"
-          f"{game.n_adversaries} employees")
+    # baseline share one scenario set and one fixed-solve cache; the
+    # with block guarantees any pricing worker pool is shut down.
+    with AuditEngine(game, seed=42, n_samples=n_scenarios) as engine:
+        result = engine.solve("ishm", step_size=step_size)
+        print(f"\nproposed model (ISHM+CGGS, eps={step_size}):")
+        print(f"  auditor loss: {result.objective:.2f}")
+        print(f"  thresholds:   {result.thresholds.astype(int).tolist()}")
+        print(f"  deterred:     {result.n_deterred}/"
+              f"{game.n_adversaries} employees")
 
-    rand_orders = engine.solve(
-        "random-order",
-        thresholds=tuple(result.thresholds.tolist()),
-        n_orderings=500,
-    )
-    rand_thresholds = engine.solve(
-        "random-threshold", n_draws=10 if fast else 30
-    )
-    greedy = engine.solve("benefit-greedy")
+        rand_orders = engine.solve(
+            "random-order",
+            thresholds=tuple(result.thresholds.tolist()),
+            n_orderings=500,
+        )
+        rand_thresholds = engine.solve(
+            "random-threshold", n_draws=10 if fast else 30
+        )
+        greedy = engine.solve("benefit-greedy")
     print("\nbaseline auditor losses (lower is better):")
     print(f"  random orders:     {rand_orders.objective:10.2f}")
     print(f"  random thresholds: {rand_thresholds.objective:10.2f}")

@@ -79,13 +79,14 @@ def main() -> None:
 
     # The engine owns one shared scenario set: every candidate policy is
     # scored on the same joint realizations of benign alert counts, and
-    # repeated solves reuse already-priced threshold vectors.
-    engine = AuditEngine(game)
-    scenarios = engine.scenario_set()
-    print(f"scenario set: {scenarios.n_scenarios} joint outcomes "
-          f"(exact={scenarios.exact})")
+    # repeated solves reuse already-priced threshold vectors.  The with
+    # block shuts down any pricing worker pool on the way out.
+    with AuditEngine(game) as engine:
+        scenarios = engine.scenario_set()
+        print(f"scenario set: {scenarios.n_scenarios} joint outcomes "
+              f"(exact={scenarios.exact})")
 
-    result = engine.solve("ishm", step_size=0.1)
+        result = engine.solve("ishm", step_size=0.1)
     print(f"\nISHM objective (auditor loss): {result.objective:.4f}")
     print(f"threshold vectors explored:     "
           f"{result.diagnostics['lp_calls']}")

@@ -1,13 +1,13 @@
 """Command-line experiment runner.
 
-Two modes share one entry point (``python -m repro.run_experiments``):
+Three modes share one entry point (``python -m repro.run_experiments``):
 
 **Experiment mode** regenerates the paper's tables and figures as text
-artifacts::
+artifacts (``--seed`` makes every run reproducible)::
 
     python -m repro.run_experiments --out results/          # fast grids
     python -m repro.run_experiments --out results/ --full   # paper grids
-    python -m repro.run_experiments --only table3 fig2
+    python -m repro.run_experiments --only table3 fig2 --seed 7
 
 **Solver mode** dispatches one registry solver against a dataset via the
 :mod:`repro.engine` facade — any solver name from
@@ -17,6 +17,18 @@ solver's typed config::
     python -m repro.run_experiments --solver ishm --dataset syn_a \
         --budget 10 --config step_size=0.2 inner=cggs
     python -m repro.run_experiments --list-solvers
+
+**Simulation mode** (``--sim``) runs the multi-period audit-operations
+loop of :mod:`repro.sim`: per-period alert streams, online distribution
+re-estimation, warm-started re-solving and a pluggable adversary.
+``--config`` configures the per-period solver; ``--sim-config`` sets
+:class:`~repro.sim.SimConfig` fields and (dotted) plugin options::
+
+    python -m repro.run_experiments --sim --dataset syn_a --budget 10 \
+        --periods 12 --config step_size=0.5 \
+        --sim-config estimator=rolling-empirical estimator.window=14 \
+            adversary=quantal adversary.rationality=2.0
+    python -m repro.run_experiments --list-sim-plugins
 
 Each artifact is written to ``<out>/<name>.txt`` and echoed to stdout.
 """
@@ -32,9 +44,16 @@ from ..datasets import SYN_A_BUDGETS, rea_a, rea_b, syn_a
 from ..engine import (
     AuditEngine,
     all_names,
-    available,
     get_solver,
     solver_table,
+)
+from ..engine.registry import make_config
+from ..sim import (
+    ADVERSARIES,
+    ESTIMATORS,
+    EVENT_SOURCES,
+    AuditSimulator,
+    SimConfig,
 )
 from .experiments import (
     FULL_STEP_SIZES,
@@ -57,49 +76,51 @@ DATASETS: dict[str, Callable[..., object]] = {
 }
 
 
-def _table3(full: bool) -> str:
+def _table3(full: bool, seed: int) -> str:
     budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
-    return run_table3(budgets=budgets).to_text()
+    return run_table3(budgets=budgets, seed=seed).to_text()
 
 
-def _table4(full: bool) -> str:
-    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
-    steps = FULL_STEP_SIZES if full else FAST_STEPS
-    return run_ishm_grid(
-        budgets=budgets, step_sizes=steps, method="enumeration"
-    ).to_text()
-
-
-def _table5(full: bool) -> str:
+def _table4(full: bool, seed: int) -> str:
     budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
     steps = FULL_STEP_SIZES if full else FAST_STEPS
     return run_ishm_grid(
-        budgets=budgets, step_sizes=steps, method="cggs"
+        budgets=budgets, step_sizes=steps, method="enumeration",
+        seed=seed,
     ).to_text()
 
 
-def _table6(full: bool) -> str:
+def _table5(full: bool, seed: int) -> str:
     budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
     steps = FULL_STEP_SIZES if full else FAST_STEPS
-    optimal = run_table3(budgets=budgets)
+    return run_ishm_grid(
+        budgets=budgets, step_sizes=steps, method="cggs", seed=seed
+    ).to_text()
+
+
+def _table6(full: bool, seed: int) -> str:
+    budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
+    steps = FULL_STEP_SIZES if full else FAST_STEPS
+    optimal = run_table3(budgets=budgets, seed=seed)
     ishm = run_ishm_grid(budgets=budgets, step_sizes=steps,
-                         method="enumeration")
+                         method="enumeration", seed=seed)
     cggs = run_ishm_grid(budgets=budgets, step_sizes=steps,
-                         method="cggs")
+                         method="cggs", seed=seed)
     return run_table6(optimal, ishm, cggs_grid=cggs).to_text()
 
 
-def _table7(full: bool) -> str:
+def _table7(full: bool, seed: int) -> str:
     budgets = SYN_A_BUDGETS if full else FAST_BUDGETS
     grid = run_ishm_grid(
         budgets=budgets,
         step_sizes=(0.1, 0.2, 0.3, 0.4, 0.5),
         method="enumeration",
+        seed=seed,
     )
     return grid.exploration_text()
 
 
-def _fig1(full: bool) -> str:
+def _fig1(full: bool, seed: int) -> str:
     budgets = tuple(range(10, 101, 10)) if full else (10, 40, 70, 100)
     return run_loss_figure(
         game_factory=lambda budget: rea_a(budget=budget),
@@ -109,10 +130,11 @@ def _fig1(full: bool) -> str:
         n_scenarios=1000 if full else 400,
         n_random_orderings=2000 if full else 300,
         n_threshold_draws=40 if full else 8,
+        seed=seed,
     ).to_text()
 
 
-def _fig2(full: bool) -> str:
+def _fig2(full: bool, seed: int) -> str:
     budgets = tuple(range(10, 251, 20)) if full else (10, 90, 170, 250)
     return run_loss_figure(
         game_factory=lambda budget: rea_b(budget=budget),
@@ -122,10 +144,11 @@ def _fig2(full: bool) -> str:
         n_scenarios=1000 if full else 400,
         n_random_orderings=2000 if full else 300,
         n_threshold_draws=40 if full else 8,
+        seed=seed,
     ).to_text()
 
 
-EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+EXPERIMENTS: dict[str, Callable[[bool, int], str]] = {
     "table3": _table3,
     "table4": _table4,
     "table5": _table5,
@@ -136,26 +159,28 @@ EXPERIMENTS: dict[str, Callable[[bool], str]] = {
 }
 
 
-def _parse_config_pairs(pairs: list[str]) -> dict[str, str]:
+def _parse_config_pairs(
+    pairs: list[str], flag: str = "--config"
+) -> dict[str, str]:
     """``["k=v", ...]`` -> dict, with a clear error on malformed items.
 
     Splits on the *first* ``=`` only, so values may themselves contain
     ``=`` (e.g. ``initial_thresholds=1,2,3`` stays intact whatever the
     value holds).  A bare key (``--config quantize``), an empty key
     (``--config =0.5``) and a repeated key each exit with a message
-    instead of a traceback.
+    naming the offending ``flag`` instead of a traceback.
     """
     config: dict[str, str] = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep or not key:
             raise SystemExit(
-                f"--config expects key=value pairs, got {pair!r} "
-                "(e.g. --config step_size=0.2 inner=cggs)"
+                f"{flag} expects key=value pairs, got {pair!r} "
+                f"(e.g. {flag} step_size=0.2 inner=cggs)"
             )
         if key in config:
             raise SystemExit(
-                f"--config option {key!r} given more than once "
+                f"{flag} option {key!r} given more than once "
                 f"({key}={config[key]!r} and {pair!r})"
             )
         config[key] = value
@@ -166,13 +191,13 @@ def _run_solver(args: argparse.Namespace) -> int:
     """Solver mode: registry dispatch through an :class:`AuditEngine`."""
     spec = get_solver(args.solver)  # KeyError -> argparse already checked
     game = DATASETS[args.dataset](budget=args.budget)
-    engine = AuditEngine(game, seed=args.seed)
     config = _parse_config_pairs(args.config)
     started = time.time()
-    try:
-        result = engine.solve(spec.name, config)
-    except (TypeError, ValueError) as exc:
-        raise SystemExit(f"--config error: {exc}") from exc
+    with AuditEngine(game, seed=args.seed) as engine:
+        try:
+            result = engine.solve(spec.name, config)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"--config error: {exc}") from exc
     elapsed = time.time() - started
     text = "\n".join(
         [
@@ -190,12 +215,101 @@ def _run_solver(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sim(args: argparse.Namespace) -> int:
+    """Simulation mode: the :mod:`repro.sim` multi-period loop."""
+    game = DATASETS[args.dataset](budget=args.budget)
+    pairs = _parse_config_pairs(args.sim_config, flag="--sim-config")
+    try:
+        config = SimConfig.from_pairs(pairs)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--sim-config error: {exc}") from exc
+    # Precedence: --periods/--solver default to None, so they are only
+    # applied (and win) when passed explicitly.  --seed always carries a
+    # value (default 0), so it cannot signal explicit use and instead
+    # yields to a seed/solver_seed set via --sim-config.  Each flag
+    # reports failures under its own name.
+    if "seed" not in pairs:
+        config = config.replace(seed=args.seed)
+    if "solver_seed" not in pairs:
+        config = config.replace(solver_seed=args.seed)
+    if args.periods is not None:
+        try:
+            config = config.replace(n_periods=args.periods)
+        except ValueError as exc:
+            raise SystemExit(f"--periods error: {exc}") from exc
+    if args.solver is not None:
+        config = config.replace(solver=args.solver)
+
+    def probe_solver_config(flag: str) -> None:
+        # Materialize the per-period solver config so mistakes are
+        # blamed on the flag whose pairs broke it.
+        try:
+            make_config(
+                get_solver(config.solver), dict(config.solver_options)
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"{flag} error: {exc}") from exc
+
+    # First probe covers --sim-config's solver.* pairs (and the solver
+    # name itself)...
+    probe_solver_config("--sim-config")
+    if args.config:
+        # ...then --config pairs merge on top (per-key, the dedicated
+        # flag wins) and get their own probe, so a failure here can
+        # only come from --config.
+        config = config.replace(
+            solver_options={
+                **dict(config.solver_options),
+                **_parse_config_pairs(args.config),
+            }
+        )
+        probe_solver_config("--config")
+    try:
+        # Constructing the simulator resolves and validates every
+        # plugin, so configuration mistakes are caught here...
+        simulator = AuditSimulator(game, config)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"--sim-config error: {exc}") from exc
+    # ...while genuine runtime failures inside the period loop keep
+    # their honest tracebacks.
+    started = time.time()
+    with simulator:
+        trajectory = simulator.run()
+    elapsed = time.time() - started
+    text = "\n".join(
+        [
+            f"dataset={args.dataset} budget={args.budget:g} sim",
+            f"config: {config.describe()}",
+            trajectory.to_text(game.alert_types.names),
+        ]
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    path = args.out / f"sim_{args.dataset}.txt"
+    path.write_text(text + "\n")
+    print(f"== sim:{args.dataset} ({elapsed:.1f}s) -> {path}")
+    print(text)
+    return 0
+
+
+def _sim_plugin_tables() -> str:
+    """Overview of every registered simulator plugin, by kind."""
+    sections = []
+    for title, registry in (
+        ("event sources", EVENT_SOURCES),
+        ("estimators", ESTIMATORS),
+        ("adversaries", ADVERSARIES),
+    ):
+        sections.append(f"{title}:\n{registry.table()}")
+    return "\n\n".join(sections)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.run_experiments",
         description=(
-            "Regenerate the paper's tables and figures, or dispatch one "
-            "registry solver (--solver)."
+            "Regenerate the paper's tables and figures, dispatch one "
+            "registry solver (--solver), or run the multi-period "
+            "audit-operations simulator (--sim)."
         ),
     )
     parser.add_argument(
@@ -225,25 +339,64 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--dataset", choices=sorted(DATASETS), default="syn_a",
-        help="dataset for --solver mode",
+        help="dataset for --solver and --sim modes",
     )
     parser.add_argument(
         "--budget", type=float, default=10.0,
-        help="audit budget for --solver mode",
+        help="audit budget for --solver and --sim modes",
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="engine seed (scenarios + solver randomness)",
+        help=(
+            "seed threaded through every mode: experiment runners, the "
+            "solver engine, and the simulator trajectory"
+        ),
+    )
+    parser.add_argument(
+        "--sim", action="store_true",
+        help=(
+            "run the multi-period audit-operations simulator instead "
+            "of a one-shot solve (see --list-sim-plugins)"
+        ),
+    )
+    parser.add_argument(
+        "--periods", type=int, default=None,
+        help="number of audit periods for --sim mode (default 12)",
+    )
+    parser.add_argument(
+        "--sim-config", nargs="*", default=[], metavar="K=V",
+        help=(
+            "SimConfig fields (warm_start=false) and dotted plugin "
+            "options (estimator.window=14) for --sim mode"
+        ),
     )
     parser.add_argument(
         "--list-solvers", action="store_true",
         help="print the solver registry table and exit",
+    )
+    parser.add_argument(
+        "--list-sim-plugins", action="store_true",
+        help="print the simulator plugin registries and exit",
     )
     args = parser.parse_args(argv)
 
     if args.list_solvers:
         print(solver_table())
         return 0
+    if args.list_sim_plugins:
+        print(_sim_plugin_tables())
+        return 0
+    if args.sim:
+        if args.only or args.full:
+            parser.error(
+                "--sim runs the simulator; it cannot be combined with "
+                "the experiment-mode flags --only/--full"
+            )
+        return _run_sim(args)
+    if args.periods is not None or args.sim_config:
+        parser.error(
+            "--periods/--sim-config configure the simulator; add --sim"
+        )
     if args.solver is not None:
         if args.only or args.full:
             parser.error(
@@ -251,12 +404,16 @@ def main(argv: list[str] | None = None) -> int:
                 "combined with the experiment-mode flags --only/--full"
             )
         return _run_solver(args)
+    if args.config:
+        parser.error(
+            "--config configures a solver; add --solver or --sim"
+        )
 
     names = args.only if args.only else list(EXPERIMENTS)
     args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         started = time.time()
-        text = EXPERIMENTS[name](args.full)
+        text = EXPERIMENTS[name](args.full, args.seed)
         elapsed = time.time() - started
         path = args.out / f"{name}.txt"
         path.write_text(text + "\n")

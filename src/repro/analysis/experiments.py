@@ -9,7 +9,7 @@ benchmark run stays fast; the full paper grids are module constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -96,12 +96,15 @@ class Table3Result:
 def run_table3(
     budgets: Sequence[float] = SYN_A_BUDGETS,
     backend: str = "scipy",
+    seed: int = 0,
 ) -> Table3Result:
     """Brute-force the OAP on Syn A for each budget (Table III)."""
     rows = []
     for budget in budgets:
-        engine = AuditEngine(syn_a(budget=budget), backend=backend)
-        result = engine.solve("bruteforce")
+        with AuditEngine(
+            syn_a(budget=budget), backend=backend, seed=seed
+        ) as engine:
+            result = engine.solve("bruteforce")
         policy = result.policy.pruned()
         rows.append(
             OptimalRow(
@@ -193,23 +196,23 @@ def run_ishm_grid(
         # One engine per budget: the step-size sweep shares its scenario
         # set (and, for the enumeration inner solver, every
         # fixed-threshold solution probed along the way).
-        engine = AuditEngine(
+        with AuditEngine(
             syn_a(budget=budget), backend=backend, seed=seed
-        )
-        row: list[GridCell] = []
-        for step in step_sizes:
-            result = engine.solve(
-                "ishm", step_size=float(step), inner=method
-            )
-            row.append(
-                GridCell(
-                    budget=float(budget),
-                    step_size=float(step),
-                    objective=result.objective,
-                    thresholds=result.thresholds,
-                    lp_calls=int(result.diagnostics["lp_calls"]),
+        ) as engine:
+            row: list[GridCell] = []
+            for step in step_sizes:
+                result = engine.solve(
+                    "ishm", step_size=float(step), inner=method
                 )
-            )
+                row.append(
+                    GridCell(
+                        budget=float(budget),
+                        step_size=float(step),
+                        objective=result.objective,
+                        thresholds=result.thresholds,
+                        lp_calls=int(result.diagnostics["lp_calls"]),
+                    )
+                )
         grid.append(tuple(row))
     return HeuristicGrid(
         method=method,
@@ -345,36 +348,36 @@ def run_loss_figure(
         game: AuditGame = game_factory(budget)
         # One engine per budget point: the proposed-policy sweep and all
         # three baselines share one scenario set and one solution cache.
-        engine = AuditEngine(
+        with AuditEngine(
             game, seed=seed, n_samples=n_scenarios
-        )
-        anchor_thresholds = None
-        for step in step_sizes:
-            result = engine.solve(
-                "ishm", step_size=float(step), seed=seed + 1
-            )
-            proposed[float(step)].append(result.objective)
-            if float(step) == anchor_step:
-                anchor_thresholds = result.thresholds
-                if deterrence is None and result.objective <= 1e-6:
-                    deterrence = budget
-        if include_baselines:
-            rand_orders.append(
-                engine.solve(
-                    "random-order",
-                    thresholds=tuple(anchor_thresholds.tolist()),
-                    n_orderings=n_random_orderings,
-                    seed=seed + 2,
-                ).objective
-            )
-            rand_thresholds.append(
-                engine.solve(
-                    "random-threshold",
-                    n_draws=n_threshold_draws,
-                    seed=seed + 3,
-                ).objective
-            )
-            greedy.append(engine.solve("benefit-greedy").objective)
+        ) as engine:
+            anchor_thresholds = None
+            for step in step_sizes:
+                result = engine.solve(
+                    "ishm", step_size=float(step), seed=seed + 1
+                )
+                proposed[float(step)].append(result.objective)
+                if float(step) == anchor_step:
+                    anchor_thresholds = result.thresholds
+                    if deterrence is None and result.objective <= 1e-6:
+                        deterrence = budget
+            if include_baselines:
+                rand_orders.append(
+                    engine.solve(
+                        "random-order",
+                        thresholds=tuple(anchor_thresholds.tolist()),
+                        n_orderings=n_random_orderings,
+                        seed=seed + 2,
+                    ).objective
+                )
+                rand_thresholds.append(
+                    engine.solve(
+                        "random-threshold",
+                        n_draws=n_threshold_draws,
+                        seed=seed + 3,
+                    ).objective
+                )
+                greedy.append(engine.solve("benefit-greedy").objective)
 
     return FigureCurves(
         dataset=dataset,

@@ -16,7 +16,7 @@ from ..distributions.joint import ScenarioSet
 from .attack_map import AttackTypeMap
 from .detection import pal_for_ordering
 from .payoffs import PayoffModel
-from .policy import AuditPolicy, Ordering
+from .policy import AuditPolicy
 
 __all__ = [
     "utility_matrix_for_pal",

@@ -26,7 +26,7 @@ path regenerates them from synthesized batches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 
@@ -36,7 +36,6 @@ from ..core.game import AuditGame
 from ..core.payoffs import PayoffModel
 from ..distributions import DiscretizedGaussian, JointCountModel
 from ..tdmt import (
-    AccessEvent,
     fit_count_models,
     period_type_counts,
 )

@@ -15,6 +15,7 @@ import typing
 from dataclasses import dataclass
 
 __all__ = [
+    "coerce_value",
     "SolverConfig",
     "ISHMConfig",
     "BruteForceConfig",
@@ -56,6 +57,15 @@ def _coerce(text: str, annotation: object) -> object:
         parts = [p for p in text.split(",") if p.strip()]
         return tuple(_coerce(p, element) for p in parts)
     return text
+
+
+def coerce_value(text: str, annotation: object) -> object:
+    """Public alias for the CLI string-to-type coercion rules.
+
+    Used by consumers outside this module (e.g. the simulator's plugin
+    option parsing) so every ``k=v`` surface coerces identically.
+    """
+    return _coerce(text, annotation)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.game import AuditGame
 from ..core.objective import best_responses
-from ..core.policy import AuditPolicy, Ordering, all_orderings
+from ..core.policy import AuditPolicy, all_orderings
 from ..distributions.joint import ScenarioSet
 from ..solvers.lp import LinearProgram, solve_lp
 from ..solvers.master import PolicyContext

@@ -16,7 +16,6 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.game import AuditGame
-from ..core.payoffs import PayoffModel
 from ..engine import AuditEngine, SolveResult
 from ..solvers.ishm import ISHMResult
 

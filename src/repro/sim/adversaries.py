@@ -1,0 +1,136 @@
+"""Adversary models: how attackers move against the deployed policy.
+
+The paper's one-shot game assumes every adversary best-responds to the
+published mixed policy.  In the repeated setting that is one point in a
+spectrum; the simulator ships three plugins:
+
+* ``best-response`` — the paper's fully rational attacker, re-computed
+  against each period's freshly deployed policy (adaptive);
+* ``static`` — commits to the best response against the *first* deployed
+  policy and never adapts (the non-strategic attacker the baselines
+  implicitly assume);
+* ``quantal`` — the bounded-rationality extension of
+  :mod:`repro.extensions.quantal`: victims are sampled from the logit
+  choice distribution, so even deterred attackers occasionally attack.
+
+Each plugin maps a period's :class:`~repro.core.objective.PolicyEvaluation`
+(computed against the deployed policy) to one victim index per adversary,
+with :data:`REFRAIN` (-1) meaning "do not attack this period".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..core.objective import REFRAIN, PolicyEvaluation
+from ..extensions.quantal import quantal_response_distribution
+from .registry import ADVERSARIES
+
+__all__ = [
+    "REFRAIN",
+    "BestResponseAdversary",
+    "StaticAdversary",
+    "QuantalAdversary",
+]
+
+
+@ADVERSARIES.register(
+    "best-response",
+    summary="fully rational: best-responds to each period's policy",
+    aliases=("rational",),
+)
+class BestResponseAdversary:
+    """The paper's attacker, re-optimizing every period (adaptive).
+
+    Needs nothing from the game: the per-period evaluation already
+    carries the best responses.
+    """
+
+    def __init__(self, game: AuditGame) -> None:
+        pass
+
+    def choose(
+        self,
+        period: int,
+        evaluation: PolicyEvaluation,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return np.array(
+            [r.victim for r in evaluation.responses], dtype=np.int64
+        )
+
+
+@ADVERSARIES.register(
+    "static",
+    summary="commits to the period-0 best response forever",
+)
+class StaticAdversary:
+    """Non-adaptive: locks in the best response to the first policy.
+
+    Models attackers who scouted the defense once and never revisit it —
+    the gap between this and ``best-response`` measures how much of the
+    defender's loss comes from attacker adaptivity.
+    """
+
+    def __init__(self, game: AuditGame) -> None:
+        self._committed: np.ndarray | None = None
+
+    def choose(
+        self,
+        period: int,
+        evaluation: PolicyEvaluation,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self._committed is None:
+            self._committed = np.array(
+                [r.victim for r in evaluation.responses], dtype=np.int64
+            )
+        return self._committed.copy()
+
+
+@ADVERSARIES.register(
+    "quantal",
+    summary="logit quantal response with tunable rationality",
+    aliases=("boundedly-rational",),
+)
+class QuantalAdversary:
+    """Bounded rationality: victims sampled from the logit distribution.
+
+    ``rationality -> inf`` recovers ``best-response``; ``0`` attacks
+    uniformly at random.  Refraining enters with utility 0 whenever the
+    game allows it.
+    """
+
+    def __init__(
+        self, game: AuditGame, *, rationality: float = 2.0
+    ) -> None:
+        if not math.isfinite(rationality) or rationality < 0:
+            # inf would turn the softmax logits into NaN mid-period;
+            # use the best-response adversary for the rational limit.
+            raise ValueError(
+                "rationality must be finite and >= 0, got "
+                f"{rationality}"
+            )
+        self._game = game
+        self.rationality = float(rationality)
+
+    def choose(
+        self,
+        period: int,
+        evaluation: PolicyEvaluation,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        choice = quantal_response_distribution(
+            evaluation.expected_utilities,
+            self.rationality,
+            self._game.payoffs.attackers_can_refrain,
+        )
+        n_victims = choice.shape[1] - 1
+        out = np.empty(choice.shape[0], dtype=np.int64)
+        for e in range(choice.shape[0]):
+            pick = int(rng.choice(choice.shape[1], p=choice[e]))
+            out[e] = REFRAIN if pick == n_victims else pick
+        return out

@@ -1,0 +1,146 @@
+"""String-keyed plugin registries for the simulator.
+
+The simulator composes three pluggable behaviors per run — where alerts
+come from (:mod:`repro.sim.sources`), how the defender re-estimates the
+count distributions from them (:mod:`repro.sim.estimators`) and how the
+attackers pick their moves (:mod:`repro.sim.adversaries`).  Each kind has
+its own :class:`PluginRegistry`, mirroring the solver registry of
+:mod:`repro.engine.registry`: plugins self-register under a string name
+with a decorator, and the simulator (or the CLI) resolves names to
+factories at run time.
+
+Every factory is called as ``factory(game=game, **options)`` and must
+return an object satisfying the corresponding protocol in
+:mod:`repro.sim.simulator`.  Register your own with, e.g.::
+
+    from repro.sim import EVENT_SOURCES
+
+    @EVENT_SOURCES.register("replay", summary="replay a recorded log")
+    class ReplaySource:
+        def __init__(self, game, *, path):
+            ...
+        def counts(self, period, rng):
+            ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+__all__ = [
+    "PluginSpec",
+    "PluginRegistry",
+    "ADVERSARIES",
+    "ESTIMATORS",
+    "EVENT_SOURCES",
+]
+
+
+@dataclass(frozen=True)
+class PluginSpec:
+    """One registry entry: the factory plus its metadata."""
+
+    name: str
+    factory: Callable[..., object]
+    summary: str
+    aliases: tuple[str, ...] = ()
+
+
+class PluginRegistry:
+    """A named family of simulator plugins (sources, estimators, ...)."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._specs: dict[str, PluginSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        summary: str = "",
+        aliases: tuple[str, ...] = (),
+    ) -> Callable[[Callable[..., object]], Callable[..., object]]:
+        """Class/function decorator adding a plugin under ``name``."""
+
+        def decorator(
+            factory: Callable[..., object]
+        ) -> Callable[..., object]:
+            for key in (name, *aliases):
+                if key in self._specs or key in self._aliases:
+                    raise ValueError(
+                        f"{self.kind} plugin {key!r} is already registered"
+                    )
+            self._specs[name] = PluginSpec(
+                name=name,
+                factory=factory,
+                summary=summary,
+                aliases=tuple(aliases),
+            )
+            for alias in aliases:
+                self._aliases[alias] = name
+            return factory
+
+        return decorator
+
+    def available(self) -> tuple[str, ...]:
+        """Canonical plugin names, sorted."""
+        return tuple(sorted(self._specs))
+
+    def get(self, name: str) -> PluginSpec:
+        """Resolve a name or alias to its :class:`PluginSpec`."""
+        canonical = self._aliases.get(name, name)
+        spec = self._specs.get(canonical)
+        if spec is None:
+            raise KeyError(
+                f"no {self.kind} plugin registered under {name!r}; "
+                f"available: {', '.join(self.available())}"
+            )
+        return spec
+
+    def create(
+        self,
+        name: str,
+        game: object,
+        options: Mapping[str, object] | None = None,
+    ) -> object:
+        """Instantiate a plugin: ``factory(game=game, **options)``.
+
+        A bad option name surfaces as a ``TypeError`` naming the plugin,
+        so CLI typos read as configuration errors, not tracebacks.
+        """
+        spec = self.get(name)
+        try:
+            return spec.factory(game=game, **dict(options or {}))
+        except TypeError as exc:
+            raise TypeError(
+                f"{self.kind} plugin {spec.name!r}: {exc}"
+            ) from exc
+
+    def table(self) -> str:
+        """Overview text: one ``name (aliases)  summary`` row per plugin."""
+        rows = []
+        for name in self.available():
+            spec = self._specs[name]
+            label = name
+            if spec.aliases:
+                label += f" ({', '.join(spec.aliases)})"
+            rows.append((label, spec.summary))
+        width = max((len(label) for label, _ in rows), default=0)
+        return "\n".join(
+            f"{label.ljust(width)}  {summary}".rstrip()
+            for label, summary in rows
+        )
+
+
+#: How attackers behave each period (see :mod:`repro.sim.adversaries`).
+ADVERSARIES = PluginRegistry("adversary")
+
+#: How ``F_t`` is re-estimated from the alert stream
+#: (see :mod:`repro.sim.estimators`).
+ESTIMATORS = PluginRegistry("estimator")
+
+#: Where each period's benign alerts come from
+#: (see :mod:`repro.sim.sources`).
+EVENT_SOURCES = PluginRegistry("event source")

@@ -1,0 +1,185 @@
+"""Event sources: where each period's benign alert stream comes from.
+
+A source is the simulator's ground truth.  Each period it produces the
+realized benign alert counts ``Z_t`` per type — the "alert logs" the
+paper's Section II-A says the defender learns ``F_t`` from.  Three
+plugins ship:
+
+* ``model`` — draws from the bound game's own joint count model, so any
+  dataset builder (``syn_a``, ``rea_a``, ``rea_b``) becomes a stationary
+  alert stream;
+* ``drift`` — discretized Gaussians whose means move every period, the
+  non-stationary workload that online estimators must track;
+* ``tdmt-emr`` — simulates a raw EMR access log once, then replays it
+  day by day through the TDMT rule engine (repeat filtering, relational
+  labeling, per-period tabulation), exactly the pipeline of Section V-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..datasets.emr import (
+    EMR_TYPE_NAMES,
+    EMRConfig,
+    build_emr_world,
+    simulate_emr_log,
+)
+from ..distributions import DiscretizedGaussian
+from ..tdmt import filter_repeated_accesses, period_type_counts
+from .registry import EVENT_SOURCES
+
+__all__ = ["ModelSource", "DriftingSource", "TDMTEMRSource"]
+
+
+@EVENT_SOURCES.register(
+    "model",
+    summary="sample counts from the game's own count model (stationary)",
+    aliases=("dataset",),
+)
+class ModelSource:
+    """Stationary stream: per-type draws from the game's marginals.
+
+    This treats the bound game's joint count model as the true world, so
+    a ``fixed`` estimator is exactly calibrated and any online estimator
+    should converge to it.
+    """
+
+    def __init__(self, game: AuditGame) -> None:
+        self._marginals = game.counts.marginals
+
+    def counts(
+        self, period: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.array(
+            [int(m.sample(rng, 1)[0]) for m in self._marginals],
+            dtype=np.int64,
+        )
+
+
+@EVENT_SOURCES.register(
+    "drift",
+    summary="Gaussian counts whose means drift per period",
+)
+class DriftingSource:
+    """Non-stationary stream: per-type Gaussian means that move over time.
+
+    Period ``p`` draws type ``t`` from a discretized Gaussian with mean
+    ``mu_t * (1 + drift * p)`` (floored at 0) and the original standard
+    deviation scaled by ``std_scale``.  ``mu_t`` defaults to the bound
+    game's marginal means, so ``drift=0`` reproduces a Gaussian fit of
+    the stationary world and positive drift steadily inflates the alert
+    volume the defender must re-learn.
+
+    Parameters
+    ----------
+    drift:
+        Relative mean change per period (e.g. ``0.1`` = +10% of the
+        initial mean every period; negative values shrink the stream).
+    std_scale:
+        Multiplier on the per-type standard deviations.
+    coverage:
+        Truncation coverage of each per-period Gaussian.
+    """
+
+    def __init__(
+        self,
+        game: AuditGame,
+        *,
+        drift: float = 0.1,
+        std_scale: float = 1.0,
+        coverage: float = 0.995,
+    ) -> None:
+        if std_scale <= 0:
+            raise ValueError(f"std_scale must be > 0, got {std_scale}")
+        if not 0.5 < coverage < 1.0:
+            raise ValueError(
+                f"coverage must be in (0.5, 1), got {coverage}"
+            )
+        self.drift = float(drift)
+        self.coverage = float(coverage)
+        self._means = np.array(
+            [m.mean() for m in game.counts.marginals], dtype=np.float64
+        )
+        self._stds = np.array(
+            [max(m.std(), 0.5) * std_scale for m in game.counts.marginals],
+            dtype=np.float64,
+        )
+
+    def means_at(self, period: int) -> np.ndarray:
+        """The true per-type means in effect during ``period``."""
+        return np.maximum(
+            self._means * (1.0 + self.drift * period), 0.0
+        )
+
+    def counts(
+        self, period: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        means = self.means_at(period)
+        out = np.empty(len(means), dtype=np.int64)
+        for t, (mean, std) in enumerate(zip(means, self._stds)):
+            model = DiscretizedGaussian(
+                float(mean), float(std), coverage=self.coverage
+            )
+            out[t] = int(model.sample(rng, 1)[0])
+        return out
+
+
+@EVENT_SOURCES.register(
+    "tdmt-emr",
+    summary="replay a simulated EMR access log through the TDMT engine",
+)
+class TDMTEMRSource:
+    """TDMT-labeled access stream from the synthetic EMR world.
+
+    Builds the Rea A world once, simulates an ``n_periods``-day raw
+    access log (with the paper's 79.5% repeated accesses), repeat-filters
+    and rule-labels it, and serves each day's per-type alert counts in
+    order.  Requires the bound game to use the seven Table VIII composite
+    types (i.e. a ``rea_a`` game); running past the simulated horizon
+    wraps around.
+
+    Parameters
+    ----------
+    n_periods:
+        Days of raw log to simulate up front.
+    seed:
+        World/log seed.  The log is fixed at construction, so two sources
+        with equal parameters replay identical streams regardless of the
+        simulator's rng.
+    """
+
+    def __init__(
+        self,
+        game: AuditGame,
+        *,
+        n_periods: int = 28,
+        seed: int = 20180417,
+    ) -> None:
+        if n_periods <= 0:
+            raise ValueError(
+                f"n_periods must be positive, got {n_periods}"
+            )
+        if game.n_types != len(EMR_TYPE_NAMES):
+            raise ValueError(
+                "tdmt-emr source expects the 7-type Rea A game, got "
+                f"{game.n_types} types"
+            )
+        world = build_emr_world(EMRConfig(n_days=n_periods, seed=seed))
+        log = simulate_emr_log(world)
+        distinct, _ = filter_repeated_accesses(log.events)
+        alerts = world.engine.label_events(distinct)
+        by_type = period_type_counts(alerts, EMR_TYPE_NAMES, n_periods)
+        self._counts = np.stack(
+            [by_type[name] for name in EMR_TYPE_NAMES], axis=1
+        ).astype(np.int64)
+
+    @property
+    def n_periods(self) -> int:
+        return int(self._counts.shape[0])
+
+    def counts(
+        self, period: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self._counts[period % self.n_periods].copy()

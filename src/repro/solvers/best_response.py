@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
 
 from ..core.game import AuditGame
 from ..core.objective import PolicyEvaluation

@@ -19,7 +19,7 @@ free; the reduced cost of a column ``a_j`` with objective coefficient
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

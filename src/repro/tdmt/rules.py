@@ -12,7 +12,7 @@ flag combination to a composite alert type.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 __all__ = ["RelationshipRule", "CompositeScheme"]

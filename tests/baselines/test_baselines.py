@@ -1,8 +1,6 @@
 """The three Section V-B baselines and the key paper property:
 the game-theoretic policy is never worse than any of them."""
 
-import math
-
 import numpy as np
 import pytest
 

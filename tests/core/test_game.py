@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     AlertTypeSet,
-    AttackTypeMap,
     AuditGame,
     AuditPolicy,
     Ordering,

@@ -41,6 +41,90 @@ class TestFromSamples:
     def test_rejects_bad_coverage(self):
         with pytest.raises(ValueError):
             EmpiricalCounts.from_samples([1, 2], coverage=0.0)
+        with pytest.raises(ValueError):
+            EmpiricalCounts.from_samples([1, 2], coverage=1.5)
+
+
+class TestTruncationEdgeCases:
+    """Coverage at/near the ends of (0, 1], ties, degenerate fits.
+
+    The simulator's rolling-empirical estimator refits through this
+    path every period, so its corners must hold exactly.
+    """
+
+    def test_coverage_near_zero_keeps_smallest_count(self):
+        model = EmpiricalCounts.from_samples(
+            [3, 5, 5, 9], coverage=1e-9
+        )
+        assert model.min_count == 3
+        assert model.max_count == 3
+        assert np.isclose(model.pmf(3), 1.0)
+
+    def test_coverage_exactly_at_a_cdf_step_keeps_that_count(self):
+        # CDF: 1 -> 0.25, 2 -> 0.75, 3 -> 1.0.  Coverage 0.75 lands
+        # exactly on the step at count 2, which must stay included.
+        model = EmpiricalCounts.from_samples(
+            [1, 2, 2, 3], coverage=0.75
+        )
+        assert model.max_count == 2
+        assert np.isclose(model.pmf(1), 1 / 3)
+        assert np.isclose(model.pmf(2), 2 / 3)
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_coverage_just_below_one_drops_only_the_tail(self):
+        samples = [1] * 997 + [2, 2, 50]
+        model = EmpiricalCounts.from_samples(samples, coverage=0.999)
+        assert model.max_count == 2
+        assert np.isclose(model.support_pmf().sum(), 1.0)
+
+    def test_coverage_one_is_exact(self):
+        samples = [0, 0, 7, 7, 7, 100]
+        model = EmpiricalCounts.from_samples(samples, coverage=1.0)
+        assert model.min_count == 0
+        assert model.max_count == 100
+        assert np.isclose(model.pmf(7), 0.5)
+        assert np.isclose(model.mean(), np.mean(samples))
+
+    def test_tied_tail_probabilities_cut_at_first_reach(self):
+        # Four equally likely counts; coverage 0.5 is reached exactly
+        # at the second, so the tied tail {7, 9} is dropped whole.
+        model = EmpiricalCounts.from_samples(
+            [1, 3, 7, 9], coverage=0.5
+        )
+        assert model.max_count == 3
+        assert np.isclose(model.pmf(1), 0.5)
+        assert np.isclose(model.pmf(3), 0.5)
+
+    def test_single_sample_fit_survives_any_coverage(self):
+        for coverage in (1e-9, 0.5, 1.0):
+            model = EmpiricalCounts.from_samples([4], coverage=coverage)
+            assert model.min_count == 4
+            assert model.max_count == 4
+            assert np.isclose(model.pmf(4), 1.0)
+
+    def test_all_identical_samples_truncate_to_themselves(self):
+        model = EmpiricalCounts.from_samples([6] * 10, coverage=0.9)
+        assert model.min_count == 6
+        assert model.max_count == 6
+        assert np.isclose(model.mean(), 6.0)
+
+    def test_zero_count_support_is_legal(self):
+        # A quiet alert type: most periods raise nothing at all.
+        model = EmpiricalCounts.from_samples(
+            [0] * 9 + [3], coverage=0.9
+        )
+        assert model.min_count == 0
+        assert model.max_count == 0
+        assert np.isclose(model.pmf(0), 1.0)
+
+    def test_truncation_renormalizes(self):
+        model = EmpiricalCounts.from_samples(
+            [1, 1, 1, 2, 8, 8], coverage=0.66
+        )
+        assert model.max_count == 2
+        total = model.pmf(1) + model.pmf(2)
+        assert np.isclose(total, 1.0)
+        assert np.isclose(model.pmf(1), 0.75)
 
 
 class TestDirectConstruction:

@@ -1,0 +1,94 @@
+"""Adversary models: rationality spectrum and commitment."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import REFRAIN
+from repro.core.policy import AuditPolicy, Ordering
+from repro.sim import (
+    BestResponseAdversary,
+    QuantalAdversary,
+    StaticAdversary,
+)
+from tests.conftest import make_tiny_game
+
+
+def _evaluation(game, thresholds, scenarios=None):
+    scenarios = scenarios or game.scenario_set()
+    policy = AuditPolicy.pure(Ordering((0, 1)), thresholds)
+    return game.evaluate(policy, scenarios)
+
+
+class TestBestResponse:
+    def test_matches_evaluation_responses(self, tiny_game):
+        evaluation = _evaluation(tiny_game, [3.0, 2.0])
+        adversary = BestResponseAdversary(tiny_game)
+        rng = np.random.default_rng(0)
+        victims = adversary.choose(0, evaluation, rng)
+        expected = [r.victim for r in evaluation.responses]
+        assert victims.tolist() == expected
+
+    def test_adapts_when_the_policy_changes(self):
+        game = make_tiny_game(budget=6.0, attackers_can_refrain=True)
+        adversary = BestResponseAdversary(game)
+        rng = np.random.default_rng(0)
+        scenarios = game.scenario_set()
+        lax = _evaluation(game, [0.0, 0.0], scenarios)
+        strict = _evaluation(game, [6.0, 6.0], scenarios)
+        choice_lax = adversary.choose(0, lax, rng)
+        choice_strict = adversary.choose(1, strict, rng)
+        assert choice_lax.tolist() != choice_strict.tolist()
+
+
+class TestStatic:
+    def test_commits_to_period_zero_choice(self):
+        game = make_tiny_game(budget=6.0, attackers_can_refrain=True)
+        adversary = StaticAdversary(game)
+        rng = np.random.default_rng(0)
+        scenarios = game.scenario_set()
+        lax = _evaluation(game, [0.0, 0.0], scenarios)
+        strict = _evaluation(game, [6.0, 6.0], scenarios)
+        first = adversary.choose(0, lax, rng)
+        later = adversary.choose(1, strict, rng)
+        assert later.tolist() == first.tolist()
+
+
+class TestQuantal:
+    def test_zero_rationality_attacks_roughly_uniformly(self, tiny_game):
+        evaluation = _evaluation(tiny_game, [3.0, 2.0])
+        adversary = QuantalAdversary(tiny_game, rationality=0.0)
+        rng = np.random.default_rng(0)
+        draws = np.stack(
+            [adversary.choose(p, evaluation, rng) for p in range(300)]
+        )
+        # Refraining is off in the tiny game, so every victim (and no
+        # REFRAIN) should appear for adversary 0.
+        assert set(np.unique(draws)) == {0, 1, 2}
+
+    def test_high_rationality_recovers_best_response(self, tiny_game):
+        evaluation = _evaluation(tiny_game, [3.0, 2.0])
+        adversary = QuantalAdversary(tiny_game, rationality=1e6)
+        rng = np.random.default_rng(0)
+        victims = adversary.choose(0, evaluation, rng)
+        expected = [r.victim for r in evaluation.responses]
+        assert victims.tolist() == expected
+
+    def test_refrain_possible_when_allowed(self):
+        game = make_tiny_game(budget=6.0, attackers_can_refrain=True)
+        # Exhaustive thresholds make attacking unattractive.
+        evaluation = _evaluation(game, [6.0, 6.0])
+        adversary = QuantalAdversary(game, rationality=5.0)
+        rng = np.random.default_rng(0)
+        draws = np.concatenate(
+            [adversary.choose(p, evaluation, rng) for p in range(100)]
+        )
+        assert (draws == REFRAIN).any()
+
+    def test_rejects_negative_rationality(self, tiny_game):
+        with pytest.raises(ValueError, match="rationality"):
+            QuantalAdversary(tiny_game, rationality=-1.0)
+
+    def test_rejects_infinite_rationality(self, tiny_game):
+        # inf would NaN the softmax; best-response covers that limit.
+        with pytest.raises(ValueError, match="finite"):
+            QuantalAdversary(tiny_game, rationality=float("inf"))

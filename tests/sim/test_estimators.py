@@ -1,0 +1,118 @@
+"""Distribution estimators: refit cadence, identity contract, windows."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    FixedEstimator,
+    RollingEmpiricalEstimator,
+    RollingGaussianEstimator,
+)
+
+
+def _feed(estimator, rows):
+    for period, row in enumerate(rows):
+        estimator.observe(period, np.asarray(row, dtype=np.int64))
+
+
+class TestFixedEstimator:
+    def test_always_serves_the_prior_object(self, tiny_game):
+        estimator = FixedEstimator(tiny_game)
+        assert estimator.model() is tiny_game.counts
+        _feed(estimator, [[100, 100]] * 5)
+        assert estimator.model() is tiny_game.counts
+
+
+class TestRollingEmpirical:
+    def test_serves_prior_until_min_periods(self, tiny_game):
+        estimator = RollingEmpiricalEstimator(
+            tiny_game, min_periods=3
+        )
+        _feed(estimator, [[4, 2], [5, 3]])
+        assert estimator.model() is tiny_game.counts
+        estimator.observe(2, np.array([6, 1]))
+        assert estimator.model() is not tiny_game.counts
+        assert estimator.n_refits == 1
+
+    def test_refit_matches_window_empirics(self, tiny_game):
+        estimator = RollingEmpiricalEstimator(
+            tiny_game, min_periods=3
+        )
+        _feed(estimator, [[4, 2], [5, 3], [6, 1]])
+        model = estimator.model()
+        assert np.isclose(model.marginals[0].mean(), 5.0)
+        assert np.isclose(model.marginals[1].mean(), 2.0)
+        assert model.marginals[0].min_count == 4
+        assert model.marginals[0].max_count == 6
+
+    def test_window_ages_out_old_periods(self, tiny_game):
+        estimator = RollingEmpiricalEstimator(
+            tiny_game, window=2, min_periods=2
+        )
+        _feed(estimator, [[100, 100], [4, 2], [6, 4]])
+        model = estimator.model()
+        # The spike at period 0 left the window.
+        assert model.marginals[0].max_count == 6
+        assert np.isclose(model.marginals[0].mean(), 5.0)
+
+    def test_identity_stable_between_refits(self, tiny_game):
+        estimator = RollingEmpiricalEstimator(
+            tiny_game, min_periods=2, refit_every=3
+        )
+        _feed(estimator, [[4, 2], [5, 3], [6, 1]])
+        first = estimator.model()
+        assert estimator.n_refits == 1
+        estimator.observe(3, np.array([7, 2]))
+        assert estimator.model() is first  # no refit yet
+        estimator.observe(4, np.array([8, 3]))
+        estimator.observe(5, np.array([9, 4]))
+        assert estimator.model() is not first
+        assert estimator.n_refits == 2
+
+    def test_coverage_truncates_outliers(self, tiny_game):
+        estimator = RollingEmpiricalEstimator(
+            tiny_game, window=50, min_periods=10, coverage=0.9
+        )
+        rows = [[1, 1]] * 19 + [[500, 1]]
+        _feed(estimator, rows)
+        assert estimator.model().marginals[0].max_count == 1
+
+    def test_rejects_bad_parameters(self, tiny_game):
+        with pytest.raises(ValueError, match="window"):
+            RollingEmpiricalEstimator(tiny_game, window=0)
+        with pytest.raises(ValueError, match="min_periods"):
+            RollingEmpiricalEstimator(tiny_game, min_periods=0)
+        with pytest.raises(ValueError, match="refit_every"):
+            RollingEmpiricalEstimator(tiny_game, refit_every=0)
+        with pytest.raises(ValueError, match="coverage"):
+            RollingEmpiricalEstimator(tiny_game, coverage=0.0)
+        # window < min_periods could never refit; reject up front.
+        with pytest.raises(ValueError, match="never refit"):
+            RollingEmpiricalEstimator(
+                tiny_game, window=2, min_periods=5
+            )
+
+
+class TestRollingGaussian:
+    def test_tracks_window_mean(self, tiny_game):
+        estimator = RollingGaussianEstimator(
+            tiny_game, window=4, min_periods=4
+        )
+        _feed(estimator, [[10, 2], [12, 3], [14, 2], [16, 3]])
+        model = estimator.model()
+        # Discretization keeps the mean close to the sample mean of 13.
+        assert abs(model.marginals[0].mean() - 13.0) < 1.0
+
+    def test_degenerate_window_still_fits(self, tiny_game):
+        # Identical observations give std 0; the fit floors it at 0.5.
+        estimator = RollingGaussianEstimator(
+            tiny_game, min_periods=3
+        )
+        _feed(estimator, [[5, 2]] * 3)
+        model = estimator.model()
+        assert model.marginals[0].min_count <= 5
+        assert model.marginals[0].max_count >= 5
+
+    def test_rejects_full_coverage(self, tiny_game):
+        with pytest.raises(ValueError, match="coverage"):
+            RollingGaussianEstimator(tiny_game, coverage=1.0)

@@ -1,0 +1,86 @@
+"""Plugin registries: registration, lookup, aliases, tables."""
+
+import pytest
+
+from repro.sim import ADVERSARIES, ESTIMATORS, EVENT_SOURCES
+from repro.sim.registry import PluginRegistry
+
+
+class TestBuiltinPlugins:
+    def test_event_sources_registered(self):
+        assert set(EVENT_SOURCES.available()) == {
+            "model", "drift", "tdmt-emr",
+        }
+
+    def test_estimators_registered(self):
+        assert set(ESTIMATORS.available()) == {
+            "fixed", "rolling-empirical", "rolling-gaussian",
+        }
+
+    def test_adversaries_registered(self):
+        assert set(ADVERSARIES.available()) == {
+            "best-response", "static", "quantal",
+        }
+
+    def test_aliases_resolve(self):
+        assert EVENT_SOURCES.get("dataset").name == "model"
+        assert ESTIMATORS.get("paper").name == "fixed"
+        assert ADVERSARIES.get("rational").name == "best-response"
+
+    def test_tables_mention_every_plugin(self):
+        for registry in (EVENT_SOURCES, ESTIMATORS, ADVERSARIES):
+            table = registry.table()
+            for name in registry.available():
+                assert name in table
+
+
+class TestPluginRegistry:
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="model"):
+            EVENT_SOURCES.get("replay-from-mars")
+
+    def test_duplicate_registration_rejected(self):
+        registry = PluginRegistry("widget")
+        registry.register("a")(lambda game: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("a")(lambda game: None)
+
+    def test_alias_collision_rejected(self):
+        registry = PluginRegistry("widget")
+        registry.register("a", aliases=("b",))(lambda game: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("b")(lambda game: None)
+
+    def test_create_passes_game_and_options(self):
+        registry = PluginRegistry("widget")
+
+        @registry.register("probe")
+        class Probe:
+            def __init__(self, game, *, knob=1):
+                self.game = game
+                self.knob = knob
+
+        made = registry.create("probe", "THE-GAME", {"knob": 7})
+        assert made.game == "THE-GAME"
+        assert made.knob == 7
+
+    def test_function_factory_options_are_coerced(self):
+        # Coercion inspects function factories directly, not through
+        # object.__init__.
+        from repro.sim.simulator import _coerced_options
+
+        registry = PluginRegistry("widget")
+
+        @registry.register("fn")
+        def make_widget(game, *, window: int = 5):
+            return ("widget", window)
+
+        options = _coerced_options(make_widget, {"window": "14"})
+        assert options == {"window": 14}
+        assert registry.create("fn", None, options) == ("widget", 14)
+
+    def test_create_bad_option_names_plugin(self):
+        registry = PluginRegistry("widget")
+        registry.register("probe")(lambda game: None)
+        with pytest.raises(TypeError, match="probe"):
+            registry.create("probe", None, {"bogus": 1})

@@ -1,0 +1,100 @@
+"""Event sources: determinism, drift, and the TDMT replay."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import rea_a
+from repro.sim import DriftingSource, ModelSource, TDMTEMRSource
+
+
+class TestModelSource:
+    def test_shape_and_support(self, tiny_game):
+        source = ModelSource(tiny_game)
+        rng = np.random.default_rng(0)
+        for period in range(5):
+            z = source.counts(period, rng)
+            assert z.shape == (tiny_game.n_types,)
+            assert z.dtype == np.int64
+            for t, model in enumerate(tiny_game.counts.marginals):
+                assert model.min_count <= z[t] <= model.max_count
+
+    def test_same_rng_seed_reproduces(self, tiny_game):
+        source = ModelSource(tiny_game)
+        a = [
+            source.counts(p, np.random.default_rng(3)).tolist()
+            for p in range(3)
+        ]
+        b = [
+            source.counts(p, np.random.default_rng(3)).tolist()
+            for p in range(3)
+        ]
+        assert a == b
+
+
+class TestDriftingSource:
+    def test_zero_drift_matches_initial_means(self, tiny_game):
+        source = DriftingSource(tiny_game, drift=0.0)
+        expected = [m.mean() for m in tiny_game.counts.marginals]
+        assert np.allclose(source.means_at(0), expected)
+        assert np.allclose(source.means_at(9), expected)
+
+    def test_positive_drift_inflates_means(self, tiny_game):
+        source = DriftingSource(tiny_game, drift=0.5)
+        assert (source.means_at(4) > source.means_at(0)).all()
+        # +50% per period compounds linearly on the initial mean.
+        assert np.allclose(
+            source.means_at(2), source.means_at(0) * 2.0
+        )
+
+    def test_negative_drift_floors_at_zero(self, tiny_game):
+        source = DriftingSource(tiny_game, drift=-1.0)
+        assert (source.means_at(5) == 0.0).all()
+        rng = np.random.default_rng(0)
+        z = source.counts(5, rng)
+        assert (z >= 0).all()
+
+    def test_realized_counts_track_the_drift(self, tiny_game):
+        source = DriftingSource(tiny_game, drift=1.0)
+        rng = np.random.default_rng(1)
+        early = source.counts(0, rng).sum()
+        late = source.counts(8, rng).sum()
+        assert late > early
+
+    def test_rejects_bad_parameters(self, tiny_game):
+        with pytest.raises(ValueError, match="std_scale"):
+            DriftingSource(tiny_game, std_scale=0.0)
+        with pytest.raises(ValueError, match="coverage"):
+            DriftingSource(tiny_game, coverage=1.5)
+
+
+class TestTDMTEMRSource:
+    @pytest.fixture(scope="class")
+    def emr_game(self):
+        return rea_a(budget=50)
+
+    def test_replays_labeled_daily_counts(self, emr_game):
+        source = TDMTEMRSource(emr_game, n_periods=3, seed=11)
+        rng = np.random.default_rng(0)
+        days = [source.counts(p, rng) for p in range(3)]
+        for z in days:
+            assert z.shape == (emr_game.n_types,)
+            assert (z >= 0).all()
+        # The composite types actually fire in the simulated log.
+        assert sum(int(z.sum()) for z in days) > 0
+        # Replay wraps past the simulated horizon.
+        assert (source.counts(3, rng) == days[0]).all()
+
+    def test_log_fixed_at_construction(self, emr_game):
+        a = TDMTEMRSource(emr_game, n_periods=2, seed=5)
+        b = TDMTEMRSource(emr_game, n_periods=2, seed=5)
+        rng = np.random.default_rng(0)
+        assert (a.counts(0, rng) == b.counts(0, rng)).all()
+        assert (a.counts(1, rng) == b.counts(1, rng)).all()
+
+    def test_rejects_wrong_game_shape(self, tiny_game):
+        with pytest.raises(ValueError, match="7-type"):
+            TDMTEMRSource(tiny_game, n_periods=2)
+
+    def test_rejects_bad_horizon(self, emr_game):
+        with pytest.raises(ValueError, match="n_periods"):
+            TDMTEMRSource(emr_game, n_periods=0)

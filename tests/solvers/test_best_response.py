@@ -1,7 +1,6 @@
 """Best-response reports and deterrence-budget search."""
 
 import numpy as np
-import pytest
 
 from repro.core import AuditPolicy, Ordering
 from repro.solvers import (

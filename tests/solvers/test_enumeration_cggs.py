@@ -71,7 +71,7 @@ class TestCGGSSolver:
             syn_a_game, syn_a_scenarios,
             rng=np.random.default_rng(2),
         )
-        first = solver.solve(np.array([3.0, 3.0, 3.0, 3.0]))
+        solver.solve(np.array([3.0, 3.0, 3.0, 3.0]))
         assert len(solver._pool) > 0
         second = solver.solve(np.array([3.0, 3.0, 3.0, 2.0]))
         # Warm-started run begins with the previous support columns.

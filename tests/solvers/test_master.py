@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import AuditPolicy, Ordering, all_orderings
+from repro.core import Ordering, all_orderings
 from repro.solvers import MasterProblem, PolicyContext
 
 
