@@ -6,7 +6,7 @@ exists for dependency-freedom and cross-validation).
 """
 
 import numpy as np
-from conftest import emit
+from conftest import emit, write_bench_json
 
 from repro.core import all_orderings
 from repro.datasets import syn_a
@@ -29,11 +29,25 @@ def build_master(backend: str) -> MasterProblem:
     return master
 
 
+def _record(backend: str, benchmark, objective: float) -> None:
+    stats = benchmark.stats.stats
+    write_bench_json(
+        f"lp_backend_{backend}",
+        {
+            "backend": backend,
+            "mean_seconds": float(stats.mean),
+            "min_seconds": float(stats.min),
+            "objective": float(objective),
+        },
+    )
+
+
 def test_lp_backend_scipy(benchmark):
     master = build_master("scipy")
     fixed, _ = benchmark(master.solve)
     emit("LP backend — scipy/HiGHS",
          f"objective {fixed.objective:.6f}")
+    _record("scipy", benchmark, fixed.objective)
     assert abs(fixed.objective - EXPECTED_OBJECTIVE) < 5e-3
 
 
@@ -42,4 +56,5 @@ def test_lp_backend_simplex(benchmark):
     fixed, _ = benchmark(master.solve)
     emit("LP backend — simplex (from scratch)",
          f"objective {fixed.objective:.6f}")
+    _record("simplex", benchmark, fixed.objective)
     assert abs(fixed.objective - EXPECTED_OBJECTIVE) < 5e-3

@@ -8,7 +8,7 @@ grows.
 """
 
 import numpy as np
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -43,6 +43,16 @@ def test_ablation_scenario_count(benchmark):
         return errors
 
     errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.total
+    write_bench_json(
+        "ablation_scenarios",
+        {
+            "sample_counts": list(sample_counts),
+            "wall_seconds": wall,
+            "exact_objective": float(exact_objective),
+            "mean_abs_drift": [float(e) for e in errors],
+        },
+    )
     rows = [
         [str(n), f"{err:.4f}"]
         for n, err in zip(sample_counts, errors)

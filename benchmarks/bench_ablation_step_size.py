@@ -9,7 +9,7 @@ benchmarks' caches.
 """
 
 import numpy as np
-from conftest import emit, engine_for, pick
+from conftest import emit, engine_for, pick, write_bench_json
 
 from repro.analysis import render_table
 
@@ -32,7 +32,20 @@ def test_ablation_step_size(benchmark):
         return [engine.solve("ishm", step_size=s) for s in steps]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.total
     optimal = engine_for("syn_a", 10).solve("bruteforce")
+    write_bench_json(
+        "ablation_step_size",
+        {
+            "step_sizes": list(steps),
+            "wall_seconds": wall,
+            "objectives": [float(r.objective) for r in results],
+            "lp_calls": [
+                int(r.diagnostics["lp_calls"]) for r in results
+            ],
+            "optimal_objective": float(optimal.objective),
+        },
+    )
     rows = []
     for step, result in zip(steps, results):
         gap = result.objective - optimal.objective

@@ -18,7 +18,7 @@ numbers are still printed.
 import os
 import time
 
-from conftest import emit, pick, smoke_mode
+from conftest import emit, pick, smoke_mode, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -83,6 +83,19 @@ def test_batch_pricing_speedup(benchmark):
                 ],
             ],
         ),
+    )
+
+    write_bench_json(
+        "batch_pricing",
+        {
+            "step_sizes": list(steps),
+            "budget": budget,
+            "workers": WORKERS,
+            "usable_cpus": cpus,
+            "serial_seconds": serial_time,
+            "parallel_seconds": parallel_time,
+            "speedup": speedup,
+        },
     )
 
     # The determinism guarantee: identical results, bit for bit.

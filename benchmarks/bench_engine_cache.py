@@ -11,7 +11,7 @@ cache only ever returns solutions for exactly-equal threshold vectors.
 
 import time
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -61,6 +61,18 @@ def test_engine_cache_speedup(benchmark):
                  str(info.solution_hits)],
             ],
         ),
+    )
+
+    write_bench_json(
+        "engine_cache",
+        {
+            "step_sizes": list(steps),
+            "cold_seconds": cold_time,
+            "warm_seconds": warm_time,
+            "speedup": cold_time / warm_time if warm_time else None,
+            "solution_hits": info.solution_hits,
+            "solution_misses": info.solution_misses,
+        },
     )
 
     # The cache must actually fire, and never change the answers.

@@ -8,7 +8,7 @@ gap is what the zero-sum simplification costs.
 """
 
 import numpy as np
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -55,6 +55,16 @@ def test_general_sum_gap(benchmark):
         return outcome, rows
 
     outcome, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.total
+    write_bench_json(
+        "ext_general_sum",
+        {
+            "n_adversaries": len(list(adversaries)),
+            "wall_seconds": wall,
+            "total_evaluated_loss": float(outcome.auditor_loss),
+            "gaps": [float(zs - st) for _, zs, st in rows],
+        },
+    )
     table = [
         [game.adversary_names[e], f"{zs:.4f}", f"{st:.4f}",
          f"{zs - st:.4f}"]

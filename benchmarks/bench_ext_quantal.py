@@ -8,7 +8,7 @@ assumption is.
 """
 
 import numpy as np
-from conftest import emit, engine_for, pick
+from conftest import emit, engine_for, pick, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -32,6 +32,16 @@ def test_quantal_rationality_sweep(benchmark):
         ),
         rounds=1,
         iterations=1,
+    )
+    wall = benchmark.stats.stats.total
+    write_bench_json(
+        "ext_quantal",
+        {
+            "rationalities": list(rationalities),
+            "wall_seconds": wall,
+            "losses": [float(q.auditor_loss) for q in sweep],
+            "best_response_loss": float(solved.objective),
+        },
     )
     rows = [
         [f"{q.rationality:g}", f"{q.auditor_loss:.4f}",

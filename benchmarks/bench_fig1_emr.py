@@ -5,7 +5,7 @@ Paper reference: the proposed model's loss falls with budget and hits 0
 benefit-greedy ~ random-orders > random-thresholds > proposed.
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import run_loss_figure
 from repro.datasets import rea_a
@@ -36,10 +36,24 @@ def test_figure1_emr_loss_curves(benchmark):
         rounds=1,
         iterations=1,
     )
+    wall = benchmark.stats.stats.total
     emit("Figure 1 — auditor loss vs budget (EMR)", curves.to_text())
 
     anchor = min(steps)
     proposed = curves.proposed[anchor]
+    write_bench_json(
+        "fig1_emr",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "n_scenarios": n_scenarios,
+            "wall_seconds": wall,
+            "proposed_loss": [float(v) for v in proposed],
+            "random_thresholds_loss": [
+                float(v) for v in curves.random_thresholds
+            ],
+        },
+    )
     # Loss falls (weakly) with budget and the proposed policy dominates
     # every baseline at every budget.
     assert all(

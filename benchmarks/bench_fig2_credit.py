@@ -6,7 +6,7 @@ baseline, and the loss reaches 0 as the budget approaches the full
 alert volume.
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import run_loss_figure
 from repro.datasets import rea_b
@@ -37,11 +37,25 @@ def test_figure2_credit_loss_curves(benchmark):
         rounds=1,
         iterations=1,
     )
+    wall = benchmark.stats.stats.total
     emit("Figure 2 — auditor loss vs budget (credit)",
          curves.to_text())
 
     anchor = min(steps)
     proposed = curves.proposed[anchor]
+    write_bench_json(
+        "fig2_credit",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "n_scenarios": n_scenarios,
+            "wall_seconds": wall,
+            "proposed_loss": [float(v) for v in proposed],
+            "random_thresholds_loss": [
+                float(v) for v in curves.random_thresholds
+            ],
+        },
+    )
     assert all(
         b <= a + 1e-6 for a, b in zip(proposed, proposed[1:])
     )

@@ -1,0 +1,263 @@
+"""Subset-memoized detection kernel vs the legacy per-ordering walk.
+
+Pricing the full ordering set for one threshold vector costs the legacy
+kernel ``T! * T`` scenario sweeps; the subset table
+(:class:`repro.core.PalTable`) does ``T * 2^(T-1)`` sweeps plus ``2^T``
+DP vector adds and assembles every ``Pal`` row by lookup — 448 vs 35 280
+sweeps at ``T = 7``.  This bench measures that end to end:
+
+* **kernel level** — all ``T!`` ``Pal`` rows from the legacy walk
+  (validate-once :class:`repro.core.OrderingPricer`) versus one
+  :class:`~repro.core.PalTable` build + lookups, for ``T in {4..7}``
+  on exact and Monte-Carlo scenario sets;
+* **solver level** — ``EnumerationSolver.solve_batch`` over a stack of
+  threshold vectors with ``subset_table=True`` versus ``False`` (both
+  with scenario compression), checking the objectives agree to 1e-9.
+
+Acceptance (non-smoke): >= 3x kernel-level speedup at ``T = 6``.
+Measured ratios for every grid point land in ``BENCH_pal_kernel.json``.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit, pick, smoke_mode, write_bench_json
+
+from repro.analysis import render_table
+from repro.core import (
+    AlertType,
+    AlertTypeSet,
+    AttackTypeMap,
+    AuditGame,
+    OrderingPricer,
+    PalTable,
+    PayoffModel,
+    all_orderings,
+)
+from repro.distributions import DiscretizedGaussian, JointCountModel
+from repro.solvers.enumeration import EnumerationSolver
+
+#: Joint supports beyond this size are sampled instead of enumerated.
+EXACT_LIMIT = 40_000
+N_SAMPLES = 1500
+
+
+def make_game(n_types: int, budget: float | None = None) -> AuditGame:
+    """A T-type game: one adversary per type, heterogeneous costs."""
+    alert_types = AlertTypeSet(
+        tuple(
+            AlertType(f"type-{t + 1}", audit_cost=1.0 + 0.5 * (t % 2))
+            for t in range(n_types)
+        )
+    )
+    counts = JointCountModel(
+        [
+            DiscretizedGaussian(3.0 + 0.4 * t, 1.0 + 0.1 * t)
+            for t in range(n_types)
+        ]
+    )
+    type_matrix = np.arange(n_types, dtype=np.int64).reshape(1, -1)
+    attack_map = AttackTypeMap.from_type_matrix(
+        type_matrix, n_types=n_types
+    )
+    payoffs = PayoffModel.create(
+        n_adversaries=1,
+        n_victims=n_types,
+        benefit=3.0 + 0.3 * type_matrix.astype(np.float64),
+        penalty=4.0,
+        attack_cost=0.4,
+        attack_prior=1.0,
+        attackers_can_refrain=False,
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=counts,
+        attack_map=attack_map,
+        payoffs=payoffs,
+        budget=float(budget if budget is not None else 2 * n_types),
+    )
+
+
+def scenarios_for(game: AuditGame, exact: bool):
+    if exact:
+        return game.counts.exact_scenarios(max_scenarios=EXACT_LIMIT)
+    return game.counts.sample_scenarios(
+        N_SAMPLES, np.random.default_rng(0)
+    )
+
+
+def time_kernels(game, scenarios, thresholds):
+    """(legacy_seconds, table_seconds, max |delta Pal|) for all T!."""
+    orderings = all_orderings(game.n_types)
+    started = time.perf_counter()
+    pricer = OrderingPricer(
+        thresholds, scenarios, game.costs, game.budget
+    )
+    legacy = np.stack([pricer.pal(o) for o in orderings])
+    legacy_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    table = PalTable(thresholds, scenarios, game.costs, game.budget)
+    fast = table.pal_rows(orderings)
+    table_time = time.perf_counter() - started
+    return legacy_time, table_time, float(np.abs(fast - legacy).max())
+
+
+def test_pal_kernel_speedup(benchmark):
+    type_grid = pick(smoke=(4,), fast=(4, 5, 6, 7), full=(4, 5, 6, 7))
+    rows = []
+    records = []
+    speedups = {}
+
+    def sweep():
+        for n_types in type_grid:
+            game = make_game(n_types)
+            exact = game.counts.n_exact_scenarios() <= EXACT_LIMIT
+            scenarios = scenarios_for(game, exact)
+            thresholds = np.minimum(
+                game.threshold_upper_bounds(), game.budget
+            ).astype(np.float64)
+            legacy_time, table_time, max_delta = time_kernels(
+                game, scenarios, thresholds
+            )
+            speedup = (
+                legacy_time / table_time if table_time else float("inf")
+            )
+            speedups[n_types] = speedup
+            assert max_delta <= 1e-9
+            rows.append(
+                [
+                    str(n_types),
+                    "exact" if exact else f"mc({N_SAMPLES})",
+                    str(scenarios.n_scenarios),
+                    f"{legacy_time * 1e3:.1f}ms",
+                    f"{table_time * 1e3:.1f}ms",
+                    f"{speedup:.1f}x",
+                    f"{max_delta:.1e}",
+                ]
+            )
+            records.append(
+                {
+                    "n_types": n_types,
+                    "scenario_mode": "exact" if exact else "sampled",
+                    "n_scenarios": scenarios.n_scenarios,
+                    "n_orderings": len(all_orderings(n_types)),
+                    "legacy_seconds": legacy_time,
+                    "table_seconds": table_time,
+                    "speedup": speedup,
+                    "max_abs_delta": max_delta,
+                }
+            )
+        return speedups
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Subset-memoized detection kernel — full ordering set, one vector",
+        render_table(
+            [
+                "T",
+                "scenarios",
+                "rows",
+                "legacy walk",
+                "subset table",
+                "speedup",
+                "max |dPal|",
+            ],
+            rows,
+        ),
+    )
+    write_bench_json(
+        "pal_kernel",
+        {"kernel": records, "type_grid": list(type_grid)},
+    )
+    if not smoke_mode():
+        assert speedups[6] >= 3.0, (
+            f"expected >= 3x at T=6, measured {speedups[6]:.2f}x"
+        )
+
+
+def test_enumeration_solver_batch_speedup(benchmark):
+    type_grid = pick(smoke=(4,), fast=(4, 5, 6), full=(4, 5, 6, 7))
+    n_vectors = pick(smoke=2, fast=4, full=6)
+    rows = []
+    records = []
+
+    def sweep():
+        for n_types in type_grid:
+            game = make_game(n_types)
+            exact = game.counts.n_exact_scenarios() <= EXACT_LIMIT
+            scenarios = scenarios_for(game, exact)
+            rng = np.random.default_rng(7)
+            upper = np.minimum(
+                np.ceil(game.threshold_upper_bounds()), game.budget
+            )
+            batch = rng.integers(
+                0, upper + 1, size=(n_vectors, n_types)
+            ).astype(np.float64)
+
+            started = time.perf_counter()
+            legacy = EnumerationSolver(
+                game, scenarios, subset_table=False
+            ).solve_batch(batch)
+            legacy_time = time.perf_counter() - started
+
+            started = time.perf_counter()
+            fast = EnumerationSolver(
+                game, scenarios, subset_table=True
+            ).solve_batch(batch)
+            table_time = time.perf_counter() - started
+
+            worst = max(
+                abs(a.objective - b.objective)
+                for a, b in zip(fast, legacy)
+            )
+            assert worst <= 1e-9
+            speedup = (
+                legacy_time / table_time if table_time else float("inf")
+            )
+            rows.append(
+                [
+                    str(n_types),
+                    str(scenarios.n_scenarios),
+                    f"{legacy_time:.2f}s",
+                    f"{table_time:.2f}s",
+                    f"{speedup:.1f}x",
+                    f"{worst:.1e}",
+                ]
+            )
+            records.append(
+                {
+                    "n_types": n_types,
+                    "n_vectors": n_vectors,
+                    "n_scenarios": scenarios.n_scenarios,
+                    "legacy_seconds": legacy_time,
+                    "table_seconds": table_time,
+                    "speedup": speedup,
+                    "max_abs_objective_delta": worst,
+                }
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"EnumerationSolver.solve_batch — {n_vectors} vectors, "
+        "legacy vs subset-table pricing",
+        render_table(
+            [
+                "T",
+                "scenarios",
+                "legacy",
+                "subset table",
+                "speedup",
+                "max |dObj|",
+            ],
+            rows,
+        ),
+    )
+    write_bench_json(
+        "pal_kernel_solver",
+        {
+            "solve_batch": records,
+            "type_grid": list(type_grid),
+            "n_vectors": n_vectors,
+        },
+    )

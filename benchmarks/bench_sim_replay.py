@@ -14,7 +14,7 @@ bar; in practice the warm solve memo makes every period after the first
 nearly free, so the ratio approaches n_periods x).
 """
 
-from conftest import emit, pick, smoke_mode
+from conftest import emit, pick, smoke_mode, write_bench_json
 
 from repro.analysis import render_table
 from repro.datasets import syn_a
@@ -71,6 +71,17 @@ def test_sim_replay_warm_vs_cold(benchmark):
                 ],
             ],
         ),
+    )
+
+    write_bench_json(
+        "sim_replay",
+        {
+            "n_periods": n_periods,
+            "step_size": step_size,
+            "cold_seconds": cold_time,
+            "warm_seconds": warm_time,
+            "speedup": cold_time / warm_time if warm_time else None,
+        },
     )
 
     # The warm-start guarantee: identical decision trajectories.

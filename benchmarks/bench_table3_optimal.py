@@ -4,7 +4,7 @@ Paper reference (Table III): objective falls monotonically from 12.2945
 at B=2 (thresholds [1,1,1,1]) to -8.1561 at B=20 ([9,7,6,6]).
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import run_table3
 from repro.datasets import SYN_A_BUDGETS
@@ -26,6 +26,7 @@ def test_table3_optimal(benchmark):
     result = benchmark.pedantic(
         lambda: run_table3(budgets=budgets), rounds=1, iterations=1
     )
+    wall = benchmark.stats.stats.total
 
     lines = [result.to_text(), "", "paper-vs-measured objective:"]
     for row in result.rows:
@@ -37,6 +38,17 @@ def test_table3_optimal(benchmark):
     emit("Table III — optimal auditing policy (Syn A)", "\n".join(lines))
 
     objectives = result.objectives()
+    write_bench_json(
+        "table3_optimal",
+        {
+            "budgets": [float(b) for b in budgets],
+            "wall_seconds": wall,
+            "objectives": [float(o) for o in objectives],
+            "paper_objectives": [
+                PAPER_OBJECTIVES[int(b)] for b in budgets
+            ],
+        },
+    )
     assert all(
         b < a for a, b in zip(objectives, objectives[1:])
     ), "objective must decrease monotonically in budget"

@@ -5,7 +5,7 @@ eps <= 0.25 and degrade gently as eps grows; thresholds like [3,3,3,3]
 at B=10 and [9,7,6,6] at B=20 are recovered.
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import FULL_STEP_SIZES, run_ishm_grid
 from repro.datasets import SYN_A_BUDGETS
@@ -29,7 +29,20 @@ def test_table4_ishm_grid(benchmark):
         rounds=1,
         iterations=1,
     )
+    wall = benchmark.stats.stats.total
     emit("Table IV — ISHM approximation (Syn A)", grid.to_text())
+    write_bench_json(
+        "table4_ishm",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "wall_seconds": wall,
+            "objectives": {
+                str(step): [float(o) for o in grid.objectives(step)]
+                for step in steps
+            },
+        },
+    )
 
     # Paper trends: loss decreases in B at fixed eps; finer eps is never
     # (materially) worse at fixed B.

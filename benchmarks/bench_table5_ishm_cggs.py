@@ -5,7 +5,7 @@ quality versus solving the master LP to optimality — gamma2 stays within
 a fraction of a percent of gamma1 (Table VI).
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import FULL_STEP_SIZES, run_ishm_grid
 from repro.datasets import SYN_A_BUDGETS
@@ -29,7 +29,20 @@ def test_table5_ishm_cggs_grid(benchmark):
         rounds=1,
         iterations=1,
     )
+    wall = benchmark.stats.stats.total
     emit("Table V — ISHM + CGGS approximation (Syn A)", grid.to_text())
+    write_bench_json(
+        "table5_ishm_cggs",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "wall_seconds": wall,
+            "objectives": {
+                str(step): [float(o) for o in grid.objectives(step)]
+                for step in steps
+            },
+        },
+    )
 
     for step in steps:
         series = grid.objectives(step)

@@ -4,7 +4,7 @@ Paper reference: gamma1 ~= 0.998 for eps <= 0.2, still ~0.90 at
 eps = 0.5; gamma2 trails gamma1 only slightly.
 """
 
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import (
     FULL_STEP_SIZES,
@@ -35,8 +35,19 @@ def test_table6_gamma_precision(benchmark):
         return run_table6(optimal, ishm, cggs_grid=cggs)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.total
     emit("Table VI — precision vs the optimum (Syn A)",
          result.to_text())
+    write_bench_json(
+        "table6_gamma",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "wall_seconds": wall,
+            "gamma_ishm": [float(g) for g in result.gamma_ishm],
+            "gamma_cggs": [float(g) for g in result.gamma_cggs],
+        },
+    )
 
     # Paper: near-optimal at fine steps, graceful degradation after.
     assert result.gamma_ishm[0] > 0.97

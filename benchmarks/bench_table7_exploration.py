@@ -7,7 +7,7 @@ brute-force grid (2.51% at eps = 0.2).
 """
 
 import numpy as np
-from conftest import emit, pick
+from conftest import emit, pick, write_bench_json
 
 from repro.analysis import exploration_ratio, render_table, run_ishm_grid
 from repro.datasets import SYN_A_BUDGETS, syn_a
@@ -32,6 +32,7 @@ def test_table7_exploration_counts(benchmark):
         rounds=1,
         iterations=1,
     )
+    wall = benchmark.stats.stats.total
     emit("Table VII — threshold vectors checked by ISHM",
          grid.exploration_text())
 
@@ -57,6 +58,18 @@ def test_table7_exploration_counts(benchmark):
     emit(
         "T / T' vectors",
         render_table(["metric"] + [f"eps={s:g}" for s in steps], rows),
+    )
+
+    write_bench_json(
+        "table7_exploration",
+        {
+            "budgets": [float(b) for b in budgets],
+            "step_sizes": list(steps),
+            "wall_seconds": wall,
+            "mean_vectors_checked": [float(v) for v in mean_calls],
+            "grid_fraction": [float(r) for r in ratios],
+            "naive_grid": naive_grid,
+        },
     )
 
     # Paper trend: coarser steps explore (weakly) less.

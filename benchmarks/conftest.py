@@ -17,10 +17,18 @@ Benchmarks that repeatedly solve the *same* game share one
 :class:`repro.engine.AuditEngine` via :func:`engine_for`, so scenario
 sets and fixed-threshold master solutions persist across the whole
 benchmark session instead of being regenerated per test.
+
+Every benchmark also records its measurements machine-readably with
+:func:`write_bench_json`: one ``BENCH_<name>.json`` per bench (wall
+times, speedup ratios, grid parameters, run mode) written to
+``REPRO_BENCH_DIR`` (default: the working directory), so the perf
+trajectory accumulates across runs/commits instead of living only in
+captured stdout.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -75,3 +83,28 @@ def emit(title: str, body: str) -> None:
     """Print a labeled block (visible with pytest -s or on bench output)."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    ``payload`` holds the bench-specific numbers (wall times in seconds,
+    speedup ratios, grid parameters); the run mode (``smoke``/``full``)
+    is stamped automatically so downstream tooling can separate CI smoke
+    points from real measurements.  Values must be JSON-serializable —
+    keep them to plain ints/floats/strings/lists.  Returns the path
+    written (``REPRO_BENCH_DIR`` or the working directory).
+    """
+    record = {
+        "bench": name,
+        "smoke": smoke_mode(),
+        "full": full_mode(),
+        **payload,
+    }
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

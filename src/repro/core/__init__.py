@@ -9,12 +9,14 @@ attack→type map, payoffs, audit policies, the detection kernel and the
 from .alert_types import AlertType, AlertTypeSet
 from .attack_map import BENIGN, AttackTypeMap
 from .detection import (
+    OrderingPricer,
     audited_counts,
     pal_for_ordering,
     pal_for_orderings,
     remaining_budget,
 )
 from .entities import Adversary, Event, Victim
+from .pal_table import PalTable, subset_table_pays
 from .game import AuditGame, make_game
 from .objective import (
     REFRAIN,
@@ -46,6 +48,8 @@ __all__ = [
     "BestResponse",
     "Event",
     "Ordering",
+    "OrderingPricer",
+    "PalTable",
     "PayoffModel",
     "PolicyEvaluation",
     "PurePolicy",
@@ -61,6 +65,7 @@ __all__ = [
     "pal_for_orderings",
     "random_ordering",
     "remaining_budget",
+    "subset_table_pays",
     "utility_matrix_for_pal",
     "validate_thresholds",
 ]

@@ -22,6 +22,18 @@ datasets keep ``Z_t >= 1``).  Under the default ``zero_count_rule="unit"``
 the attack alert itself forms a singleton bin, so it is caught exactly when
 one unit of capacity remains; ``"strict"`` instead reads ``n_t = 0`` off
 the formula and yields zero detection.
+
+Reduction order
+---------------
+The closing expectation ``E_Z[n_t / Z_t]`` is evaluated everywhere as
+``(ratio * weights).sum(axis=-1)`` — numpy's pairwise reduction over the
+scenario axis.  Pairwise summation depends only on the row length and
+stride, so the serial walk (:meth:`OrderingPricer.pal`), the batched walk
+(:func:`pal_for_ordering_batch`) and the subset-memoized table
+(:class:`~repro.core.pal_table.PalTable`) all produce *bit-identical*
+expectations from bit-identical ratios.  A BLAS dot (``weights @ ratio``)
+would not give that guarantee across the 1-D and 2-D call shapes; the
+workers>1 == workers=1 pricing identity relies on it.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from ..distributions.joint import ScenarioSet
 from .policy import Ordering
 
 __all__ = [
+    "OrderingPricer",
     "pal_for_ordering",
     "pal_for_ordering_batch",
     "pal_for_orderings",
@@ -42,6 +55,14 @@ __all__ = [
 ]
 
 _ZERO_RULES = ("unit", "strict")
+
+
+def _check_zero_rule(zero_count_rule: str) -> None:
+    if zero_count_rule not in _ZERO_RULES:
+        raise ValueError(
+            f"zero_count_rule must be one of {_ZERO_RULES}, "
+            f"got {zero_count_rule!r}"
+        )
 
 
 def _check_inputs(
@@ -106,6 +127,89 @@ def audited_counts(
     return audited
 
 
+class OrderingPricer:
+    """Validated per-``(b, Z)`` state for pricing many orderings.
+
+    Every master solve prices dozens to thousands of orderings against
+    the *same* thresholds and scenario set; re-running ``asarray`` and
+    range validation per ordering is pure overhead.  The pricer validates
+    once at construction and hoists the per-type quantities every walk
+    shares — the audit quotas ``floor(b_t / C_t)``, the per-scenario
+    budget contributions ``min(b_t, Z_t C_t)`` and the zero-count-safe
+    denominators.  :meth:`pal` then runs the reference per-ordering walk
+    with no revalidation; :func:`pal_for_ordering` is a thin one-shot
+    wrapper, so both produce bit-identical rows.
+
+    This is the *legacy* (reference) kernel.  When many complete
+    orderings share one ``(b, Z)`` — full enumeration above a handful of
+    types — :class:`~repro.core.pal_table.PalTable` prices them from a
+    ``T * 2^(T-1)`` subset table instead of ``|O| * T`` scenario sweeps.
+    """
+
+    __slots__ = (
+        "thresholds",
+        "costs",
+        "budget",
+        "zero_count_rule",
+        "counts",
+        "weights",
+        "n_types",
+        "quota",
+        "contrib",
+        "effective",
+        "zsafe",
+    )
+
+    def __init__(
+        self,
+        thresholds: np.ndarray,
+        scenarios: ScenarioSet,
+        costs: np.ndarray,
+        budget: float,
+        zero_count_rule: str = "unit",
+    ) -> None:
+        _check_zero_rule(zero_count_rule)
+        b, c = _check_inputs(thresholds, costs, budget)
+        Z = scenarios.counts.astype(np.float64, copy=False)
+        if Z.shape[1] != len(b):
+            raise ValueError(
+                f"scenario set has {Z.shape[1]} types, thresholds have "
+                f"{len(b)}"
+            )
+        self.thresholds = b
+        self.costs = c
+        self.budget = float(budget)
+        self.zero_count_rule = zero_count_rule
+        self.counts = Z
+        self.weights = scenarios.weights
+        self.n_types = len(b)
+        #: ``floor(b_t / C_t)`` — per-type audit quota.
+        self.quota = np.floor(b / c)
+        #: ``min(b_t, Z_t C_t)`` — budget consumed by type t, per scenario.
+        self.contrib = np.minimum(b, Z * c)
+        #: Zero-count-safe denominator ``max(Z_t, 1)``.
+        self.zsafe = np.maximum(Z, 1.0)
+        self.effective = self.zsafe if zero_count_rule == "unit" else Z
+
+    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Pal(o, b, .)`` via the reference front-to-back walk."""
+        pal = np.zeros(self.n_types)
+        consumed = np.zeros(self.counts.shape[0])
+        for t in ordering:
+            if not 0 <= t < self.n_types:
+                raise ValueError(f"type index {t} out of range")
+            capacity = np.maximum(
+                np.floor((self.budget - consumed) / self.costs[t]), 0.0
+            )
+            audited = np.minimum(
+                np.minimum(capacity, self.quota[t]), self.effective[:, t]
+            )
+            ratio = audited / self.zsafe[:, t]
+            pal[t] = float((ratio * self.weights).sum())
+            consumed = consumed + self.contrib[:, t]
+        return pal
+
+
 def pal_for_ordering(
     ordering: Ordering | Sequence[int],
     thresholds: np.ndarray,
@@ -116,69 +220,24 @@ def pal_for_ordering(
 ) -> np.ndarray:
     """Per-type detection probabilities ``Pal(o, b, t)`` (eq. 1).
 
-    Runs one fused pass over the scenario matrix; this is the hot kernel of
-    the whole library (every LP column and every ISHM probe calls it).
-    Types not present in a partial ``ordering`` get ``Pal = 0``.
+    One-shot entry point: validates the inputs, then runs the reference
+    per-ordering walk.  Pricing loops that reuse one ``(b, Z)`` pair for
+    many orderings should hold an :class:`OrderingPricer` (validate once)
+    or a :class:`~repro.core.pal_table.PalTable` (subset-memoized)
+    instead.  Types not present in a partial ``ordering`` get ``Pal = 0``.
     """
-    if zero_count_rule not in _ZERO_RULES:
-        raise ValueError(
-            f"zero_count_rule must be one of {_ZERO_RULES}, "
-            f"got {zero_count_rule!r}"
-        )
-    b, c = _check_inputs(thresholds, costs, budget)
-    n_types = len(b)
-    Z = scenarios.counts.astype(np.float64, copy=False)
-    if Z.shape[1] != n_types:
-        raise ValueError(
-            f"scenario set has {Z.shape[1]} types, thresholds have "
-            f"{n_types}"
-        )
-    weights = scenarios.weights
-    pal = np.zeros(n_types)
-    consumed = np.zeros(Z.shape[0])
-    for t in ordering:
-        if not 0 <= t < n_types:
-            raise ValueError(f"type index {t} out of range")
-        capacity = np.maximum(np.floor((budget - consumed) / c[t]), 0.0)
-        quota = np.floor(b[t] / c[t])
-        z_t = Z[:, t]
-        if zero_count_rule == "unit":
-            # An attack alert in an empty bin is a singleton: it is caught
-            # iff at least one unit of capacity survives to this type.
-            effective = np.maximum(z_t, 1.0)
-        else:
-            effective = z_t
-        audited = np.minimum(np.minimum(capacity, quota), effective)
-        ratio = audited / np.maximum(z_t, 1.0)
-        pal[t] = float(weights @ ratio)
-        consumed = consumed + np.minimum(b[t], z_t * c[t])
-    return pal
+    return OrderingPricer(
+        thresholds, scenarios, costs, budget, zero_count_rule
+    ).pal(ordering)
 
 
-def pal_for_ordering_batch(
-    ordering: Ordering | Sequence[int],
+def _check_batch_inputs(
     thresholds: np.ndarray,
     scenarios: ScenarioSet,
     costs: np.ndarray,
     budget: float,
-    zero_count_rule: str = "unit",
-) -> np.ndarray:
-    """``Pal(o, b_j, .)`` for a stack of threshold vectors (eq. 1).
-
-    ``thresholds`` has shape ``(B, T)``; the result has the same shape,
-    one :func:`pal_for_ordering` row per vector.  The elementwise kernel
-    arithmetic broadcasts over the batch axis — one fused pass over a
-    ``(B, S)`` matrix instead of ``B`` passes over ``(S,)`` vectors —
-    while the closing expectation uses the *same* 1-D dot product per
-    row, so every output element is bit-for-bit identical to the serial
-    kernel.  Batched pricing (``FixedSolveCache.price_batch``) relies on
-    that identity for its workers>1 == workers=1 guarantee.
-    """
-    if zero_count_rule not in _ZERO_RULES:
-        raise ValueError(
-            f"zero_count_rule must be one of {_ZERO_RULES}, "
-            f"got {zero_count_rule!r}"
-        )
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a ``(B, T)`` threshold stack once per pricing pass."""
     b = np.asarray(thresholds, dtype=np.float64)
     if b.ndim != 2:
         raise ValueError(
@@ -196,13 +255,48 @@ def pal_for_ordering_batch(
         raise ValueError("audit costs must be positive")
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
+    if scenarios.counts.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"scenario set has {scenarios.counts.shape[1]} types, "
+            f"thresholds have {b.shape[1]}"
+        )
+    return b, c
+
+
+def pal_for_ordering_batch(
+    ordering: Ordering | Sequence[int],
+    thresholds: np.ndarray,
+    scenarios: ScenarioSet,
+    costs: np.ndarray,
+    budget: float,
+    zero_count_rule: str = "unit",
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """``Pal(o, b_j, .)`` for a stack of threshold vectors (eq. 1).
+
+    ``thresholds`` has shape ``(B, T)``; the result has the same shape,
+    one :func:`pal_for_ordering` row per vector.  The elementwise kernel
+    arithmetic broadcasts over the batch axis — one fused pass over a
+    ``(B, S)`` matrix instead of ``B`` passes over ``(S,)`` vectors —
+    and the closing expectation is the same pairwise row reduction as
+    the serial kernel (see the module docstring), so every output
+    element is bit-for-bit identical to :func:`pal_for_ordering`.
+    Batched pricing (``FixedSolveCache.price_batch``) relies on that
+    identity for its workers>1 == workers=1 guarantee.
+
+    ``validate=False`` skips the input checks for callers that already
+    ran :func:`_check_batch_inputs` once for the whole pricing pass
+    (``batch_policy_contexts``); the arrays are still coerced.
+    """
+    _check_zero_rule(zero_count_rule)
+    if validate:
+        b, c = _check_batch_inputs(thresholds, scenarios, costs, budget)
+    else:
+        b = np.asarray(thresholds, dtype=np.float64)
+        c = np.asarray(costs, dtype=np.float64)
     n_vectors, n_types = b.shape
     Z = scenarios.counts.astype(np.float64, copy=False)
-    if Z.shape[1] != n_types:
-        raise ValueError(
-            f"scenario set has {Z.shape[1]} types, thresholds have "
-            f"{n_types}"
-        )
     weights = scenarios.weights
     pal = np.zeros((n_vectors, n_types))
     consumed = np.zeros((n_vectors, Z.shape[0]))
@@ -218,8 +312,7 @@ def pal_for_ordering_batch(
             effective = z_t
         audited = np.minimum(np.minimum(capacity, quota), effective)
         ratio = audited / np.maximum(z_t, 1.0)
-        for j in range(n_vectors):
-            pal[j, t] = float(weights @ ratio[j])
+        pal[:, t] = (ratio * weights).sum(axis=1)
         consumed = consumed + np.minimum(b[:, t][:, None], z_t * c[t])
     return pal
 
@@ -232,13 +325,24 @@ def pal_for_orderings(
     budget: float,
     zero_count_rule: str = "unit",
 ) -> np.ndarray:
-    """Stack of ``Pal`` vectors, one row per ordering."""
-    rows = [
-        pal_for_ordering(
-            o, thresholds, scenarios, costs, budget, zero_count_rule
-        )
-        for o in orderings
-    ]
-    if not rows:
+    """Stack of ``Pal`` vectors, one row per ordering.
+
+    Large ordering sets are priced from the subset-memoized table
+    (``T * 2^(T-1)`` scenario sweeps total instead of one walk per
+    ordering — see :mod:`repro.core.pal_table`); small sets keep the
+    per-ordering walk through a shared validate-once pricer.  The two
+    paths agree to within floating-point roundoff of the budget
+    accumulation order (``<= 1e-9`` in practice; exactly equal on
+    integer-valued games).
+    """
+    ordering_list = [tuple(o) for o in orderings]
+    if not ordering_list:
         raise ValueError("need at least one ordering")
-    return np.stack(rows, axis=0)
+    pricer = OrderingPricer(
+        thresholds, scenarios, costs, budget, zero_count_rule
+    )
+    from .pal_table import PalTable, subset_table_pays
+
+    if subset_table_pays(len(ordering_list), pricer.n_types):
+        return PalTable.from_pricer(pricer).pal_rows(ordering_list)
+    return np.stack([pricer.pal(o) for o in ordering_list], axis=0)

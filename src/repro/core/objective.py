@@ -14,7 +14,7 @@ import numpy as np
 
 from ..distributions.joint import ScenarioSet
 from .attack_map import AttackTypeMap
-from .detection import pal_for_ordering
+from .detection import pal_for_orderings
 from .payoffs import PayoffModel
 from .policy import AuditPolicy
 
@@ -144,19 +144,16 @@ def evaluate_policy(
     zero_count_rule: str = "unit",
 ) -> PolicyEvaluation:
     """Score a mixed audit policy against best-responding attackers."""
-    pal_rows = np.stack(
-        [
-            pal_for_ordering(
-                o,
-                policy.thresholds,
-                scenarios,
-                costs,
-                budget,
-                zero_count_rule,
-            )
-            for o in policy.orderings
-        ],
-        axis=0,
+    # pal_for_orderings validates once for the whole support and prices
+    # wide policies (e.g. the random-order baseline's thousands of
+    # orderings) through the subset-memoized table.
+    pal_rows = pal_for_orderings(
+        policy.orderings,
+        policy.thresholds,
+        scenarios,
+        costs,
+        budget,
+        zero_count_rule,
     )
     mixed_pal = policy.probabilities @ pal_rows
     eu = utility_matrix_for_pal(mixed_pal, attack_map, payoffs)

@@ -1,0 +1,206 @@
+"""Subset-memoized detection kernel: price all ``T!`` orderings from a
+``T * 2^(T-1)`` table.
+
+The budget consumed before type ``t`` under an ordering ``o``,
+``sum_{s before t} min(b_s, Z_s C_s)``, is a *commutative* sum: the
+remaining capacity ``B_t`` — and therefore ``Pal(o, b, t)`` — depends
+only on the **set** of predecessor types, never on their relative order.
+Enumeration-backed pricing (every LP column of eq. 5, every ISHM probe,
+every brute-force grid point, every sim re-solve) walks all ``|T|!``
+orderings, i.e. ``|T|! * |T|`` scenario sweeps per threshold vector;
+this module computes instead
+
+* one predecessor-set consumption DP over the ``2^T`` subset masks
+  (one vector add per mask), and
+* one vectorized scenario sweep per ``(type t, predecessor set S)``
+  pair with ``t not in S`` — ``T * 2^(T-1)`` sweeps total
+
+and then assembles any ordering's ``Pal`` row by pure table lookup.
+For ``T = 7`` that is 448 sweeps instead of 35 280 (~79x less kernel
+work); the win grows superexponentially with ``T``.
+
+Equivalence: every elementwise operation and the closing pairwise
+expectation reduction are identical to the reference walk
+(:class:`~repro.core.detection.OrderingPricer`); the only divergence is
+the *accumulation order* of the predecessor sum (lowest-set-bit DP order
+versus ordering order), so table rows match the legacy kernel to within
+float accumulation roundoff — ``max |delta Pal| <= 1e-9`` in practice and
+*bit-for-bit* on integer-valued games, where the partial sums are exact.
+
+The legacy walk remains the reference implementation and the better
+choice when few orderings share one ``(b, Z)`` — CGGS column generation
+(a handful of columns, many *partial* prefixes, large ``T``) and policy
+evaluation (small supports).  :func:`subset_table_pays` encodes the
+break-even point used by the dispatching call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..distributions.joint import ScenarioSet
+from .detection import OrderingPricer
+from .policy import Ordering
+
+__all__ = [
+    "PalTable",
+    "subset_table_pays",
+    "SUBSET_TABLE_TYPE_LIMIT",
+]
+
+#: Beyond this many alert types the ``2^T`` subset space itself explodes
+#: (memory and build time); callers must fall back to the legacy walk.
+#: Enumeration solving is capped at 7 types (7! orderings) anyway.
+SUBSET_TABLE_TYPE_LIMIT = 12
+
+#: Cap on the consumption DP working set (mask rows x scenario columns,
+#: in float64 elements); larger scenario sets are swept in chunks.
+_DP_ELEMENT_BUDGET = 1 << 22
+
+
+def subset_table_pays(
+    n_orderings: int,
+    n_types: int,
+    type_limit: int = SUBSET_TABLE_TYPE_LIMIT,
+) -> bool:
+    """True when the subset table beats per-ordering walks.
+
+    The table costs ``T * 2^(T-1)`` scenario sweeps (plus the ``2^T``
+    consumption DP); pricing ``n`` orderings legacy-style costs
+    ``n * T`` sweeps.  The table pays once ``n > 2^(T-1)`` — e.g. the
+    full ordering set ``T!`` for every ``T >= 3``.  Above ``type_limit``
+    the mask space itself is the bottleneck and the table never pays.
+    """
+    if n_types < 3 or n_types > type_limit:
+        return False
+    return n_orderings > (1 << (n_types - 1))
+
+
+class PalTable:
+    """``Pal(o, b, t)`` for *every* ordering, from one subset table.
+
+    Built once per ``(thresholds, scenarios)`` pair; :meth:`pal`
+    assembles a complete or partial ordering's detection row with one
+    table lookup per placed type.  Entries ``table[t, mask]`` hold
+    ``E_Z[n_t / Z_t]`` given that exactly the types in ``mask`` were
+    audited before ``t``; entries with ``t`` in ``mask`` are unused
+    (an ordering never revisits a type).
+    """
+
+    __slots__ = ("_pricer", "_table")
+
+    def __init__(
+        self,
+        thresholds: np.ndarray,
+        scenarios: ScenarioSet,
+        costs: np.ndarray,
+        budget: float,
+        zero_count_rule: str = "unit",
+        *,
+        scenario_chunk: int | None = None,
+    ) -> None:
+        self._pricer = OrderingPricer(
+            thresholds, scenarios, costs, budget, zero_count_rule
+        )
+        self._build(scenario_chunk)
+
+    @classmethod
+    def from_pricer(
+        cls,
+        pricer: OrderingPricer,
+        scenario_chunk: int | None = None,
+    ) -> "PalTable":
+        """Build from an already-validated :class:`OrderingPricer`."""
+        table = object.__new__(cls)
+        table._pricer = pricer
+        table._build(scenario_chunk)
+        return table
+
+    @property
+    def n_types(self) -> int:
+        return self._pricer.n_types
+
+    @property
+    def table(self) -> np.ndarray:
+        """The raw ``(T, 2^T)`` lookup table (read-only view)."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
+    def _build(self, scenario_chunk: int | None) -> None:
+        p = self._pricer
+        n_types = p.n_types
+        if n_types > SUBSET_TABLE_TYPE_LIMIT:
+            raise ValueError(
+                f"{n_types} alert types give 2^{n_types} predecessor "
+                f"sets (> 2^{SUBSET_TABLE_TYPE_LIMIT}); use the legacy "
+                "per-ordering kernel instead"
+            )
+        n_masks = 1 << n_types
+        n_scenarios = p.counts.shape[0]
+        if scenario_chunk is None:
+            scenario_chunk = max(1, _DP_ELEMENT_BUDGET // n_masks)
+        elif scenario_chunk < 1:
+            raise ValueError(
+                f"scenario_chunk must be >= 1, got {scenario_chunk}"
+            )
+        masks = np.arange(n_masks)
+        rows_without = [
+            masks[(masks >> t) & 1 == 0] for t in range(n_types)
+        ]
+        table = np.zeros((n_types, n_masks))
+        # Chunking the scenario axis bounds the DP working set; the
+        # per-chunk partial expectations accumulate deterministically in
+        # scenario order, and the common case (everything in one chunk)
+        # adds each full row sum to an exact 0.0 — bitwise a no-op.
+        for start in range(0, n_scenarios, scenario_chunk):
+            chunk = slice(start, start + scenario_chunk)
+            contrib = p.contrib[chunk]
+            weights = p.weights[chunk]
+            consumed = np.empty((n_masks, contrib.shape[0]))
+            consumed[0] = 0.0
+            for mask in range(1, n_masks):
+                low = mask & -mask
+                consumed[mask] = (
+                    consumed[mask ^ low] + contrib[:, low.bit_length() - 1]
+                )
+            for t in range(n_types):
+                rows = rows_without[t]
+                capacity = np.floor(
+                    (p.budget - consumed[rows]) / p.costs[t]
+                )
+                np.maximum(capacity, 0.0, out=capacity)
+                audited = np.minimum(
+                    np.minimum(capacity, p.quota[t]),
+                    p.effective[chunk, t],
+                )
+                ratio = audited / p.zsafe[chunk, t]
+                table[t, rows] += (ratio * weights).sum(axis=1)
+        self._table = table
+
+    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Pal(o, b, .)`` assembled by table lookup.
+
+        Works for partial orderings too (unplaced types get 0), matching
+        the legacy walk's semantics.
+        """
+        n_types = self._pricer.n_types
+        pal = np.zeros(n_types)
+        mask = 0
+        for t in ordering:
+            if not 0 <= t < n_types:
+                raise ValueError(f"type index {t} out of range")
+            pal[t] = self._table[t, mask]
+            mask |= 1 << t
+        return pal
+
+    def pal_rows(
+        self, orderings: Iterable[Ordering | Sequence[int]]
+    ) -> np.ndarray:
+        """Stack of ``Pal`` rows, one per ordering (in input order)."""
+        rows = [self.pal(o) for o in orderings]
+        if not rows:
+            raise ValueError("need at least one ordering")
+        return np.stack(rows, axis=0)

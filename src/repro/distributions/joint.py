@@ -66,8 +66,12 @@ class ScenarioSet:
         total = float(weights.sum())
         if not np.isclose(total, 1.0, atol=1e-6):
             raise ValueError(f"scenario weights sum to {total}, expected 1")
+        if total != 1.0:
+            # Renormalize only when actually needed: weights that already
+            # sum to exactly 1 are stored as-is (no copy, bits untouched).
+            weights = weights / total
         object.__setattr__(self, "counts", counts)
-        object.__setattr__(self, "weights", weights / total)
+        object.__setattr__(self, "weights", weights)
 
     @property
     def n_scenarios(self) -> int:
@@ -82,6 +86,36 @@ class ScenarioSet:
     def expected_counts(self) -> np.ndarray:
         """Weighted mean count per type."""
         return self.weights @ self.counts
+
+    def compressed(self) -> "ScenarioSet":
+        """Deduplicate identical count rows, aggregating their weights.
+
+        Monte-Carlo draws over small integer supports repeat heavily
+        (e.g. 2000 samples of a 4-type game with per-type supports of
+        ~10 values collapse several-fold), and every detection-kernel
+        sweep is linear in the number of rows — identical rows
+        contribute identical ratios, so summing their weights changes
+        no expectation.  Rows come back lexicographically sorted
+        (deterministic for equal inputs) with ``exact`` preserved.
+
+        When the set has no duplicate rows — every exactly-enumerated
+        product support, or an already-compressed set (idempotence) —
+        ``self`` is returned unchanged, keeping row order and weight
+        bits identical for downstream kernels.
+        """
+        unique, inverse = np.unique(
+            self.counts, axis=0, return_inverse=True
+        )
+        if unique.shape[0] == self.counts.shape[0]:
+            return self
+        weights = np.bincount(
+            inverse.reshape(-1),
+            weights=self.weights,
+            minlength=unique.shape[0],
+        )
+        return ScenarioSet(
+            counts=unique, weights=weights, exact=self.exact
+        )
 
 
 class JointCountModel:

@@ -185,15 +185,17 @@ def _solve_enumeration(
     started = time.perf_counter()
     cache = cache or FixedSolveCache(game, scenarios)
     thresholds = _full_coverage(game, config.thresholds)
-    # Pass max_orderings only when it differs from the default: kwargs
+    # Pass kernel knobs only when they differ from their defaults: kwargs
     # enter the cache's memo scope, and a defaulted value must share
     # solutions with the kwarg-less enumeration solvers used by
     # ishm/bruteforce.
-    extra = (
-        {}
-        if config.max_orderings == DEFAULT_MAX_ORDERINGS
-        else {"max_orderings": config.max_orderings}
-    )
+    extra: dict[str, object] = {}
+    if config.max_orderings != DEFAULT_MAX_ORDERINGS:
+        extra["max_orderings"] = config.max_orderings
+    if config.subset_table is not None:
+        extra["subset_table"] = config.subset_table
+    if not config.compress:
+        extra["compress"] = config.compress
     solution = cache.solver(
         method="enumeration",
         backend=config.backend,

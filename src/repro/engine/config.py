@@ -172,9 +172,18 @@ class _FixedThresholdConfig(SolverConfig):
 
 @dataclass(frozen=True)
 class EnumerationConfig(_FixedThresholdConfig):
-    """Exact master LP over all ``|T|!`` ordering columns."""
+    """Exact master LP over all ``|T|!`` ordering columns.
+
+    ``subset_table=None`` auto-selects the subset-memoized detection
+    kernel (``T * 2^(T-1)`` sweeps instead of ``T! * T``); ``compress``
+    merges duplicate scenario rows before pricing.  Both default on —
+    set ``subset_table=false`` / ``compress=false`` to pin the legacy
+    per-ordering reference kernel.
+    """
 
     max_orderings: int = 5040
+    subset_table: bool | None = None
+    compress: bool = True
 
 
 @dataclass(frozen=True)

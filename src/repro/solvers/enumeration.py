@@ -4,6 +4,16 @@ For small numbers of alert types (Syn A has 4, hence 24 orderings) the LP
 of eq. 5 with fixed thresholds can be solved to optimality by including
 all ``|T|!`` ordering columns — the paper's "solving the linear program to
 optimality" reference point for Tables III-VII.
+
+Since the full ordering set is priced for every threshold vector, the
+detection kernels run through the subset-memoized
+:class:`~repro.core.pal_table.PalTable` by default (``T * 2^(T-1)``
+scenario sweeps per vector instead of ``T! * T``), and the scenario set
+is :meth:`~repro.distributions.joint.ScenarioSet.compressed` once at
+construction (Monte-Carlo draws over small integer supports repeat
+heavily; identical rows are merged with aggregated weights).  Both are
+exact rewrites of the same expectation — pass ``subset_table=False`` /
+``compress=False`` to pin the legacy reference behavior.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import math
 import numpy as np
 
 from ..core.game import AuditGame
+from ..core.pal_table import subset_table_pays
 from ..core.policy import all_orderings
 from ..distributions.joint import ScenarioSet
 from .master import (
@@ -29,7 +40,21 @@ DEFAULT_MAX_ORDERINGS = 5040
 
 
 class EnumerationSolver:
-    """Solve the fixed-``b`` master over the complete ordering set ``O``."""
+    """Solve the fixed-``b`` master over the complete ordering set ``O``.
+
+    Parameters
+    ----------
+    subset_table:
+        Price ordering columns from the subset-memoized table instead of
+        one kernel walk per ordering.  ``None`` (default) auto-enables
+        it whenever the table amortizes (every ``|T| >= 3`` game here,
+        since the full ``|T|!`` set is always priced); the legacy walk
+        remains available via ``False`` as the bitwise reference.
+    compress:
+        Deduplicate identical scenario rows (weight-aggregating) once at
+        construction.  Exactly-enumerated sets are duplicate-free and
+        pass through untouched.
+    """
 
     def __init__(
         self,
@@ -37,6 +62,8 @@ class EnumerationSolver:
         scenarios: ScenarioSet,
         backend: str = "scipy",
         max_orderings: int = DEFAULT_MAX_ORDERINGS,
+        subset_table: bool | None = None,
+        compress: bool = True,
     ) -> None:
         n_orderings = math.factorial(game.n_types)
         if n_orderings > max_orderings:
@@ -45,14 +72,22 @@ class EnumerationSolver:
                 f"(> max_orderings={max_orderings}); use CGGSSolver instead"
             )
         self.game = game
-        self.scenarios = scenarios
+        self.scenarios = scenarios.compressed() if compress else scenarios
         self.backend = backend
         self._orderings = all_orderings(game.n_types)
+        if subset_table is None:
+            subset_table = subset_table_pays(n_orderings, game.n_types)
+        self.subset_table = bool(subset_table)
 
     def solve(self, thresholds: np.ndarray) -> FixedThresholdSolution:
         """Optimal restricted-strategy-space mixed policy for ``b``."""
         return self._solve_context(
-            PolicyContext(self.game, self.scenarios, thresholds)
+            PolicyContext(
+                self.game,
+                self.scenarios,
+                thresholds,
+                subset_table=self.subset_table,
+            )
         )
 
     def solve_batch(
@@ -61,10 +96,12 @@ class EnumerationSolver:
         """Price a ``(B, T)`` stack of threshold vectors in one pass.
 
         The detection kernels for all vectors are built batched (one
-        vectorized sweep per ordering); the per-vector master LPs then
-        run on the pre-warmed contexts.  Results are returned in input
-        order and are bit-for-bit identical to ``[solve(b) for b in
-        batch]`` — the parallel pricing layer depends on that identity.
+        subset table per vector, or one vectorized legacy sweep per
+        ordering — matching whatever :meth:`solve` uses); the per-vector
+        master LPs then run on the pre-warmed contexts.  Results are
+        returned in input order and are bit-for-bit identical to
+        ``[solve(b) for b in batch]`` — the parallel pricing layer
+        depends on that identity.
         """
         arr = np.asarray(thresholds_batch, dtype=np.float64)
         if arr.ndim != 2:
@@ -74,7 +111,11 @@ class EnumerationSolver:
         if arr.shape[0] == 0:
             return []
         contexts = batch_policy_contexts(
-            self.game, self.scenarios, arr, self._orderings
+            self.game,
+            self.scenarios,
+            arr,
+            self._orderings,
+            subset_table=self.subset_table,
         )
         return [self._solve_context(context) for context in contexts]
 

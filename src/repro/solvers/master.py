@@ -20,8 +20,13 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.detection import pal_for_ordering, pal_for_ordering_batch
+from ..core.detection import (
+    OrderingPricer,
+    _check_batch_inputs,
+    pal_for_ordering_batch,
+)
 from ..core.game import AuditGame
+from ..core.pal_table import PalTable, subset_table_pays
 from ..core.objective import best_responses
 from ..core.policy import AuditPolicy, Ordering
 from ..distributions.joint import ScenarioSet
@@ -42,6 +47,15 @@ class PolicyContext:
     scenario set; utilities additionally fold in the payoff model.  Both
     are memoized by ordering tuple, which makes the CGGS greedy subproblem
     (many shared prefixes) and repeated master solves cheap.
+
+    Kernel selection: cache misses price through a shared validate-once
+    :class:`~repro.core.detection.OrderingPricer` (the reference walk),
+    or — with ``subset_table=True``, as the enumeration solver requests
+    when it is about to price the full ordering set — through a lazily
+    built :class:`~repro.core.pal_table.PalTable`, which replaces the
+    per-ordering scenario sweeps with ``T * 2^(T-1)`` table builds plus
+    pure lookups.  CGGS keeps the default legacy walk: its few columns
+    and many partial prefixes sit below the table's break-even point.
     """
 
     def __init__(
@@ -49,6 +63,8 @@ class PolicyContext:
         game: AuditGame,
         scenarios: ScenarioSet,
         thresholds: np.ndarray,
+        *,
+        subset_table: bool = False,
     ) -> None:
         self.game = game
         self.scenarios = scenarios
@@ -62,6 +78,9 @@ class PolicyContext:
         self._utility_cache: dict[tuple[int, ...], np.ndarray] = {}
         self._costs = game.costs
         self._rows = self._representative_rows(game)
+        self.subset_table = bool(subset_table)
+        self._pricer: OrderingPricer | None = None
+        self._table: PalTable | None = None
 
     @staticmethod
     def _representative_rows(
@@ -104,19 +123,28 @@ class PolicyContext:
         """(adversary, victim) indices of the deduplicated LP rows."""
         return self._rows
 
-    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
-        """``Pal(o, b, .)`` for a complete or partial ordering (cached)."""
-        key = tuple(ordering)
-        cached = self._pal_cache.get(key)
-        if cached is None:
-            cached = pal_for_ordering(
-                key,
+    def _kernel(self) -> OrderingPricer | PalTable:
+        """The pricing kernel for cache misses (validated exactly once)."""
+        if self._pricer is None:
+            self._pricer = OrderingPricer(
                 self.thresholds,
                 self.scenarios,
                 self._costs,
                 self.game.budget,
                 self.game.zero_count_rule,
             )
+        if self.subset_table:
+            if self._table is None:
+                self._table = PalTable.from_pricer(self._pricer)
+            return self._table
+        return self._pricer
+
+    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Pal(o, b, .)`` for a complete or partial ordering (cached)."""
+        key = tuple(ordering)
+        cached = self._pal_cache.get(key)
+        if cached is None:
+            cached = self._kernel().pal(key)
             self._pal_cache[key] = cached
         return cached
 
@@ -326,16 +354,27 @@ def batch_policy_contexts(
     scenarios: ScenarioSet,
     thresholds_batch: np.ndarray,
     orderings: Sequence[Ordering],
+    *,
+    subset_table: bool | None = None,
 ) -> list[PolicyContext]:
     """One pre-warmed :class:`PolicyContext` per threshold vector.
 
-    Instead of letting each context lazily price its orderings one
-    ``(S,)`` kernel pass at a time, this builds the detection vectors for
-    *all* candidate threshold vectors per ordering in a single batched
-    pass (:func:`~repro.core.detection.pal_for_ordering_batch`) and seeds
-    the per-vector caches with the rows.  The seeded values are
-    bit-for-bit what the serial kernel would have produced, so a master
-    solve on a batched context equals a cold solve exactly.
+    Two batched pricing strategies, both producing contexts whose master
+    solves are bit-for-bit identical to cold single-vector solves:
+
+    * **Subset tables** (``subset_table=True``, the auto choice whenever
+      the ordering set is large enough to amortize the build — see
+      :func:`~repro.core.pal_table.subset_table_pays`): each context
+      prices through its own per-vector
+      :class:`~repro.core.pal_table.PalTable` — exactly the kernel the
+      single-vector solve path uses, hence the exact identity.
+    * **Legacy batched walks** (small ordering sets, e.g. 2-type
+      games): the detection vectors for *all* candidate threshold
+      vectors are built per ordering in a single vectorized pass
+      (:func:`~repro.core.detection.pal_for_ordering_batch`, validated
+      once for the whole pass) and planted into the per-vector caches;
+      the batched walk shares the serial kernel's pairwise expectation
+      reduction, so the seeded rows equal the serial rows bitwise.
     """
     arr = np.asarray(thresholds_batch, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != game.n_types:
@@ -343,7 +382,17 @@ def batch_policy_contexts(
             f"thresholds batch must have shape (B, {game.n_types}), "
             f"got {arr.shape}"
         )
+    if subset_table is None:
+        subset_table = subset_table_pays(len(orderings), game.n_types)
+    if subset_table:
+        return [
+            PolicyContext(game, scenarios, b, subset_table=True)
+            for b in arr
+        ]
     contexts = [PolicyContext(game, scenarios, b) for b in arr]
+    if len(arr) == 0:
+        return contexts
+    _check_batch_inputs(arr, scenarios, game.costs, game.budget)
     for ordering in orderings:
         pal_rows = pal_for_ordering_batch(
             ordering,
@@ -352,6 +401,7 @@ def batch_policy_contexts(
             game.costs,
             game.budget,
             game.zero_count_rule,
+            validate=False,
         )
         for context, row in zip(contexts, pal_rows):
             context.seed_pal(ordering, row)

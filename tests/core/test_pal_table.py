@@ -1,0 +1,203 @@
+"""Subset-memoized detection kernel: equivalence with the legacy walk."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Ordering,
+    OrderingPricer,
+    PalTable,
+    all_orderings,
+    pal_for_ordering,
+    pal_for_orderings,
+    subset_table_pays,
+)
+from repro.distributions import (
+    DiscretizedGaussian,
+    EmpiricalCounts,
+    JointCountModel,
+    ScenarioSet,
+)
+
+TOL = 1e-9
+
+
+def random_world(rng, n_types, n_scenarios=400, exact=False):
+    """A (thresholds, scenarios, costs, budget) tuple for kernel tests."""
+    joint = JointCountModel(
+        [
+            DiscretizedGaussian(2.5 + 0.7 * t, 0.9 + 0.15 * t)
+            for t in range(n_types)
+        ]
+    )
+    if exact:
+        scenarios = joint.exact_scenarios()
+    else:
+        scenarios = joint.sample_scenarios(n_scenarios, rng)
+    costs = np.array([1.0 + 0.5 * (t % 3) for t in range(n_types)])
+    thresholds = rng.uniform(0.0, 6.0, size=n_types).round(1)
+    budget = float(1.5 * n_types)
+    return thresholds, scenarios, costs, budget
+
+
+class TestSubsetTableEquivalence:
+    @pytest.mark.parametrize("n_types", [3, 4, 5])
+    @pytest.mark.parametrize("rule", ["unit", "strict"])
+    def test_matches_legacy_over_all_orderings(self, rng, n_types, rule):
+        b, sc, costs, budget = random_world(rng, n_types)
+        pricer = OrderingPricer(b, sc, costs, budget, rule)
+        table = PalTable.from_pricer(pricer)
+        for o in all_orderings(n_types):
+            legacy = pricer.pal(o)
+            assert np.abs(table.pal(o) - legacy).max() <= TOL
+
+    def test_matches_on_exact_scenario_set(self, rng):
+        b, sc, costs, budget = random_world(rng, 4, exact=True)
+        table = PalTable(b, sc, costs, budget)
+        for o in all_orderings(4):
+            legacy = pal_for_ordering(o, b, sc, costs, budget)
+            assert np.abs(table.pal(o) - legacy).max() <= TOL
+
+    def test_heterogeneous_costs_and_zero_counts(self, rng):
+        # Rows with Z_t = 0 exercise both zero-count rules.
+        counts = np.array(
+            [[0, 2, 5], [3, 0, 0], [1, 1, 1], [0, 0, 4], [6, 2, 0]]
+        )
+        sc = ScenarioSet(counts=counts, weights=np.full(5, 0.2))
+        b = np.array([2.5, 4.0, 3.0])
+        costs = np.array([0.5, 2.0, 1.25])
+        for rule in ("unit", "strict"):
+            table = PalTable(b, sc, costs, 6.0, rule)
+            for o in all_orderings(3):
+                legacy = pal_for_ordering(o, b, sc, costs, 6.0, rule)
+                assert np.abs(table.pal(o) - legacy).max() <= TOL
+
+    def test_partial_orderings(self, rng):
+        b, sc, costs, budget = random_world(rng, 4)
+        table = PalTable(b, sc, costs, budget)
+        for o in [(2,), (3, 0), (1, 3, 0), ()]:
+            legacy = pal_for_ordering(o, b, sc, costs, budget)
+            got = table.pal(o)
+            assert np.abs(got - legacy).max() <= TOL
+            placed = np.zeros(4, dtype=bool)
+            placed[list(o)] = True
+            assert np.all(got[~placed] == 0.0)
+
+    def test_scenario_chunking_matches_single_chunk(self, rng):
+        b, sc, costs, budget = random_world(rng, 4, n_scenarios=257)
+        whole = PalTable(b, sc, costs, budget)
+        chunked = PalTable(b, sc, costs, budget, scenario_chunk=19)
+        for o in all_orderings(4):
+            assert np.abs(chunked.pal(o) - whole.pal(o)).max() <= TOL
+
+    def test_bitwise_on_integer_game(self, rng):
+        # Integer thresholds/costs/counts keep every partial sum exact,
+        # so the DP accumulation order cannot perturb a single bit.
+        joint = JointCountModel(
+            [EmpiricalCounts({1: 0.3, 2: 0.4, 4: 0.3}) for _ in range(4)]
+        )
+        sc = joint.exact_scenarios()
+        b = np.array([2.0, 3.0, 1.0, 4.0])
+        costs = np.array([1.0, 2.0, 1.0, 1.0])
+        pricer = OrderingPricer(b, sc, costs, 6.0)
+        table = PalTable.from_pricer(pricer)
+        for o in all_orderings(4):
+            assert np.array_equal(table.pal(o), pricer.pal(o))
+
+
+class TestPalForOrderingsDispatch:
+    def test_full_set_uses_table_and_matches(self, rng):
+        b, sc, costs, budget = random_world(rng, 4)
+        rows = pal_for_orderings(all_orderings(4), b, sc, costs, budget)
+        pricer = OrderingPricer(b, sc, costs, budget)
+        ref = np.stack([pricer.pal(o) for o in all_orderings(4)])
+        assert rows.shape == ref.shape
+        assert np.abs(rows - ref).max() <= TOL
+
+    def test_small_set_stays_on_legacy_path(self, rng):
+        b, sc, costs, budget = random_world(rng, 4)
+        few = [Ordering((0, 1, 2, 3)), Ordering((3, 2, 1, 0))]
+        rows = pal_for_orderings(few, b, sc, costs, budget)
+        for row, o in zip(rows, few):
+            assert np.array_equal(
+                row, pal_for_ordering(o, b, sc, costs, budget)
+            )
+
+    def test_rejects_empty(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError):
+            pal_for_orderings([], b, sc, costs, budget)
+
+
+class TestSubsetTablePays:
+    def test_break_even_threshold(self):
+        assert not subset_table_pays(8, 4)   # 8 == 2^(4-1): walk wins
+        assert subset_table_pays(9, 4)
+        assert subset_table_pays(24, 4)      # the full set always pays
+
+    def test_tiny_and_huge_type_counts_refuse(self):
+        assert not subset_table_pays(10**6, 2)
+        assert not subset_table_pays(10**6, 13)
+
+    def test_full_ordering_sets_pay_from_three_types(self):
+        import math
+
+        for t in range(3, 8):
+            assert subset_table_pays(math.factorial(t), t)
+
+
+class TestValidation:
+    def test_rejects_unknown_zero_rule(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="zero_count_rule"):
+            PalTable(b, sc, costs, budget, "magic")
+
+    def test_rejects_negative_budget(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="budget"):
+            PalTable(b, sc, costs, -1.0)
+
+    def test_rejects_type_count_mismatch(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="types"):
+            PalTable(np.ones(2), sc, np.ones(2), budget)
+
+    def test_rejects_too_many_types(self):
+        n = 13
+        counts = np.ones((4, n), dtype=np.int64)
+        sc = ScenarioSet(counts=counts, weights=np.full(4, 0.25))
+        with pytest.raises(ValueError, match="predecessor"):
+            PalTable(np.ones(n), sc, np.ones(n), 5.0)
+
+    def test_rejects_bad_chunk(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="scenario_chunk"):
+            PalTable(b, sc, costs, budget, scenario_chunk=0)
+
+    def test_rejects_out_of_range_type_in_lookup(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        table = PalTable(b, sc, costs, budget)
+        with pytest.raises(ValueError, match="out of range"):
+            table.pal((0, 5))
+
+
+class TestOrderingPricer:
+    def test_bitwise_identical_to_one_shot_kernel(self, rng):
+        b, sc, costs, budget = random_world(rng, 4)
+        pricer = OrderingPricer(b, sc, costs, budget)
+        for o in all_orderings(4)[:8]:
+            assert np.array_equal(
+                pricer.pal(o), pal_for_ordering(o, b, sc, costs, budget)
+            )
+
+    def test_validates_once_at_construction(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="non-negative"):
+            OrderingPricer(-b - 1.0, sc, costs, budget)
+        with pytest.raises(ValueError, match="positive"):
+            OrderingPricer(b, sc, np.zeros(3), budget)
+
+    def test_rejects_out_of_range_type(self, rng):
+        b, sc, costs, budget = random_world(rng, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            OrderingPricer(b, sc, costs, budget).pal((7,))

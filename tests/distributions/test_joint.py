@@ -60,6 +60,91 @@ class TestScenarioSet:
                 counts=np.zeros((0, 2)), weights=np.zeros(0)
             )
 
+    def test_normalized_weights_stored_untouched(self):
+        # Satellite regression: weights already summing to exactly 1
+        # must not be copied or renormalized (same object, same bits).
+        w = np.array([0.5, 0.25, 0.25])
+        sc = ScenarioSet(
+            counts=np.array([[1], [2], [3]]), weights=w
+        )
+        assert sc.weights is w
+
+    def test_slightly_off_weights_still_renormalized(self):
+        w = np.array([0.5, 0.5 + 1e-8])
+        sc = ScenarioSet(counts=np.array([[1], [2]]), weights=w)
+        assert sc.weights is not w
+        assert np.isclose(sc.weights.sum(), 1.0, atol=1e-12)
+
+
+class TestScenarioSetCompressed:
+    def duplicated(self):
+        counts = np.array(
+            [[2, 1], [0, 3], [2, 1], [1, 1], [0, 3], [2, 1]]
+        )
+        weights = np.array([0.1, 0.2, 0.15, 0.25, 0.05, 0.25])
+        return ScenarioSet(counts=counts, weights=weights)
+
+    def test_dedupes_and_aggregates_weights(self):
+        sc = self.duplicated()
+        c = sc.compressed()
+        assert c.n_scenarios == 3
+        # Lexicographically sorted unique rows.
+        assert c.counts.tolist() == [[0, 3], [1, 1], [2, 1]]
+        assert np.allclose(c.weights, [0.25, 0.25, 0.5])
+
+    def test_preserves_expected_counts(self):
+        sc = self.duplicated()
+        assert np.allclose(
+            sc.compressed().expected_counts(), sc.expected_counts()
+        )
+
+    def test_preserves_pal(self):
+        from repro.core import all_orderings, pal_for_ordering
+
+        sc = self.duplicated()
+        c = sc.compressed()
+        b = np.array([2.0, 3.0])
+        costs = np.array([1.0, 2.0])
+        for o in all_orderings(2):
+            for rule in ("unit", "strict"):
+                before = pal_for_ordering(o, b, sc, costs, 4.0, rule)
+                after = pal_for_ordering(o, b, c, costs, 4.0, rule)
+                assert np.abs(after - before).max() <= 1e-9
+
+    def test_idempotent_and_deterministic(self):
+        sc = self.duplicated()
+        c = sc.compressed()
+        assert c.compressed() is c
+        again = self.duplicated().compressed()
+        assert np.array_equal(again.counts, c.counts)
+        assert np.array_equal(again.weights, c.weights)
+
+    def test_no_duplicates_returns_self(self):
+        sc = ScenarioSet(
+            counts=np.array([[3, 1], [1, 2]]),
+            weights=np.array([0.5, 0.5]),
+        )
+        assert sc.compressed() is sc
+
+    def test_preserves_exact_flag(self):
+        sc = ScenarioSet(
+            counts=np.array([[1], [1], [2]]),
+            weights=np.array([0.25, 0.25, 0.5]),
+            exact=True,
+        )
+        c = sc.compressed()
+        assert c.exact
+        assert c.n_scenarios == 2
+
+    def test_monte_carlo_sets_shrink(self, rng):
+        joint = JointCountModel(
+            [DiscretizedGaussian(3.0, 1.0), DiscretizedGaussian(2.0, 0.8)]
+        )
+        sc = joint.sample_scenarios(2000, rng)
+        c = sc.compressed()
+        assert c.n_scenarios < sc.n_scenarios
+        assert np.isclose(c.weights.sum(), 1.0)
+
 
 class TestJointCountModel:
     def test_exact_enumeration_matches_product(self):

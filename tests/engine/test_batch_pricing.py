@@ -37,6 +37,11 @@ class TestBatchedKernel:
     def test_matches_serial_kernel_bitwise(
         self, tiny_game, tiny_scenarios, batch
     ):
+        # Reduction-order contract: both kernels close the expectation
+        # with (ratio * weights).sum(axis=-1) — numpy's pairwise
+        # reduction, whose result depends only on the row length — so
+        # the batched rows equal the serial rows *bitwise*, not merely
+        # approximately.  A BLAS dot would break this across shapes.
         for ordering in [(0, 1), (1, 0), (1,)]:
             rows = pal_for_ordering_batch(
                 ordering,

@@ -43,6 +43,64 @@ class TestEnumerationSolver:
         assert solution.n_columns == 24
 
 
+class TestSubsetKernelEquivalence:
+    """Acceptance: subset-table pricing == legacy pricing (<= 1e-9)."""
+
+    GRID = [
+        np.array([3.0, 3.0, 3.0, 3.0]),
+        np.array([3.0, 2.0, 3.0, 2.0]),
+        np.array([0.0, 4.0, 1.0, 5.0]),
+        np.array([10.0, 0.0, 0.0, 0.0]),
+    ]
+
+    def test_subset_table_matches_legacy_solver(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        fast = EnumerationSolver(
+            syn_a_game, syn_a_scenarios, subset_table=True
+        )
+        legacy = EnumerationSolver(
+            syn_a_game, syn_a_scenarios, subset_table=False
+        )
+        assert fast.subset_table and not legacy.subset_table
+        for b in self.GRID:
+            a = fast.solve(b)
+            ref = legacy.solve(b)
+            assert abs(a.objective - ref.objective) <= 1e-9
+            assert np.abs(
+                a.policy.thresholds - ref.policy.thresholds
+            ).max() <= 1e-9
+            assert {tuple(o) for o in a.policy.orderings} == {
+                tuple(o) for o in ref.policy.orderings
+            }
+
+    def test_auto_enables_subset_table_on_syn_a(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        solver = EnumerationSolver(syn_a_game, syn_a_scenarios)
+        assert solver.subset_table  # 24 orderings > 2^3
+
+    def test_compression_is_noop_on_exact_sets(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        solver = EnumerationSolver(syn_a_game, syn_a_scenarios)
+        assert solver.scenarios is syn_a_scenarios
+
+    def test_compressed_sampled_set_matches_uncompressed(
+        self, syn_a_game
+    ):
+        sampled = syn_a_game.counts.sample_scenarios(
+            500, np.random.default_rng(11)
+        )
+        on = EnumerationSolver(syn_a_game, sampled, compress=True)
+        off = EnumerationSolver(syn_a_game, sampled, compress=False)
+        assert on.scenarios.n_scenarios < off.scenarios.n_scenarios
+        for b in self.GRID[:2]:
+            assert abs(
+                on.solve(b).objective - off.solve(b).objective
+            ) <= 1e-9
+
+
 class TestCGGSSolver:
     def test_matches_enumeration_on_syn_a(self, syn_a_game,
                                           syn_a_scenarios):
