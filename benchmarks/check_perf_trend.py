@@ -1,0 +1,118 @@
+"""Diff freshly written ``BENCH_<name>.json`` records against baselines.
+
+Every benchmark writes a machine-readable perf record (see
+``benchmarks/conftest.write_bench_json``); the records under
+``benchmarks/baselines/`` are committed reference points.  This script
+walks each baseline, finds the matching fresh record (``REPRO_BENCH_DIR``
+or the working directory), and compares every numeric ``speedup`` field:
+a fresh speedup more than ``TOLERANCE`` (30%) below its baseline fails
+the run, turning the JSON records into an actual perf-trend guard.
+
+Skipped whenever the comparison would be meaningless:
+
+* ``REPRO_SMOKE=1``, or the fresh/baseline record was produced in smoke
+  mode — smoke grids are minimal and their ratios are noise;
+* no fresh record exists for a baseline (that bench didn't run).
+
+Usage::
+
+    python -m pytest benchmarks -q          # writes BENCH_*.json
+    python benchmarks/check_perf_trend.py   # diffs against baselines
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Allowed relative regression before the check fails.
+TOLERANCE = 0.30
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def iter_speedups(node, path=""):
+    """Yield ``(json_path, value)`` for every numeric ``speedup`` field.
+
+    List entries are labeled by an identifying key (``n_types`` /
+    ``n_vectors`` / ``T``) when present so baseline and fresh entries
+    align even if grid order changes; otherwise by index.
+    """
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            here = f"{path}.{key}" if path else key
+            if key == "speedup" and isinstance(value, (int, float)):
+                yield path or key, float(value)
+            else:
+                yield from iter_speedups(value, here)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            label = str(index)
+            if isinstance(item, dict):
+                for id_key in ("n_types", "n_vectors", "T"):
+                    if id_key in item:
+                        label = f"{id_key}={item[id_key]}"
+                        break
+            yield from iter_speedups(item, f"{path}[{label}]")
+
+
+def main() -> int:
+    if os.environ.get("REPRO_SMOKE", "0") == "1":
+        print("perf-trend: skipped (REPRO_SMOKE=1)")
+        return 0
+    if not BASELINE_DIR.is_dir():
+        print(f"perf-trend: no baseline directory {BASELINE_DIR}")
+        return 0
+
+    fresh_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    regressions: list[str] = []
+    compared = 0
+    for baseline_path in sorted(BASELINE_DIR.glob("BENCH_*.json")):
+        baseline = json.loads(baseline_path.read_text())
+        name = baseline.get("bench", baseline_path.stem)
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.is_file():
+            print(f"perf-trend: {name}: no fresh record, skipped")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        if baseline.get("smoke") or fresh.get("smoke"):
+            print(f"perf-trend: {name}: smoke record, skipped")
+            continue
+        fresh_speedups = dict(iter_speedups(fresh))
+        for path, base_value in iter_speedups(baseline):
+            fresh_value = fresh_speedups.get(path)
+            if fresh_value is None:
+                print(
+                    f"perf-trend: {name}:{path}: not in fresh record, "
+                    "skipped"
+                )
+                continue
+            compared += 1
+            floor = base_value * (1.0 - TOLERANCE)
+            status = "ok" if fresh_value >= floor else "REGRESSION"
+            print(
+                f"perf-trend: {name}:{path}: baseline "
+                f"{base_value:.2f}x, fresh {fresh_value:.2f}x "
+                f"(floor {floor:.2f}x) {status}"
+            )
+            if fresh_value < floor:
+                regressions.append(
+                    f"{name}:{path}: {fresh_value:.2f}x < "
+                    f"{floor:.2f}x (baseline {base_value:.2f}x "
+                    f"- {TOLERANCE:.0%})"
+                )
+    print(
+        f"perf-trend: {compared} speedup field(s) compared, "
+        f"{len(regressions)} regression(s)"
+    )
+    if regressions:
+        for line in regressions:
+            print(f"perf-trend FAILURE: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ from .detection import (
     remaining_budget,
 )
 from .entities import Adversary, Event, Victim
-from .pal_table import PalTable, subset_table_pays
+from .pal_table import LazyPalTable, PalTable, subset_table_pays
 from .game import AuditGame, make_game
 from .objective import (
     REFRAIN,
@@ -49,6 +49,7 @@ __all__ = [
     "Event",
     "Ordering",
     "OrderingPricer",
+    "LazyPalTable",
     "PalTable",
     "PayoffModel",
     "PolicyEvaluation",

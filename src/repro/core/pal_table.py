@@ -45,6 +45,7 @@ from .detection import OrderingPricer
 from .policy import Ordering
 
 __all__ = [
+    "LazyPalTable",
     "PalTable",
     "subset_table_pays",
     "SUBSET_TABLE_TYPE_LIMIT",
@@ -204,3 +205,163 @@ class PalTable:
         if not rows:
             raise ValueError("need at least one ordering")
         return np.stack(rows, axis=0)
+
+    def extension_values(
+        self, mask: int, types: Sequence[int]
+    ) -> np.ndarray:
+        """``Pal`` entries for appending each ``t`` after predecessor
+        set ``mask`` — the column-generation oracle's lookup."""
+        return self._table[np.asarray(types, dtype=np.int64), mask]
+
+
+class LazyPalTable:
+    """Per-entry lazy variant of :class:`PalTable` for column generation.
+
+    The full table pays ``T * 2^(T-1)`` scenario sweeps up front — the
+    right trade when all ``T!`` orderings are priced (enumeration), but
+    overkill for CGGS, whose greedy oracle only ever visits the ``~T^2``
+    ``(type, predecessor set)`` entries along its construction paths.
+    This variant computes the *same* entries on demand:
+
+    * ``consumed(S)`` follows the full table's lowest-set-bit recursion
+      (memoized per mask), so partial sums accumulate in the identical
+      order;
+    * one **vectorized sweep per prefix mask** prices every free type at
+      once (:meth:`extension_values`) — exactly the greedy append step's
+      need — with per-``(t, mask)`` scalar fills for stray lookups.
+
+    Every elementwise operation and the closing pairwise expectation
+    reduction mirror :meth:`PalTable._build` entry for entry, so lazy
+    and eager tables agree bitwise; only the set of *computed* entries
+    differs.  Because no ``2^T`` array is ever allocated, this variant
+    has no :data:`SUBSET_TABLE_TYPE_LIMIT` — memory scales with the
+    masks actually visited.
+    """
+
+    __slots__ = ("_pricer", "_consumed", "_rows", "_entries")
+
+    def __init__(
+        self,
+        thresholds: np.ndarray,
+        scenarios: ScenarioSet,
+        costs: np.ndarray,
+        budget: float,
+        zero_count_rule: str = "unit",
+    ) -> None:
+        self._pricer = OrderingPricer(
+            thresholds, scenarios, costs, budget, zero_count_rule
+        )
+        self._init_caches()
+
+    @classmethod
+    def from_pricer(cls, pricer: OrderingPricer) -> "LazyPalTable":
+        """Build from an already-validated :class:`OrderingPricer`."""
+        table = object.__new__(cls)
+        table._pricer = pricer
+        table._init_caches()
+        return table
+
+    def _init_caches(self) -> None:
+        self._consumed: dict[int, np.ndarray] = {}
+        self._rows: dict[int, np.ndarray] = {}
+        self._entries: dict[tuple[int, int], float] = {}
+
+    @property
+    def n_types(self) -> int:
+        return self._pricer.n_types
+
+    def _consumed_for(self, mask: int) -> np.ndarray:
+        """Per-scenario budget consumed by the types in ``mask``.
+
+        Same lowest-set-bit recursion (and therefore accumulation
+        order) as the eager consumption DP.
+        """
+        mask = int(mask)
+        cached = self._consumed.get(mask)
+        if cached is None:
+            if mask == 0:
+                cached = np.zeros(self._pricer.counts.shape[0])
+            else:
+                low = mask & -mask
+                cached = (
+                    self._consumed_for(mask ^ low)
+                    + self._pricer.contrib[:, low.bit_length() - 1]
+                )
+            self._consumed[mask] = cached
+        return cached
+
+    def extension_values(
+        self, mask: int, types: Sequence[int]
+    ) -> np.ndarray:
+        """``Pal`` entries for appending each ``t`` after ``mask``.
+
+        All free types of a first-seen mask are priced in one vectorized
+        sweep and cached, so a greedy append step costs exactly one
+        sweep however many candidates it scores.
+        """
+        row = self._row_for(mask)
+        return row[np.asarray(types, dtype=np.int64)]
+
+    def _row_for(self, mask: int) -> np.ndarray:
+        mask = int(mask)
+        row = self._rows.get(mask)
+        if row is None:
+            p = self._pricer
+            free = [
+                t for t in range(p.n_types) if not (mask >> t) & 1
+            ]
+            consumed = self._consumed_for(mask)
+            capacity = np.floor(
+                (p.budget - consumed)[None, :]
+                / p.costs[np.asarray(free)][:, None]
+            )
+            np.maximum(capacity, 0.0, out=capacity)
+            audited = np.minimum(
+                np.minimum(
+                    capacity, p.quota[np.asarray(free)][:, None]
+                ),
+                p.effective[:, free].T,
+            )
+            ratio = audited / p.zsafe[:, free].T
+            row = np.zeros(p.n_types)
+            row[free] = (ratio * p.weights).sum(axis=1)
+            self._rows[mask] = row
+        return row
+
+    def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
+        """``Pal(o, b, .)`` assembled from lazily computed entries.
+
+        Works for partial orderings too (unplaced types get 0), matching
+        the legacy walk's semantics.
+        """
+        p = self._pricer
+        n_types = p.n_types
+        pal = np.zeros(n_types)
+        mask = 0
+        for t in ordering:
+            t = int(t)
+            if not 0 <= t < n_types:
+                raise ValueError(f"type index {t} out of range")
+            row = self._rows.get(mask)
+            if row is not None:
+                pal[t] = row[t]
+            else:
+                pal[t] = self._entry(t, mask)
+            mask |= 1 << t
+        return pal
+
+    def _entry(self, t: int, mask: int) -> float:
+        """One scalar table entry (memoized) — no full-row sweep."""
+        cached = self._entries.get((t, mask))
+        if cached is None:
+            p = self._pricer
+            consumed = self._consumed_for(mask)
+            capacity = np.floor((p.budget - consumed) / p.costs[t])
+            np.maximum(capacity, 0.0, out=capacity)
+            audited = np.minimum(
+                np.minimum(capacity, p.quota[t]), p.effective[:, t]
+            )
+            ratio = audited / p.zsafe[:, t]
+            cached = float((ratio * p.weights).sum())
+            self._entries[(t, mask)] = cached
+        return cached

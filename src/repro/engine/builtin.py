@@ -196,6 +196,8 @@ def _solve_enumeration(
         extra["subset_table"] = config.subset_table
     if not config.compress:
         extra["compress"] = config.compress
+    if config.prune:
+        extra["prune"] = config.prune
     solution = cache.solver(
         method="enumeration",
         backend=config.backend,
@@ -238,6 +240,8 @@ def _solve_cggs(
         max_columns=config.max_columns,
         reduced_cost_tol=config.reduced_cost_tol,
         warm_start_pool=config.warm_start_pool,
+        subset_table=config.subset_table,
+        warm_start=config.warm_start,
     )(thresholds)
     return finalize_result(
         game,

@@ -25,6 +25,13 @@ kernels vectorized, and — for the deterministic enumeration method with
 ``workers > 1`` — fan the leftover master LP solves out over a process
 pool (:mod:`repro.engine.parallel`).  Results come back in input order
 and are bit-for-bit identical to the ``workers=1`` serial path.
+
+Because enumeration solvers are memoized per ``(backend, options)``
+(here and inside each pool worker), every vector priced through one
+shares that solver's LP skeleton and representative-row set — the
+structurally identical master LPs of a sweep are assembled from one set
+of static blocks instead of being rebuilt per vector (see
+:class:`repro.solvers.master.MasterSkeleton`).
 """
 
 from __future__ import annotations

@@ -40,7 +40,15 @@ def _coerce(text: str, annotation: object) -> object:
         ]
         if text.strip().lower() in _NONE_WORDS:
             return None
-        return _coerce(text, args[0])
+        # Try each union member in declaration order; the first parse
+        # wins (e.g. ``bool | str`` accepts "true" as a bool and "lazy"
+        # as a string).
+        for candidate in args[:-1]:
+            try:
+                return _coerce(text, candidate)
+            except ValueError:
+                continue
+        return _coerce(text, args[-1])
     if annotation is bool:
         word = text.strip().lower()
         if word in _TRUE_WORDS:
@@ -95,21 +103,45 @@ class SolverConfig:
         CLI's ``--config step_size=0.2 max_probes=none`` round-trips into
         proper ``float`` / ``None`` values.  Unknown keys raise with the
         list of valid options.
+
+        ``lp_backend`` is accepted as an alias for ``backend`` (the LP
+        layer's own vocabulary — see
+        :func:`repro.solvers.lp.available_backends`); the resolved name
+        is validated here so a typo'd backend fails at configuration
+        time with the available choices rather than at the first LP
+        solve.
         """
         hints = typing.get_type_hints(cls)
         valid = {f.name for f in dataclasses.fields(cls)}
+        data = dict(data)
+        if "lp_backend" in data:
+            if "backend" in data:
+                raise ValueError(
+                    "give either backend or its alias lp_backend, "
+                    "not both"
+                )
+            data["backend"] = data.pop("lp_backend")
         kwargs: dict[str, object] = {}
         for key, value in data.items():
             if key not in valid:
                 raise ValueError(
                     f"{cls.__name__} has no option {key!r}; valid options: "
-                    f"{', '.join(sorted(valid))}"
+                    f"{', '.join(sorted(valid))} (and the lp_backend "
+                    "alias for backend)"
                 )
             kwargs[key] = (
                 _coerce(value, hints[key])
                 if isinstance(value, str)
                 else value
             )
+        if "backend" in kwargs:
+            from ..solvers.lp import available_backends
+
+            if kwargs["backend"] not in available_backends():
+                raise ValueError(
+                    f"unknown LP backend {kwargs['backend']!r}; "
+                    f"choose from {available_backends()}"
+                )
         return cls(**kwargs)
 
     def replace(self, **changes: object) -> "SolverConfig":
@@ -178,21 +210,34 @@ class EnumerationConfig(_FixedThresholdConfig):
     kernel (``T * 2^(T-1)`` sweeps instead of ``T! * T``); ``compress``
     merges duplicate scenario rows before pricing.  Both default on —
     set ``subset_table=false`` / ``compress=false`` to pin the legacy
-    per-ordering reference kernel.
+    per-ordering reference kernel.  ``prune=true`` additionally drops
+    dominated rows/columns from each master LP before solving (lossless;
+    off by default so cached solutions stay bitwise comparable).
     """
 
     max_orderings: int = 5040
     subset_table: bool | None = None
     compress: bool = True
+    prune: bool = False
 
 
 @dataclass(frozen=True)
 class CGGSConfig(_FixedThresholdConfig):
-    """Algorithm 1 (Column Generation Greedy Search) options."""
+    """Algorithm 1 (Column Generation Greedy Search) options.
+
+    ``subset_table`` picks the greedy-oracle kernel: ``none`` (default)
+    auto-selects the lazy subset table for ``|T| >= 3``, ``lazy``/``true``
+    force the lazy/eager table, ``false`` pins the legacy per-candidate
+    walk.  ``warm_start`` re-enters master re-solves from the previous
+    optimal basis on warm-capable LP backends (``backend=simplex``);
+    the scipy/HiGHS backend always cold-solves.
+    """
 
     max_columns: int = 200
     reduced_cost_tol: float = 1e-7
     warm_start_pool: int = 48
+    subset_table: bool | str | None = None
+    warm_start: bool = True
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -182,7 +183,12 @@ class AuditEngine:
 
         The engine's ``backend`` and ``seed`` fill any field the caller
         left at its default when no explicit config object is given.
+
+        The returned result carries ``solve_seconds`` — the end-to-end
+        wall clock of this call — so cache warmth and LP-layer speedups
+        are visible run over run without a benchmark harness.
         """
+        started = time.perf_counter()
         spec = registry.get_solver(method)
         if config is None or isinstance(config, Mapping):
             merged = dict(config or {})
@@ -193,7 +199,11 @@ class AuditEngine:
                         "as an override"
                     )
             merged.update(overrides)
-            merged.setdefault("backend", self.backend)
+            if "lp_backend" not in merged:
+                # The config layer accepts lp_backend as an alias for
+                # backend; only fill the engine default when the caller
+                # named neither spelling.
+                merged.setdefault("backend", self.backend)
             merged.setdefault("seed", self.seed)
             if any(
                 f.name == "workers"
@@ -205,11 +215,14 @@ class AuditEngine:
             cfg = registry.make_config(spec, config, **overrides)
         if scenarios is None:
             scenarios = self.scenario_set()
-        return spec.func(
+        result = spec.func(
             self.game,
             scenarios,
             cfg,
             cache=self.solution_cache(scenarios),
+        )
+        return dataclasses.replace(
+            result, solve_seconds=time.perf_counter() - started
         )
 
     def price_batch(

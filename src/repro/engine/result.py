@@ -58,6 +58,12 @@ class SolveResult:
         The solver's native result object (e.g.
         :class:`~repro.solvers.ishm.ISHMResult`) for power users; ``None``
         when the solver has no richer representation.
+    solve_seconds:
+        End-to-end wall clock of the :meth:`AuditEngine.solve` call that
+        produced this result (config resolution, cache lookups and the
+        solver itself), stamped by the engine so LP-layer speedups are
+        observable without a benchmark harness.  ``None`` when the
+        solver was dispatched without an engine.
     """
 
     solver: str
@@ -68,6 +74,7 @@ class SolveResult:
     wall_time: float
     config: "SolverConfig"
     raw: object = field(default=None, repr=False)
+    solve_seconds: float | None = None
 
     @property
     def thresholds(self) -> np.ndarray:
@@ -87,9 +94,15 @@ class SolveResult:
     def summary(self, type_names: Sequence[str] | None = None) -> str:
         """Multi-line human-readable report (CLI / examples output)."""
         diag = ", ".join(f"{k}={v}" for k, v in self.diagnostics.items())
+        timing = (
+            f"wall_time={self.wall_time:.2f}s"
+            if self.solve_seconds is None
+            else f"wall_time={self.wall_time:.2f}s  "
+                 f"solve_seconds={self.solve_seconds:.2f}s"
+        )
         lines = [
             f"solver={self.solver}  objective={self.objective:.4f}  "
-            f"wall_time={self.wall_time:.2f}s",
+            f"{timing}",
             f"deterred {self.n_deterred}/{len(self.best_responses)} "
             "adversaries",
         ]

@@ -24,7 +24,12 @@ from .ishm import (
     make_fixed_solver,
     run_iterative_shrink,
 )
-from .master import FixedThresholdSolution, MasterProblem, PolicyContext
+from .master import (
+    FixedThresholdSolution,
+    MasterProblem,
+    MasterSkeleton,
+    PolicyContext,
+)
 
 __all__ = [
     "BruteForceResult",
@@ -34,6 +39,7 @@ __all__ = [
     "FixedThresholdSolution",
     "ISHMResult",
     "MasterProblem",
+    "MasterSkeleton",
     "PolicyContext",
     "ResponseReport",
     "deterrence_budget",

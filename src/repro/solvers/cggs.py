@@ -14,6 +14,26 @@ random pure strategy and alternates:
 The subproblem of finding the true minimum-reduced-cost ordering is itself
 hard, so the greedy construction makes CGGS an approximation — the paper's
 Table V/VI quantify the (small) quality loss versus full enumeration.
+
+Two structure-exploiting fast paths ride under the algorithm unchanged:
+
+* **Subset-table oracle** (``subset_table``, auto-enabled for ``|T| >=
+  3``): the greedy append step prices all ``|T| - k`` one-type
+  extensions of the current prefix in one vectorized sweep of the
+  :class:`~repro.core.pal_table.LazyPalTable` (entries computed on first
+  touch, memoized across greedy calls and bitwise-equal to the eager
+  table) instead of one legacy scenario walk per candidate; scoring then
+  collapses to a linear projection of the ``Pal`` row (see
+  :meth:`CGGSSolver._greedy_ordering_table`), so no per-candidate
+  ``(E, V)`` utility matrix is ever materialized.  Table entries match
+  the walk to ``<= 1e-9`` (bitwise on integer-valued games); pass
+  ``subset_table=False`` to pin the legacy reference oracle, or
+  ``True`` for the eager ``T * 2^(T-1)`` table.
+* **Warm-started master re-solves**: with the ``"simplex"`` backend, the
+  restricted master re-enters from the previous optimal basis after each
+  added column instead of cold two-phase solving (see
+  :class:`~repro.solvers.master.MasterProblem`).  The default scipy/HiGHS
+  backend has no basis interface and keeps cold-solving.
 """
 
 from __future__ import annotations
@@ -25,7 +45,12 @@ import numpy as np
 from ..core.game import AuditGame
 from ..core.policy import Ordering, random_ordering
 from ..distributions.joint import ScenarioSet
-from .master import FixedThresholdSolution, MasterProblem, PolicyContext
+from .master import (
+    FixedThresholdSolution,
+    MasterProblem,
+    PolicyContext,
+    _coerce_subset_table,
+)
 
 __all__ = ["CGGSSolver", "CGGSResult"]
 
@@ -40,7 +65,12 @@ class CGGSResult(FixedThresholdSolution):
 
 
 class CGGSSolver:
-    """Algorithm 1: column generation with a greedy ordering oracle."""
+    """Algorithm 1: column generation with a greedy ordering oracle.
+
+    ``subset_table=None`` (default) auto-enables the vectorized PalTable
+    oracle whenever the type count supports it; ``warm_start`` re-enters
+    master re-solves from the previous basis on warm-capable backends.
+    """
 
     def __init__(
         self,
@@ -52,6 +82,8 @@ class CGGSSolver:
         reduced_cost_tol: float = 1e-7,
         seed_orderings: tuple[Ordering, ...] = (),
         warm_start_pool: int = 48,
+        subset_table: bool | str | None = None,
+        warm_start: bool = True,
     ) -> None:
         self.game = game
         self.scenarios = scenarios
@@ -65,13 +97,26 @@ class CGGSSolver:
         # neighbouring vectors ISHM probes next.
         self.warm_start_pool = warm_start_pool
         self._pool: dict[tuple[int, ...], Ordering] = {}
+        if subset_table is None:
+            # The lazy table has no 2^T blow-up (it only materializes
+            # visited masks), so the auto rule has no upper type cap.
+            subset_table = "lazy" if game.n_types >= 3 else False
+        self.subset_table = _coerce_subset_table(subset_table)
+        self.warm_start = bool(warm_start)
 
     # ------------------------------------------------------------------
 
     def solve(self, thresholds: np.ndarray) -> CGGSResult:
         """Approximately optimal mixed strategy for fixed thresholds."""
-        context = PolicyContext(self.game, self.scenarios, thresholds)
-        master = MasterProblem(context, backend=self.backend)
+        context = PolicyContext(
+            self.game,
+            self.scenarios,
+            thresholds,
+            subset_table=self.subset_table,
+        )
+        master = MasterProblem(
+            context, backend=self.backend, warm_start=self.warm_start
+        )
         for ordering in self.seed_orderings:
             master.add_ordering(ordering)
         for ordering in self._pool.values():
@@ -134,19 +179,98 @@ class CGGSSolver:
         convexity dual ``y_eq`` is a constant shift, so minimizing reduced
         cost means maximizing the dual-weighted utility score of the
         (partially built) ordering.
+
+        All ``|T| - k`` candidate extensions of the current prefix are
+        priced in one batch (:meth:`PolicyContext.extension_utilities`)
+        — a pure table lookup when the context rides the PalTable, the
+        cached legacy walks otherwise.  The per-candidate score and the
+        first-strict-improvement tie-break are unchanged from the
+        reference implementation.
         """
         n_types = self.game.n_types
+        if self.subset_table and self._linear_scores_exact():
+            return self._greedy_ordering_table(context, duals)
         prefix: tuple[int, ...] = ()
-        remaining = set(range(n_types))
+        remaining = list(range(n_types))
         while remaining:
+            utilities = context.extension_utilities(prefix, remaining)
             best_type = -1
             best_score = -np.inf
-            for t in sorted(remaining):
-                utilities = context.utilities(prefix + (t,))
-                score = float(np.sum(duals * utilities))
+            for t, candidate_utilities in zip(remaining, utilities):
+                score = float(np.sum(duals * candidate_utilities))
                 if score > best_score:
                     best_score = score
                     best_type = t
             prefix = prefix + (best_type,)
-            remaining.discard(best_type)
+            remaining.remove(best_type)
         return Ordering(prefix)
+
+    def _linear_scores_exact(self) -> bool:
+        """True when the closed-form greedy score applies.
+
+        :meth:`_greedy_ordering_table` folds ``utility_matrix`` and
+        ``detection_probability`` into one linear projection of the
+        ``Pal`` row; a payoff or attack-map subclass that overrides
+        either kernel invalidates that algebra, so such games keep the
+        generic per-candidate oracle.
+        """
+        from ..core.attack_map import AttackTypeMap
+        from ..core.payoffs import PayoffModel
+
+        game = self.game
+        return (
+            type(game.payoffs).utility_matrix
+            is PayoffModel.utility_matrix
+            and type(game.attack_map).detection_probability
+            is AttackTypeMap.detection_probability
+        )
+
+    def _greedy_ordering_table(
+        self, context: PolicyContext, duals: np.ndarray
+    ) -> Ordering:
+        """Table-backed greedy append: score all extensions per matvec.
+
+        The score of a (partial) ordering is linear in its ``Pal`` row:
+        with ``Ua = R - K - Pat * (M + R)`` and ``Pat = P @ Pal``,
+
+            sum_ev y_ev Ua[e, v] = c0 - w' Pal,
+            c0 = sum_ev y_ev (R - K)[e, v],
+            w[t] = sum_ev y_ev (M + R)[e, v] P[e, v, t].
+
+        Appending type ``t`` to a prefix with predecessor mask ``S`` only
+        changes ``Pal[t]`` from 0 to ``table[t, S]``, so after projecting
+        the duals once into ``w``, every greedy step scores all
+        ``|T| - k`` candidates with one table-row lookup and one
+        elementwise multiply — no per-candidate ``(E, V)`` matrices at
+        all.  The assembled ``Pal`` row is seeded into the context so the
+        master prices the chosen column without re-entering any kernel.
+        Same argmax and first-strict-improvement tie-break as the
+        reference oracle (scores differ only by float reassociation).
+        """
+        payoffs = self.game.payoffs
+        probs = self.game.attack_map.probabilities
+        weighted = duals * (payoffs.penalty + payoffs.benefit)
+        w = np.einsum("ev,evt->t", weighted, probs)
+        c0 = float(
+            np.sum(duals * (payoffs.benefit - payoffs.attack_cost))
+        )
+        table = context.pal_table()
+        n_types = self.game.n_types
+        prefix: tuple[int, ...] = ()
+        pal_row = np.zeros(n_types)
+        mask = 0
+        consumed = 0.0  # w' Pal of the current prefix
+        remaining = np.arange(n_types)
+        while remaining.size:
+            values = table.extension_values(mask, remaining)
+            scores = c0 - (consumed + values * w[remaining])
+            pick = int(np.argmax(scores))
+            best_type = int(remaining[pick])
+            pal_row[best_type] = values[pick]
+            consumed = consumed + values[pick] * w[best_type]
+            prefix = prefix + (best_type,)
+            mask |= 1 << best_type
+            remaining = np.delete(remaining, pick)
+        ordering = Ordering(prefix)
+        context.seed_pal(ordering, pal_row)
+        return ordering

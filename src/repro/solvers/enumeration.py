@@ -14,6 +14,13 @@ construction (Monte-Carlo draws over small integer supports repeat
 heavily; identical rows are merged with aggregated weights).  Both are
 exact rewrites of the same expectation — pass ``subset_table=False`` /
 ``compress=False`` to pin the legacy reference behavior.
+
+Every solve also shares one *LP skeleton* per solver instance: the master
+problems of different threshold vectors are structurally identical (same
+game, same deduplicated row set, same ``|T|!`` columns), so the static
+constraint blocks, objective and bounds are built once and only the
+utility columns are filled per vector — the batch-pricing and parallel
+worker paths (which memoize solver instances) inherit this for free.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from ..distributions.joint import ScenarioSet
 from .master import (
     FixedThresholdSolution,
     MasterProblem,
+    MasterSkeleton,
     PolicyContext,
     batch_policy_contexts,
 )
@@ -54,6 +62,12 @@ class EnumerationSolver:
         Deduplicate identical scenario rows (weight-aggregating) once at
         construction.  Exactly-enumerated sets are duplicate-free and
         pass through untouched.
+    prune:
+        Drop dominated attack rows and ordering columns before each
+        master solve (lossless — see
+        :meth:`~repro.solvers.master.MasterProblem.solve`); off by
+        default so cached solutions stay bit-for-bit comparable with
+        earlier releases.
     """
 
     def __init__(
@@ -64,6 +78,7 @@ class EnumerationSolver:
         max_orderings: int = DEFAULT_MAX_ORDERINGS,
         subset_table: bool | None = None,
         compress: bool = True,
+        prune: bool = False,
     ) -> None:
         n_orderings = math.factorial(game.n_types)
         if n_orderings > max_orderings:
@@ -78,6 +93,14 @@ class EnumerationSolver:
         if subset_table is None:
             subset_table = subset_table_pays(n_orderings, game.n_types)
         self.subset_table = bool(subset_table)
+        self.prune = bool(prune)
+        # Shared across every solve of this instance: the deduplicated
+        # LP rows depend only on the game, the skeleton additionally on
+        # the (fixed) column count |T|!.
+        self._rep_rows = PolicyContext.representative_rows_for(game)
+        self._skeleton = MasterSkeleton(
+            game, self._rep_rows[0], n_orderings
+        )
 
     def solve(self, thresholds: np.ndarray) -> FixedThresholdSolution:
         """Optimal restricted-strategy-space mixed policy for ``b``."""
@@ -87,6 +110,7 @@ class EnumerationSolver:
                 self.scenarios,
                 thresholds,
                 subset_table=self.subset_table,
+                representative_rows=self._rep_rows,
             )
         )
 
@@ -98,10 +122,10 @@ class EnumerationSolver:
         The detection kernels for all vectors are built batched (one
         subset table per vector, or one vectorized legacy sweep per
         ordering — matching whatever :meth:`solve` uses); the per-vector
-        master LPs then run on the pre-warmed contexts.  Results are
-        returned in input order and are bit-for-bit identical to
-        ``[solve(b) for b in batch]`` — the parallel pricing layer
-        depends on that identity.
+        master LPs then run on the pre-warmed contexts, all sharing this
+        solver's LP skeleton.  Results are returned in input order and
+        are bit-for-bit identical to ``[solve(b) for b in batch]`` — the
+        parallel pricing layer depends on that identity.
         """
         arr = np.asarray(thresholds_batch, dtype=np.float64)
         if arr.ndim != 2:
@@ -116,16 +140,19 @@ class EnumerationSolver:
             arr,
             self._orderings,
             subset_table=self.subset_table,
+            representative_rows=self._rep_rows,
         )
         return [self._solve_context(context) for context in contexts]
 
     def _solve_context(
         self, context: PolicyContext
     ) -> FixedThresholdSolution:
-        master = MasterProblem(context, backend=self.backend)
+        master = MasterProblem(
+            context, backend=self.backend, skeleton=self._skeleton
+        )
         for ordering in self._orderings:
             master.add_ordering(ordering)
-        fixed, _ = master.solve()
+        fixed, _ = master.solve(prune=self.prune)
         return FixedThresholdSolution(
             policy=fixed.policy.pruned(),
             objective=fixed.objective,

@@ -47,6 +47,7 @@ from ..core.policy import AuditPolicy
 from ..distributions.joint import ScenarioSet
 from .cggs import CGGSSolver
 from .enumeration import EnumerationSolver
+from .lp import available_backends
 from .master import FixedThresholdSolution
 
 __all__ = [
@@ -81,7 +82,17 @@ def make_fixed_solver(
 
     ``method`` is ``"enumeration"``, ``"cggs"``, or ``"auto"`` (enumeration
     for at most :data:`ENUMERATION_TYPE_LIMIT` types, CGGS beyond).
+
+    The backend name is validated here, *before* any solver is built —
+    an ISHM run prices hundreds of vectors, so a typo'd backend should
+    fail at configuration time with the available choices rather than
+    deep inside the first master solve.
     """
+    if backend not in available_backends():
+        raise ValueError(
+            f"unknown LP backend {backend!r}; "
+            f"choose from {available_backends()}"
+        )
     if method == "auto":
         method = (
             "enumeration"

@@ -1,11 +1,18 @@
-"""LP substrate: problem containers, simplex-from-scratch, HiGHS adapter."""
+"""LP substrate: problem containers, revised simplex, HiGHS adapter."""
 
-from .backend import DEFAULT_BACKEND, available_backends, solve_lp
-from .problem import LinearProgram, LPSolution, LPStatus
+from .backend import (
+    DEFAULT_BACKEND,
+    available_backends,
+    solve_lp,
+    supports_warm_start,
+    warm_start_backends,
+)
+from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 from .scipy_backend import solve_with_scipy
 from .simplex import SimplexSolver, solve_with_simplex
 
 __all__ = [
+    "BasisTag",
     "DEFAULT_BACKEND",
     "LPSolution",
     "LPStatus",
@@ -15,4 +22,6 @@ __all__ = [
     "solve_lp",
     "solve_with_scipy",
     "solve_with_simplex",
+    "supports_warm_start",
+    "warm_start_backends",
 ]

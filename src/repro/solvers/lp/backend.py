@@ -3,20 +3,34 @@
 Two interchangeable engines solve every LP in the library:
 
 * ``"scipy"`` — HiGHS via :func:`scipy.optimize.linprog` (default, fast);
-* ``"simplex"`` — the from-scratch two-phase simplex in
+* ``"simplex"`` — the from-scratch revised simplex in
   :mod:`repro.solvers.lp.simplex` (no dependency beyond numpy, used for
-  cross-validation and by the LP-backend ablation benchmark).
+  cross-validation, by the LP-backend ablation benchmark, and whenever a
+  caller wants warm-started re-solves — the only backend that accepts
+  and exposes simplex bases).
+
+Warm starts are dispatched best-effort: :func:`solve_lp` forwards
+``warm_basis`` only to backends in :func:`warm_start_backends`; the rest
+cold-solve, so callers can pass a basis unconditionally and let the
+backend decide (the :class:`~repro.solvers.master.MasterProblem`
+contract).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from .problem import LinearProgram, LPSolution
+from .problem import BasisTag, LinearProgram, LPSolution
 from .scipy_backend import solve_with_scipy
 from .simplex import solve_with_simplex
 
-__all__ = ["solve_lp", "available_backends", "DEFAULT_BACKEND"]
+__all__ = [
+    "solve_lp",
+    "available_backends",
+    "supports_warm_start",
+    "warm_start_backends",
+    "DEFAULT_BACKEND",
+]
 
 DEFAULT_BACKEND = "scipy"
 
@@ -25,16 +39,37 @@ _BACKENDS: dict[str, Callable[[LinearProgram], LPSolution]] = {
     "simplex": solve_with_simplex,
 }
 
+#: Backends whose solver accepts a ``warm_basis`` and exposes the final
+#: basis on the returned :class:`LPSolution`.
+_WARM_BACKENDS = frozenset({"simplex"})
+
 
 def available_backends() -> tuple[str, ...]:
     """Names accepted by :func:`solve_lp`."""
     return tuple(sorted(_BACKENDS))
 
 
+def warm_start_backends() -> tuple[str, ...]:
+    """Backends that accept a starting basis (see :func:`solve_lp`)."""
+    return tuple(sorted(_WARM_BACKENDS))
+
+
+def supports_warm_start(backend: str) -> bool:
+    """True when ``backend`` can re-enter from a previous optimal basis."""
+    return backend in _WARM_BACKENDS
+
+
 def solve_lp(
-    problem: LinearProgram, backend: str = DEFAULT_BACKEND
+    problem: LinearProgram,
+    backend: str = DEFAULT_BACKEND,
+    warm_basis: tuple[BasisTag, ...] | None = None,
 ) -> LPSolution:
-    """Solve ``problem`` with the chosen backend."""
+    """Solve ``problem`` with the chosen backend.
+
+    ``warm_basis`` is forwarded to backends that support basis re-entry
+    and silently ignored by the rest (they cold-solve), so callers never
+    need to special-case the backend themselves.
+    """
     try:
         engine = _BACKENDS[backend]
     except KeyError:
@@ -42,4 +77,6 @@ def solve_lp(
             f"unknown LP backend {backend!r}; "
             f"choose from {available_backends()}"
         ) from None
+    if warm_basis is not None and backend in _WARM_BACKENDS:
+        return engine(problem, warm_basis=warm_basis)
     return engine(problem)

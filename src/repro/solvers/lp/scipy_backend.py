@@ -3,6 +3,12 @@
 Thin adapter from :class:`~repro.solvers.lp.problem.LinearProgram` to
 ``scipy.optimize.linprog`` that also surfaces the dual prices (HiGHS
 "marginals") needed by column generation.
+
+``scipy.optimize.linprog`` exposes no basis interface, so this backend
+neither accepts a warm start nor populates :attr:`LPSolution.basis`;
+:func:`repro.solvers.lp.backend.solve_lp` therefore never forwards a
+``warm_basis`` here — warm-started master re-solves automatically fall
+back to cold HiGHS solves on this backend.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Dense two-phase primal simplex with dual extraction.
+"""Revised two-phase primal simplex with warm starts and dual extraction.
 
 A from-scratch LP solver so the reproduction does not *require* an external
 optimizer: the paper's master problem (eq. 5) and its duals — which drive
@@ -13,10 +13,33 @@ Implementation notes
   ``min c'x, Ax = b, x >= 0, b >= 0``: finite lower bounds are shifted out,
   free variables are split into positive/negative parts, finite upper
   bounds become extra ``<=`` rows, and ``<=`` rows receive slack variables.
-* Phase 1 minimizes the sum of artificial variables from the all-artificial
-  basis; phase 2 re-prices with the true objective.
+* The core is a *revised* simplex: instead of carrying the full dense
+  tableau, it maintains the basis inverse ``B^{-1}`` and updates it with
+  the product-form (eta) rank-1 elimination on every pivot, refactorizing
+  from scratch (LU via ``numpy.linalg``) every ``refactor_every`` pivots
+  to bound drift.  Per iteration this prices all columns against the
+  dual vector ``y = c_B' B^{-1}`` — the classic trade that makes re-solves
+  of column-generation masters cheap.
+* **Warm starts**: :meth:`SimplexSolver.solve` accepts a starting basis in
+  semantic :data:`~repro.solvers.lp.problem.BasisTag` form (as exposed by
+  a previous solve's :attr:`LPSolution.basis`).  When the named columns
+  still exist and the basis is nonsingular and primal feasible, phase 1
+  is skipped entirely and phase 2 re-enters directly — exactly the
+  column-generation case, where adding a column preserves primal
+  feasibility of the old optimal basis.  Any defect (missing tag,
+  singular basis, infeasible point) silently falls back to the cold
+  two-phase path, so warm solves can never fail where cold ones succeed.
+* Phase 1 minimizes the sum of artificial variables from the
+  all-artificial basis; phase 2 re-prices with the true objective.
 * Pivoting uses Dantzig's rule with a Bland fallback after a degeneracy
   streak, guaranteeing termination.
+* **Path-independent extraction**: once a phase-2 run reports optimality,
+  the primal point, objective and duals are recomputed from a *fresh*
+  factorization of the final basis — the outputs depend only on
+  ``(A, b, c, basis)``, never on the pivot path taken to reach it.  Warm
+  and cold solves that terminate in the same basis therefore return
+  bit-for-bit identical results; this is the property the master-problem
+  warm-start equivalence tests pin down.
 * Duals are recovered as ``y = c_B' B^{-1}`` on the standard-form rows and
   mapped back through the row bookkeeping (sign flips from rhs negation).
 """
@@ -27,12 +50,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .problem import LinearProgram, LPSolution, LPStatus
+from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 
 __all__ = ["SimplexSolver", "solve_with_simplex"]
 
 _EPS = 1e-9
 _DEGENERACY_STREAK = 12
+_REFACTOR_EVERY = 64
+#: A warm basis whose point violates ``x_B >= 0`` by more than this is
+#: rejected (fall back to cold phase 1) rather than repaired.
+_WARM_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -44,13 +71,20 @@ class _StandardForm:
     c: np.ndarray            # (n_std,)
     row_sign: np.ndarray     # +1 / -1 per row (rhs negation flips duals)
     row_kind: list[str]      # "ub" | "eq" | "bound" per row
-    row_index: list[int]     # index into the original ub/eq block
+    row_index: list[int]     # index into the original ub/eq block, or the
+    #                          bounded variable j for "bound" rows
     # Original variable j maps to columns pos_col[j] (and neg_col[j] when
     # split); its value is shift[j] + x[pos] - x[neg].
     pos_col: np.ndarray
     neg_col: np.ndarray      # -1 when not split
     shift: np.ndarray
     flip: np.ndarray         # True when variable was mirrored (hi-only)
+    col_tags: list[BasisTag]  # semantic name per standard-form column
+
+    def row_tag(self, row: int) -> BasisTag:
+        """Artificial-variable tag for a standard-form row."""
+        return (f"art_{'bnd' if self.row_kind[row] == 'bound' else self.row_kind[row]}",
+                self.row_index[row])
 
 
 def _standardize(problem: LinearProgram) -> _StandardForm:
@@ -59,9 +93,10 @@ def _standardize(problem: LinearProgram) -> _StandardForm:
     neg_col = np.full(n, -1, dtype=np.int64)
     shift = np.zeros(n)
     flip = np.zeros(n, dtype=bool)
+    col_tags: list[BasisTag] = []
 
     columns = 0
-    bound_rows: list[tuple[int, float]] = []  # (std column, rhs)
+    bound_rows: list[tuple[int, float, int]] = []  # (std column, rhs, j)
     for j, (lo, hi) in enumerate(problem.bounds):
         lo_f = -np.inf if lo is None else float(lo)
         hi_f = np.inf if hi is None else float(hi)
@@ -69,19 +104,23 @@ def _standardize(problem: LinearProgram) -> _StandardForm:
             # x = lo + x',  x' >= 0  (optionally x' <= hi - lo)
             pos_col[j] = columns
             shift[j] = lo_f
+            col_tags.append(("x", j))
             columns += 1
             if np.isfinite(hi_f):
-                bound_rows.append((pos_col[j], hi_f - lo_f))
+                bound_rows.append((pos_col[j], hi_f - lo_f, j))
         elif np.isfinite(hi_f):
             # x = hi - x',  x' >= 0  (mirrored variable)
             pos_col[j] = columns
             shift[j] = hi_f
             flip[j] = True
+            col_tags.append(("x", j))
             columns += 1
         else:
             # Free: x = x+ - x-
             pos_col[j] = columns
             neg_col[j] = columns + 1
+            col_tags.append(("x", j))
+            col_tags.append(("neg", j))
             columns += 2
 
     n_ub = problem.n_ub_rows
@@ -95,54 +134,50 @@ def _standardize(problem: LinearProgram) -> _StandardForm:
     row_kind: list[str] = []
     row_index: list[int] = []
 
-    def emit_variable_coeffs(row: np.ndarray, coeffs: np.ndarray) -> float:
-        """Write original-variable coefficients; return rhs adjustment."""
-        adjust = 0.0
-        for j in range(n):
-            coeff = coeffs[j]
-            if coeff == 0.0:
-                continue
-            sign = -1.0 if flip[j] else 1.0
-            row[pos_col[j]] += coeff * sign
-            if neg_col[j] >= 0:
-                row[neg_col[j]] -= coeff
-            adjust += coeff * shift[j]
-        return adjust
+    # Vectorized coefficient emission: each variable j owns a distinct
+    # positive column (pos_col is injective), so a whole block of rows
+    # scatters in one fancy-index write; split (free) variables add the
+    # negated copy into their negative columns.
+    sign = np.where(flip, -1.0, 1.0)
+    split = neg_col >= 0
 
-    slack = columns
-    row = 0
-    for i in range(n_ub):
-        adjust = emit_variable_coeffs(a[row], problem.a_ub[i])
-        a[row, slack] = 1.0
-        slack += 1
-        b[row] = problem.b_ub[i] - adjust
-        row_kind.append("ub")
-        row_index.append(i)
-        row += 1
-    for i in range(n_eq):
-        adjust = emit_variable_coeffs(a[row], problem.a_eq[i])
-        b[row] = problem.b_eq[i] - adjust
-        row_kind.append("eq")
-        row_index.append(i)
-        row += 1
-    for col, rhs in bound_rows:
+    def emit_block(rows: slice, coeffs: np.ndarray) -> np.ndarray:
+        """Write original-variable coefficients; return rhs adjustments."""
+        a[rows, :][:, pos_col] = coeffs * sign
+        if split.any():
+            a[rows, :][:, neg_col[split]] = -coeffs[:, split]
+        return coeffs @ shift
+
+    if n_ub:
+        block = slice(0, n_ub)
+        adjust = emit_block(block, problem.a_ub)
+        a[block, columns:columns + n_ub] = np.eye(n_ub)
+        b[block] = problem.b_ub - adjust
+        col_tags.extend(("s_ub", i) for i in range(n_ub))
+        row_kind.extend(["ub"] * n_ub)
+        row_index.extend(range(n_ub))
+    if n_eq:
+        block = slice(n_ub, n_ub + n_eq)
+        adjust = emit_block(block, problem.a_eq)
+        b[block] = problem.b_eq - adjust
+        row_kind.extend(["eq"] * n_eq)
+        row_index.extend(range(n_eq))
+    row = n_ub + n_eq
+    slack = columns + n_ub
+    for col, rhs, j in bound_rows:
         a[row, col] = 1.0
         a[row, slack] = 1.0
+        col_tags.append(("s_bnd", j))
         slack += 1
         b[row] = rhs
         row_kind.append("bound")
-        row_index.append(-1)
+        row_index.append(j)
         row += 1
 
     # Objective in standard-form variables.
-    for j in range(n):
-        coeff = problem.objective[j]
-        if coeff == 0.0:
-            continue
-        sign = -1.0 if flip[j] else 1.0
-        c[pos_col[j]] += coeff * sign
-        if neg_col[j] >= 0:
-            c[neg_col[j]] -= coeff
+    c[pos_col] = problem.objective * sign
+    if split.any():
+        c[neg_col[split]] = -problem.objective[split]
 
     # Normalize rhs signs (phase 1 needs b >= 0).
     row_sign = np.ones(m)
@@ -162,56 +197,147 @@ def _standardize(problem: LinearProgram) -> _StandardForm:
         neg_col=neg_col,
         shift=shift,
         flip=flip,
+        col_tags=col_tags,
     )
 
 
+def _encode_basis(
+    std: _StandardForm, basis: np.ndarray, n_std: int
+) -> tuple[BasisTag, ...]:
+    """Name each basic standard-form column semantically."""
+    tags: list[BasisTag] = []
+    for col in basis:
+        if col < n_std:
+            tags.append(std.col_tags[col])
+        else:
+            tags.append(std.row_tag(int(col) - n_std))
+    return tuple(tags)
+
+
+def _decode_basis(
+    std: _StandardForm, tags: tuple[BasisTag, ...] | None
+) -> np.ndarray | None:
+    """Map semantic tags onto this problem's columns; None when stale."""
+    if tags is None:
+        return None
+    m, n_std = std.a.shape
+    if len(tags) != m:
+        return None
+    col_of = {tag: i for i, tag in enumerate(std.col_tags)}
+    art_of = {std.row_tag(r): n_std + r for r in range(m)}
+    cols: list[int] = []
+    for tag in tags:
+        tag = (tag[0], int(tag[1]))
+        idx = col_of.get(tag)
+        if idx is None:
+            idx = art_of.get(tag)
+        if idx is None:
+            return None
+        cols.append(idx)
+    if len(set(cols)) != m:
+        return None
+    return np.asarray(cols, dtype=np.int64)
+
+
 class SimplexSolver:
-    """Two-phase tableau simplex for small/medium dense LPs."""
+    """Revised two-phase simplex for small/medium dense LPs."""
 
     def __init__(
-        self, max_iterations: int = 20_000, tolerance: float = _EPS
+        self,
+        max_iterations: int = 20_000,
+        tolerance: float = _EPS,
+        refactor_every: int = _REFACTOR_EVERY,
     ) -> None:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
+        if refactor_every < 1:
+            raise ValueError(
+                f"refactor_every must be >= 1, got {refactor_every}"
+            )
+        self.refactor_every = refactor_every
 
     # ------------------------------------------------------------------
 
-    def solve(self, problem: LinearProgram) -> LPSolution:
-        """Solve a general-form LP; see module docstring for conventions."""
+    def solve(
+        self,
+        problem: LinearProgram,
+        warm_basis: tuple[BasisTag, ...] | None = None,
+    ) -> LPSolution:
+        """Solve a general-form LP; see module docstring for conventions.
+
+        ``warm_basis`` is a previous solve's :attr:`LPSolution.basis`
+        (possibly renamed by the caller after structural edits); a valid,
+        primal-feasible warm basis skips phase 1 entirely.
+        """
         std = _standardize(problem)
         m, n_std = std.a.shape
 
         if m == 0:
             return self._solve_unconstrained(problem, std)
 
-        # Phase 1: artificial variables with identity basis.
-        tableau = np.hstack([std.a, np.eye(m), std.b.reshape(-1, 1)])
-        basis = list(range(n_std, n_std + m))
-        phase1_cost = np.zeros(n_std + m)
-        phase1_cost[n_std:] = 1.0
+        # Structural columns followed by one artificial per row.
+        full = np.hstack([std.a, np.eye(m)])
 
-        status, iters1 = self._run_simplex(
-            tableau, basis, phase1_cost, restrict_to=None
-        )
-        if status != LPStatus.OPTIMAL:
-            return LPSolution(status=status, message="phase 1 failed")
-        infeasibility = float(
-            sum(tableau[r, -1] for r, col in enumerate(basis)
-                if col >= n_std)
-        )
-        if infeasibility > 1e-7:
-            return LPSolution(
-                status=LPStatus.INFEASIBLE,
-                iterations=iters1,
-                message=f"phase-1 objective {infeasibility:.3e}",
+        basis: np.ndarray | None = None
+        binv: np.ndarray | None = None
+        xb: np.ndarray | None = None
+        iters1 = 0
+        if warm_basis is not None:
+            basis = _decode_basis(std, tuple(warm_basis))
+            if basis is not None:
+                try:
+                    binv = np.linalg.inv(full[:, basis])
+                except np.linalg.LinAlgError:
+                    basis = None
+                else:
+                    xb = binv @ std.b
+                    artificial = basis >= n_std
+                    if xb.min() < -_WARM_FEAS_TOL:
+                        basis = None  # infeasible start: cold-solve
+                    elif (
+                        artificial.any()
+                        and xb[artificial].max() > _WARM_FEAS_TOL
+                    ):
+                        # A basic artificial at a *positive* value means
+                        # the carried basis does not actually satisfy
+                        # this problem's rows (e.g. the rhs changed):
+                        # accepting it would skip phase 1's
+                        # infeasibility check and report a
+                        # constraint-violating point as optimal.
+                        # Zero-valued artificials (redundant rows) are
+                        # fine — the cold path produces those too.
+                        basis = None
+                    else:
+                        np.clip(xb, 0.0, None, out=xb)
+
+        if basis is None:
+            # Phase 1: artificial variables with identity basis.
+            basis = np.arange(n_std, n_std + m, dtype=np.int64)
+            binv = np.eye(m)
+            xb = std.b.copy()
+            phase1_cost = np.zeros(n_std + m)
+            phase1_cost[n_std:] = 1.0
+            status, iters1, binv, xb = self._iterate(
+                full, std.b, basis, binv, xb, phase1_cost, limit=None
             )
-        self._drive_out_artificials(tableau, basis, n_std)
+            if status != LPStatus.OPTIMAL:
+                return LPSolution(status=status, message="phase 1 failed")
+            infeasibility = float(
+                sum(xb[r] for r in range(m) if basis[r] >= n_std)
+            )
+            if infeasibility > 1e-7:
+                return LPSolution(
+                    status=LPStatus.INFEASIBLE,
+                    iterations=iters1,
+                    message=f"phase-1 objective {infeasibility:.3e}",
+                )
+            self._drive_out_artificials(full, basis, binv, xb, n_std)
 
         # Phase 2 on the original columns only.
         phase2_cost = np.zeros(n_std + m)
         phase2_cost[:n_std] = std.c
-        status, iters2 = self._run_simplex(
-            tableau, basis, phase2_cost, restrict_to=n_std
+        status, iters2, binv, xb = self._iterate(
+            full, std.b, basis, binv, xb, phase2_cost, limit=n_std
         )
         if status != LPStatus.OPTIMAL:
             return LPSolution(
@@ -220,13 +346,25 @@ class SimplexSolver:
                 message="phase 2 failed",
             )
 
+        # Path-independent extraction: everything below depends only on
+        # the final basis, so warm and cold runs that agree on it return
+        # bitwise-identical solutions.
+        basis_matrix = full[:, basis]
+        try:
+            xb = np.linalg.solve(basis_matrix, std.b)
+            y = np.linalg.solve(basis_matrix.T, phase2_cost[basis])
+        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
+            xb = np.linalg.lstsq(basis_matrix, std.b, rcond=None)[0]
+            y = np.linalg.lstsq(
+                basis_matrix.T, phase2_cost[basis], rcond=None
+            )[0]
         x_std = np.zeros(n_std)
-        for r, col in enumerate(basis):
-            if col < n_std:
-                x_std[col] = tableau[r, -1]
+        for r in range(m):
+            if basis[r] < n_std:
+                x_std[basis[r]] = xb[r]
 
         x = self._recover_primal(problem, std, x_std)
-        dual_ub, dual_eq = self._recover_duals(problem, std, basis)
+        dual_ub, dual_eq = self._recover_duals(problem, std, y)
         objective = float(problem.objective @ x)
         return LPSolution(
             status=LPStatus.OPTIMAL,
@@ -235,6 +373,7 @@ class SimplexSolver:
             dual_ub=dual_ub,
             dual_eq=dual_eq,
             iterations=iters1 + iters2,
+            basis=_encode_basis(std, basis, n_std),
         )
 
     # ------------------------------------------------------------------
@@ -262,41 +401,62 @@ class SimplexSolver:
             objective_value=float(problem.objective @ x),
             dual_ub=np.zeros(0),
             dual_eq=np.zeros(0),
+            basis=(),
         )
 
-    def _run_simplex(
+    def _iterate(
         self,
-        tableau: np.ndarray,
-        basis: list[int],
+        full: np.ndarray,
+        b: np.ndarray,
+        basis: np.ndarray,
+        binv: np.ndarray,
+        xb: np.ndarray,
         cost: np.ndarray,
-        restrict_to: int | None,
-    ) -> tuple[str, int]:
-        """Pivot until optimal/unbounded. Mutates tableau and basis."""
-        m = tableau.shape[0]
-        n_total = tableau.shape[1] - 1
-        limit = restrict_to if restrict_to is not None else n_total
+        limit: int | None,
+    ) -> tuple[str, int, np.ndarray, np.ndarray]:
+        """Revised-simplex pivots until optimal/unbounded.
+
+        Mutates ``basis`` in place; returns the (possibly refactorized)
+        ``binv`` and ``xb`` alongside the status and iteration count.
+        """
+        m = full.shape[0]
+        lim = limit if limit is not None else full.shape[1]
         degenerate_streak = 0
+        since_refactor = 0
+        just_refreshed = False
         for iteration in range(self.max_iterations):
-            c_basis = cost[basis]
-            # Reduced costs: c_j - c_B' B^{-1} A_j over the tableau form.
-            reduced = cost[:limit] - c_basis @ tableau[:, :limit]
+            y = cost[basis] @ binv
+            reduced = cost[:lim] - y @ full[:, :lim]
             use_bland = degenerate_streak >= _DEGENERACY_STREAK
             if use_bland:
                 candidates = np.nonzero(reduced < -self.tolerance)[0]
                 if candidates.size == 0:
-                    return LPStatus.OPTIMAL, iteration
+                    return LPStatus.OPTIMAL, iteration, binv, xb
                 entering = int(candidates[0])
             else:
                 entering = int(np.argmin(reduced))
                 if reduced[entering] >= -self.tolerance:
-                    return LPStatus.OPTIMAL, iteration
+                    return LPStatus.OPTIMAL, iteration, binv, xb
 
-            column = tableau[:, entering]
-            positive = column > self.tolerance
+            direction = binv @ full[:, entering]
+            positive = direction > self.tolerance
             if not positive.any():
-                return LPStatus.UNBOUNDED, iteration
+                # A column that prices negative yet has no positive
+                # direction entries is usually eta-chain noise (a
+                # near-basic column after many updates), not genuine
+                # unboundedness.  Re-price once against a fresh
+                # factorization before concluding.
+                if not just_refreshed:
+                    binv, xb = self._refactorize(
+                        full, b, basis, binv, xb
+                    )
+                    just_refreshed = True
+                    since_refactor = 0
+                    continue
+                return LPStatus.UNBOUNDED, iteration, binv, xb
+            just_refreshed = False
             ratios = np.full(m, np.inf)
-            ratios[positive] = tableau[positive, -1] / column[positive]
+            ratios[positive] = xb[positive] / direction[positive]
             if use_bland:
                 best = np.min(ratios)
                 tied = np.nonzero(ratios <= best + self.tolerance)[0]
@@ -310,31 +470,74 @@ class SimplexSolver:
             else:
                 degenerate_streak = 0
 
-            self._pivot(tableau, leaving, entering)
+            self._pivot(binv, xb, direction, leaving)
             basis[leaving] = entering
-        return LPStatus.ITERATION_LIMIT, self.max_iterations
+            since_refactor += 1
+            if since_refactor >= self.refactor_every:
+                binv, xb = self._refactorize(full, b, basis, binv, xb)
+                since_refactor = 0
+        return LPStatus.ITERATION_LIMIT, self.max_iterations, binv, xb
 
     @staticmethod
-    def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
-        tableau[row] /= tableau[row, col]
-        factors = tableau[:, col].copy()
+    def _pivot(
+        binv: np.ndarray,
+        xb: np.ndarray,
+        direction: np.ndarray,
+        row: int,
+    ) -> None:
+        """Product-form (eta) update of ``B^{-1}`` and ``x_B``."""
+        pivot = direction[row]
+        binv[row] /= pivot
+        xb[row] /= pivot
+        factors = direction.copy()
         factors[row] = 0.0
-        tableau -= np.outer(factors, tableau[row])
+        binv -= np.outer(factors, binv[row])
+        xb -= factors * xb[row]
+
+    def _refactorize(
+        self,
+        full: np.ndarray,
+        b: np.ndarray,
+        basis: np.ndarray,
+        binv: np.ndarray,
+        xb: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fresh LU factorization of the basis, bounding eta-drift."""
+        basis_matrix = full[:, basis]
+        try:
+            fresh = np.linalg.inv(basis_matrix)
+        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
+            return binv, xb  # keep the eta product; better than nothing
+        fresh_xb = fresh @ b
+        # A refactorized point can pick up tiny negative components the
+        # eta chain had kept at exactly 0; clamp round-off only.
+        if fresh_xb.min() < -_WARM_FEAS_TOL:  # pragma: no cover - guard
+            return binv, xb
+        np.clip(fresh_xb, 0.0, None, out=fresh_xb)
+        return fresh, fresh_xb
 
     def _drive_out_artificials(
-        self, tableau: np.ndarray, basis: list[int], n_std: int
+        self,
+        full: np.ndarray,
+        basis: np.ndarray,
+        binv: np.ndarray,
+        xb: np.ndarray,
+        n_std: int,
     ) -> None:
         """Pivot basic artificials (at value 0) onto structural columns."""
-        for r, col in enumerate(list(basis)):
-            if col < n_std:
+        for r in range(len(basis)):
+            if basis[r] < n_std:
                 continue
-            row = tableau[r, :n_std]
-            pivot_candidates = np.nonzero(np.abs(row) > self.tolerance)[0]
+            row = binv[r] @ full[:, :n_std]
+            pivot_candidates = np.nonzero(
+                np.abs(row) > self.tolerance
+            )[0]
             if pivot_candidates.size == 0:
                 # Redundant row; leave the zero-valued artificial basic.
                 continue
             entering = int(pivot_candidates[0])
-            self._pivot(tableau, r, entering)
+            direction = binv @ full[:, entering]
+            self._pivot(binv, xb, direction, r)
             basis[r] = entering
 
     def _recover_primal(
@@ -358,19 +561,9 @@ class SimplexSolver:
         self,
         problem: LinearProgram,
         std: _StandardForm,
-        basis: list[int],
+        y: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``y = c_B' B^{-1}`` on standard rows, mapped to original rows."""
-        m, n_std = std.a.shape
-        full = np.hstack([std.a, np.eye(m)])
-        cost = np.zeros(n_std + m)
-        cost[:n_std] = std.c
-        basis_matrix = full[:, basis]
-        c_basis = cost[basis]
-        try:
-            y = np.linalg.solve(basis_matrix.T, c_basis)
-        except np.linalg.LinAlgError:
-            y = np.linalg.lstsq(basis_matrix.T, c_basis, rcond=None)[0]
         y = y * std.row_sign  # undo rhs negation
 
         dual_ub = np.zeros(problem.n_ub_rows)
@@ -392,6 +585,9 @@ def solve_with_simplex(
     problem: LinearProgram,
     max_iterations: int = 20_000,
     tolerance: float = _EPS,
+    warm_basis: tuple[BasisTag, ...] | None = None,
 ) -> LPSolution:
     """Module-level convenience wrapper around :class:`SimplexSolver`."""
-    return SimplexSolver(max_iterations, tolerance).solve(problem)
+    return SimplexSolver(max_iterations, tolerance).solve(
+        problem, warm_basis=warm_basis
+    )

@@ -11,10 +11,33 @@ restricted to a column set ``Q`` of orderings.  :class:`MasterProblem`
 builds and incrementally extends this LP; :class:`PolicyContext` caches the
 expensive per-ordering detection vectors so that CGGS, enumeration, ISHM
 and the baselines all share one kernel-evaluation cache per ``(b, Z)``.
+
+The LP layer is *incremental* and *structure-exploiting*:
+
+* :meth:`MasterProblem.add_ordering` appends one cached column vector in
+  O(rows); solves assemble the constraint blocks from growable arrays
+  instead of restacking the full ``(Q, E, V)`` utility tensor per solve.
+* With a warm-start-capable backend (``"simplex"``), each re-solve
+  re-enters the revised simplex from the previous optimal basis — the
+  classic column-generation warm start, where phase 1 is skipped because
+  an added column never breaks primal feasibility.  The extraction is
+  path-independent (see :mod:`repro.solvers.lp.simplex`), so a warm
+  re-solve that lands in the same basis as a cold solve returns
+  bit-for-bit identical objective, policy and duals.
+* :meth:`MasterProblem.solve` can losslessly *prune* the restricted LP
+  first: attack rows pointwise-dominated within their adversary and
+  ordering columns pointwise-dominated by a peer are dropped, and the
+  solution is expanded back (pruned columns get probability 0, pruned
+  rows dual price 0) — the optimal value is provably unchanged.
+* Structurally identical masters (batched pricing: same ``Q`` and game,
+  different utilities) share one :class:`MasterSkeleton` holding the
+  static blocks (``u`` coefficients, convexity row, objective, bounds),
+  so per-item LP assembly only writes the utility columns.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -26,18 +49,89 @@ from ..core.detection import (
     pal_for_ordering_batch,
 )
 from ..core.game import AuditGame
-from ..core.pal_table import PalTable, subset_table_pays
+from ..core.pal_table import LazyPalTable, PalTable, subset_table_pays
 from ..core.objective import best_responses
 from ..core.policy import AuditPolicy, Ordering
 from ..distributions.joint import ScenarioSet
-from .lp import LinearProgram, LPSolution, solve_lp
+from .lp import (
+    BasisTag,
+    LinearProgram,
+    LPSolution,
+    LPStatus,
+    solve_lp,
+    supports_warm_start,
+)
 
 __all__ = [
     "PolicyContext",
     "MasterProblem",
+    "MasterSkeleton",
     "FixedThresholdSolution",
     "batch_policy_contexts",
 ]
+
+
+def _coerce_subset_table(value: bool | str | None) -> bool | str:
+    """Normalize a ``subset_table`` knob; reject unknown strings.
+
+    ``"lazy"`` selects the :class:`~repro.core.pal_table.LazyPalTable`;
+    booleans pick the eager table or the legacy walk.  Anything else —
+    e.g. a typo'd ``"lzay"`` — raises here, at construction time,
+    instead of silently truth-testing into the eager table and failing
+    (or quietly paying ``2^T``) deep inside the first solve.
+    """
+    if isinstance(value, str):
+        if value != "lazy":
+            raise ValueError(
+                f"subset_table must be True, False or 'lazy', "
+                f"got {value!r}"
+            )
+        return "lazy"
+    return bool(value)
+
+
+def _master_u_block(e_rows: np.ndarray, n_e: int) -> np.ndarray:
+    """The ``-1`` scatter of each attack row's adversary ``u`` variable.
+
+    Depends only on the row set — callers that re-solve with a growing
+    column count build this once and combine it with fresh
+    :func:`_master_variable_blocks` per solve.
+    """
+    u_block = np.zeros((len(e_rows), n_e))
+    u_block[np.arange(len(e_rows)), e_rows] = -1.0
+    return u_block
+
+
+def _master_variable_blocks(
+    game: AuditGame, n_q: int
+) -> tuple[np.ndarray, np.ndarray, tuple]:
+    """``(a_eq, c, bounds)`` of the eq.-5 master for ``n_q`` columns.
+
+    The convexity row, the prior-weighted objective, and the variable
+    bounds (``u`` free, or ``>= 0`` when attackers may refrain).
+    """
+    n_e = game.n_adversaries
+    n_vars = n_q + n_e
+    a_eq = np.zeros((1, n_vars))
+    a_eq[0, :n_q] = 1.0
+    c = np.zeros(n_vars)
+    c[n_q:] = game.payoffs.attack_prior
+    u_bound = (0.0, None) if game.payoffs.attackers_can_refrain \
+        else (None, None)
+    bounds = tuple([(0.0, None)] * n_q + [u_bound] * n_e)
+    return a_eq, c, bounds
+
+
+def _master_static_blocks(
+    game: AuditGame, e_rows: np.ndarray, n_q: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+    """The eq.-5 master's utility-independent blocks for given rows/``Q``.
+
+    Single source of truth for the skeleton, the per-master assembly
+    and the pruned sub-LP — the three must solve the *same* LP shape.
+    """
+    a_eq, c, bounds = _master_variable_blocks(game, n_q)
+    return _master_u_block(e_rows, game.n_adversaries), a_eq, c, bounds
 
 
 class PolicyContext:
@@ -49,13 +143,20 @@ class PolicyContext:
     (many shared prefixes) and repeated master solves cheap.
 
     Kernel selection: cache misses price through a shared validate-once
-    :class:`~repro.core.detection.OrderingPricer` (the reference walk),
-    or — with ``subset_table=True``, as the enumeration solver requests
-    when it is about to price the full ordering set — through a lazily
-    built :class:`~repro.core.pal_table.PalTable`, which replaces the
-    per-ordering scenario sweeps with ``T * 2^(T-1)`` table builds plus
-    pure lookups.  CGGS keeps the default legacy walk: its few columns
-    and many partial prefixes sit below the table's break-even point.
+    :class:`~repro.core.detection.OrderingPricer` (the reference walk);
+    ``subset_table=True`` switches to the eager
+    :class:`~repro.core.pal_table.PalTable` (``T * 2^(T-1)`` sweeps up
+    front, then pure lookups — enumeration's choice, since it prices the
+    full ordering set), and ``subset_table="lazy"`` to the
+    :class:`~repro.core.pal_table.LazyPalTable` (bitwise-identical
+    entries computed on first touch — CGGS's choice, whose greedy
+    oracle only visits the masks along its construction paths and
+    prices every one-type extension of the current prefix in one
+    vectorized sweep via :meth:`extension_utilities`).
+
+    ``representative_rows`` lets callers that build many contexts for
+    one game (batched pricing) share the deduplicated LP row set instead
+    of recomputing it per context.
     """
 
     def __init__(
@@ -64,7 +165,8 @@ class PolicyContext:
         scenarios: ScenarioSet,
         thresholds: np.ndarray,
         *,
-        subset_table: bool = False,
+        subset_table: bool | str = False,
+        representative_rows: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.game = game
         self.scenarios = scenarios
@@ -77,14 +179,18 @@ class PolicyContext:
         self._pal_cache: dict[tuple[int, ...], np.ndarray] = {}
         self._utility_cache: dict[tuple[int, ...], np.ndarray] = {}
         self._costs = game.costs
-        self._rows = self._representative_rows(game)
-        self.subset_table = bool(subset_table)
+        self._rows = (
+            representative_rows
+            if representative_rows is not None
+            else self.representative_rows_for(game)
+        )
+        self.subset_table = _coerce_subset_table(subset_table)
         self._pricer: OrderingPricer | None = None
-        self._table: PalTable | None = None
+        self._table: PalTable | LazyPalTable | None = None
 
-    @staticmethod
-    def _representative_rows(
-        game: AuditGame,
+    @classmethod
+    def representative_rows_for(
+        cls, game: AuditGame
     ) -> tuple[np.ndarray, np.ndarray]:
         """Collapse duplicate attack rows of the master LP.
 
@@ -94,6 +200,10 @@ class PolicyContext:
         yield identical constraint rows, so one representative per
         signature suffices.  In the paper's real-data games this shrinks
         the LP from |E| x |V| rows to |E| x (#alert types + 1).
+
+        Depends only on the game (not thresholds or scenarios), so
+        batched-pricing callers compute it once and pass it to every
+        context they build.
         """
         probs = game.attack_map.probabilities
         payoffs = game.payoffs
@@ -118,12 +228,15 @@ class PolicyContext:
             np.asarray(v_rows, dtype=np.int64),
         )
 
+    # Backwards-compatible private alias (older call sites/tests).
+    _representative_rows = representative_rows_for
+
     @property
     def representative_rows(self) -> tuple[np.ndarray, np.ndarray]:
         """(adversary, victim) indices of the deduplicated LP rows."""
         return self._rows
 
-    def _kernel(self) -> OrderingPricer | PalTable:
+    def _kernel(self) -> OrderingPricer | PalTable | LazyPalTable:
         """The pricing kernel for cache misses (validated exactly once)."""
         if self._pricer is None:
             self._pricer = OrderingPricer(
@@ -135,7 +248,12 @@ class PolicyContext:
             )
         if self.subset_table:
             if self._table is None:
-                self._table = PalTable.from_pricer(self._pricer)
+                factory = (
+                    LazyPalTable
+                    if self.subset_table == "lazy"
+                    else PalTable
+                )
+                self._table = factory.from_pricer(self._pricer)
             return self._table
         return self._pricer
 
@@ -172,6 +290,60 @@ class PolicyContext:
             self._utility_cache[key] = cached
         return cached
 
+    def extension_utilities(
+        self,
+        prefix: Ordering | Sequence[int],
+        candidates: Sequence[int],
+    ) -> np.ndarray:
+        """``Ua`` matrices for every one-type extension of ``prefix``.
+
+        Returns a ``(len(candidates), E, V)`` stack, one utility matrix
+        per ``prefix + (t,)``, in candidate order.  This is the CGGS
+        greedy-oracle hot path: with ``subset_table=True`` the detection
+        rows of *all* extensions come from one vectorized
+        :class:`~repro.core.pal_table.PalTable` lookup (``Pal`` of an
+        extension is the prefix row with entry ``t`` filled from
+        ``table[t, mask(prefix)]`` — bitwise what :meth:`PalTable.pal`
+        assembles), instead of one legacy scenario walk per candidate.
+        Every computed row/matrix lands in the ordinary caches, so later
+        :meth:`pal`/:meth:`utilities` calls for the chosen extension are
+        free and bitwise identical.
+        """
+        prefix = tuple(int(t) for t in prefix)
+        cands = [int(t) for t in candidates]
+        n_types = self.game.n_types
+        for t in cands:
+            if not 0 <= t < n_types:
+                raise ValueError(f"type index {t} out of range")
+        if self.subset_table:
+            missing = [
+                t for t in cands if prefix + (t,) not in self._pal_cache
+            ]
+            if missing:
+                kernel = self._kernel()  # a (lazy) PalTable
+                base = self.pal(prefix)
+                mask = 0
+                for t in prefix:
+                    mask |= 1 << t
+                values = kernel.extension_values(mask, missing)
+                for t, value in zip(missing, values):
+                    row = base.copy()
+                    row[t] = value
+                    self._pal_cache[prefix + (t,)] = row
+        return np.stack(
+            [self.utilities(prefix + (t,)) for t in cands], axis=0
+        )
+
+    def pal_table(self) -> PalTable | LazyPalTable:
+        """The (lazily built) subset table; requires ``subset_table``."""
+        if not self.subset_table:
+            raise RuntimeError(
+                "context was built without subset_table"
+            )
+        table = self._kernel()
+        assert isinstance(table, (PalTable, LazyPalTable))
+        return table
+
     @property
     def kernel_evaluations(self) -> int:
         """Number of distinct orderings priced so far."""
@@ -197,18 +369,95 @@ class FixedThresholdSolution:
         )
 
 
-class MasterProblem:
-    """Eq. 5 restricted to a growing set of ordering columns."""
+class MasterSkeleton:
+    """Static LP blocks shared by structurally identical masters.
+
+    Batched pricing (:meth:`~repro.solvers.enumeration.EnumerationSolver.
+    solve_batch`, :meth:`~repro.engine.cache.FixedSolveCache.price_batch`)
+    solves one master per threshold vector with the *same* game, row set
+    and column count — only the utility entries differ.  Everything that
+    does not depend on the utilities is built here exactly once: the
+    ``u``-variable coefficient block, the convexity row, the objective
+    vector and the bounds tuple.  The arrays are shared read-only across
+    every :class:`LinearProgram` assembled from them.
+    """
+
+    __slots__ = ("n_q", "n_e", "n_rows", "u_block", "a_eq", "c", "bounds")
 
     def __init__(
-        self, context: PolicyContext, backend: str = "scipy"
+        self,
+        game: AuditGame,
+        e_rows: np.ndarray,
+        n_q: int,
+    ) -> None:
+        self.n_q = n_q
+        self.n_e = game.n_adversaries
+        self.n_rows = len(e_rows)
+        (
+            self.u_block,
+            self.a_eq,
+            self.c,
+            self.bounds,
+        ) = _master_static_blocks(game, e_rows, n_q)
+
+
+class MasterProblem:
+    """Eq. 5 restricted to a growing set of ordering columns.
+
+    Parameters
+    ----------
+    context:
+        The shared kernel/utility cache for one ``(game, Z, b)``.
+    backend:
+        LP backend name; ``"simplex"`` additionally enables warm-started
+        re-solves (see ``warm_start``).
+    warm_start:
+        Re-enter each :meth:`solve` from the previous optimal basis when
+        the backend supports bases (auto-disabled otherwise).  Column
+        additions between solves are handled by renaming the basis: the
+        ``u`` variables shift with the column count, everything else is
+        stable.  A warm re-solve is guaranteed to return the cold
+        solve's objective/policy/duals bit-for-bit whenever it lands in
+        the same optimal basis (path-independent extraction), and the
+        simplex falls back to a cold two-phase run whenever the carried
+        basis has gone stale — warm starts never change feasibility or
+        optimality, only the pivot count.  ``lp_calls`` counts
+        :meth:`solve` invocations identically on both paths.
+    skeleton:
+        Optional :class:`MasterSkeleton` with prebuilt static blocks
+        (used when its column count matches at solve time).
+    """
+
+    def __init__(
+        self,
+        context: PolicyContext,
+        backend: str = "scipy",
+        *,
+        warm_start: bool = True,
+        skeleton: MasterSkeleton | None = None,
     ) -> None:
         self.context = context
         self.backend = backend
+        self.warm_start = bool(warm_start) and supports_warm_start(backend)
+        self.skeleton = skeleton
         self._orderings: list[Ordering] = []
         self._keys: set[tuple[int, ...]] = set()
-        self._utility_rows: list[np.ndarray] = []
+        e_rows, _ = context.representative_rows
+        self._n_rows = len(e_rows)
+        self._n_e = context.game.n_adversaries
+        # Growable column store: _col_buf[:, :n_columns] holds one
+        # deduplicated-row utility column per ordering, _pal_buf one
+        # detection row (for the post-solve objective recompute).
+        self._col_buf = np.empty((self._n_rows, 16))
+        self._pal_buf = np.empty((16, context.game.n_types))
+        self._u_block: np.ndarray | None = None
+        self._basis: tuple[BasisTag, ...] | None = None
+        self._basis_n_q = 0
         self.lp_calls = 0
+        self.warm_solves = 0
+        self.lp_seconds = 0.0
+        self.pruned_rows = 0
+        self.pruned_columns = 0
 
     @property
     def orderings(self) -> tuple[Ordering, ...]:
@@ -220,7 +469,12 @@ class MasterProblem:
         return len(self._orderings)
 
     def add_ordering(self, ordering: Ordering) -> bool:
-        """Add a column; returns False when already present."""
+        """Add a column; returns False when already present.
+
+        Appends the ordering's deduplicated-row utility column to the
+        growable column store in O(rows) — no constraint matrix is
+        rebuilt until the next :meth:`solve`.
+        """
         key = tuple(ordering)
         if key in self._keys:
             return False
@@ -228,43 +482,61 @@ class MasterProblem:
             raise ValueError(
                 f"master columns must be complete orderings, got {key}"
             )
+        e_rows, v_rows = self.context.representative_rows
+        column = self.context.utilities(ordering)[e_rows, v_rows]
+        n_q = len(self._orderings)
+        if n_q == self._col_buf.shape[1]:
+            grown = np.empty((self._n_rows, max(2 * n_q, 16)))
+            grown[:, :n_q] = self._col_buf[:, :n_q]
+            self._col_buf = grown
+            grown_pal = np.empty(
+                (max(2 * n_q, 16), self.context.game.n_types)
+            )
+            grown_pal[:n_q] = self._pal_buf[:n_q]
+            self._pal_buf = grown_pal
+        self._col_buf[:, n_q] = column
+        self._pal_buf[n_q] = self.context.pal(ordering)
         self._keys.add(key)
         self._orderings.append(ordering)
-        self._utility_rows.append(self.context.utilities(ordering))
         return True
+
+    # ------------------------------------------------------------------
+    # LP assembly
+    # ------------------------------------------------------------------
+
+    def _static_blocks(
+        self, n_q: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+        """(u_block, a_eq, c, bounds) — from the skeleton when it fits."""
+        if self.skeleton is not None and self.skeleton.n_q == n_q:
+            s = self.skeleton
+            return s.u_block, s.a_eq, s.c, s.bounds
+        if self._u_block is None:
+            e_rows, _ = self.context.representative_rows
+            self._u_block = _master_u_block(e_rows, self._n_e)
+        a_eq, c, bounds = _master_variable_blocks(
+            self.context.game, n_q
+        )
+        return self._u_block, a_eq, c, bounds
 
     def build_lp(self) -> LinearProgram:
         """Assemble the restricted LP in scipy general form.
 
         One ``<=`` row per *representative* attack (see
-        :meth:`PolicyContext._representative_rows`):
-        ``sum_o p_o Ua_o[e, v] - u_e <= 0``.
+        :meth:`PolicyContext.representative_rows_for`):
+        ``sum_o p_o Ua_o[e, v] - u_e <= 0``.  Assembly copies the cached
+        column store and static blocks; nothing is re-priced.
         """
         if not self._orderings:
             raise RuntimeError("master problem has no columns")
-        game = self.context.game
         n_q = len(self._orderings)
-        n_e = game.n_adversaries
-        n_vars = n_q + n_e
-        e_rows, v_rows = self.context.representative_rows
-        n_rows = len(e_rows)
+        u_block, a_eq, c, bounds = self._static_blocks(n_q)
 
-        utilities = np.stack(self._utility_rows, axis=0)  # (Q, E, V)
-        a_ub = np.zeros((n_rows, n_vars))
-        a_ub[:, :n_q] = utilities[:, e_rows, v_rows].T
-        a_ub[np.arange(n_rows), n_q + e_rows] = -1.0
-        b_ub = np.zeros(n_rows)
-
-        a_eq = np.zeros((1, n_vars))
-        a_eq[0, :n_q] = 1.0
+        a_ub = np.empty((self._n_rows, n_q + self._n_e))
+        a_ub[:, :n_q] = self._col_buf[:, :n_q]
+        a_ub[:, n_q:] = u_block
+        b_ub = np.zeros(self._n_rows)
         b_eq = np.array([1.0])
-
-        c = np.zeros(n_vars)
-        c[n_q:] = game.payoffs.attack_prior
-
-        u_bound = (0.0, None) if game.payoffs.attackers_can_refrain \
-            else (None, None)
-        bounds = tuple([(0.0, None)] * n_q + [u_bound] * n_e)
         return LinearProgram(
             objective=c,
             a_ub=a_ub,
@@ -274,12 +546,192 @@ class MasterProblem:
             bounds=bounds,
         )
 
-    def solve(self) -> tuple[FixedThresholdSolution, LPSolution]:
-        """Solve the restricted master; returns policy plus raw LP data."""
-        lp = self.build_lp()
-        solution = solve_lp(lp, backend=self.backend).require_optimal()
-        self.lp_calls += 1
+    # ------------------------------------------------------------------
+    # Dominance pruning
+    # ------------------------------------------------------------------
+
+    def _dominated_columns(self, cols: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask over columns.
+
+        Column ``j`` (an ordering) is dropped when some other column
+        ``k`` satisfies ``cols[:, k] <= cols[:, j]`` pointwise — any
+        probability on ``j`` can be moved to ``k`` without increasing a
+        single adversary utility, so the optimum is unchanged.  Among
+        identical columns the lowest index survives.
+        """
+        n_rows, n_q = cols.shape
+        keep = np.ones(n_q, dtype=bool)
+        indices = np.arange(n_q)
+        chunk = 256
+        for start in range(0, n_q, chunk):
+            block = indices[start:start + chunk]
+            # le[k, j]: column k <= column j on every row.  Accumulated
+            # row by row so the working set stays at two (n_q, chunk)
+            # boolean planes instead of (rows, n_q, chunk) broadcasts —
+            # at enumeration scale (n_q = 5040, ~50+ rows) the 3-D
+            # temporaries would dwarf the LP solve being accelerated.
+            le = np.ones((n_q, len(block)), dtype=bool)
+            ge = np.ones((n_q, len(block)), dtype=bool)
+            for r in range(n_rows):
+                row = cols[r]
+                le &= row[:, None] <= row[block][None, :]
+                ge &= row[:, None] >= row[block][None, :]
+            strict = le & ~ge
+            equal_lower = (le & ge) & (
+                indices[:, None] < block[None, :]
+            )
+            keep[block] = ~(strict.any(axis=0) | equal_lower.any(axis=0))
+        return keep
+
+    def _dominated_rows(self, cols: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask over attack rows.
+
+        Within one adversary ``e``, row ``i`` is dropped when a sibling
+        row ``i'`` satisfies ``cols[i, :] <= cols[i', :]`` pointwise —
+        the constraint ``u_e >= sum_o p_o Ua_o[i]`` is then implied by
+        row ``i'`` for every feasible ``p``, so removing it changes
+        neither the optimum nor primal feasibility.  Dropped rows carry
+        dual price 0 (a valid dual completion).  Among identical rows
+        the lowest index survives.
+        """
+        e_rows, _ = self.context.representative_rows
+        keep = np.ones(len(e_rows), dtype=bool)
+        for e in np.unique(e_rows):
+            members = np.nonzero(e_rows == e)[0]
+            if len(members) < 2:
+                continue
+            rows = cols[members]  # (k, n_q)
+            le = (rows[:, None, :] <= rows[None, :, :]).all(axis=2)
+            ge = (rows[:, None, :] >= rows[None, :, :]).all(axis=2)
+            # dominated[i] when some i' strictly dominates it, or an
+            # identical sibling with smaller index exists.
+            strict = le & ~ge
+            local = np.arange(len(members))
+            equal_lower = (le & ge) & (
+                local[:, None] > local[None, :]
+            )
+            dominated = strict.any(axis=1) | equal_lower.any(axis=1)
+            keep[members[dominated]] = False
+        return keep
+
+    def prune_masks(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row_keep, column_keep) dominance masks for the current LP."""
+        if not self._orderings:
+            raise RuntimeError("master problem has no columns")
+        cols = self._col_buf[:, : len(self._orderings)]
+        return self._dominated_rows(cols), self._dominated_columns(cols)
+
+    def _solve_lp_pruned(self) -> LPSolution:
+        """Solve the dominance-pruned LP and expand back to full shape.
+
+        Lossless by construction (see :meth:`_dominated_columns` /
+        :meth:`_dominated_rows`): the returned solution has one entry
+        per original column/row again — pruned columns at probability 0,
+        pruned rows at dual price 0 — so every downstream consumer
+        (policy extraction, :meth:`reduced_cost`, :meth:`dual_prices`)
+        is oblivious to the pruning.
+        """
+        game = self.context.game
         n_q = len(self._orderings)
+        row_keep, col_keep = self.prune_masks()
+        self.pruned_rows = int((~row_keep).sum())
+        self.pruned_columns = int((~col_keep).sum())
+        kept_cols = np.nonzero(col_keep)[0]
+        kept_rows = np.nonzero(row_keep)[0]
+        n_kept = len(kept_cols)
+        e_rows, _ = self.context.representative_rows
+
+        u_block, a_eq, c, bounds = _master_static_blocks(
+            game, e_rows[kept_rows], n_kept
+        )
+        a_ub = np.empty((len(kept_rows), n_kept + self._n_e))
+        a_ub[:, :n_kept] = self._col_buf[np.ix_(kept_rows, kept_cols)]
+        a_ub[:, n_kept:] = u_block
+        lp = LinearProgram(
+            objective=c,
+            a_ub=a_ub,
+            b_ub=np.zeros(len(kept_rows)),
+            a_eq=a_eq,
+            b_eq=np.array([1.0]),
+            bounds=bounds,
+        )
+        started = time.perf_counter()
+        solution = solve_lp(lp, backend=self.backend).require_optimal()
+        self.lp_seconds += time.perf_counter() - started
+
+        x = np.zeros(n_q + self._n_e)
+        x[kept_cols] = solution.x[:n_kept]
+        x[n_q:] = solution.x[n_kept:]
+        dual_ub = np.zeros(self._n_rows)
+        if solution.dual_ub is not None:
+            dual_ub[kept_rows] = solution.dual_ub
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            x=x,
+            objective_value=solution.objective_value,
+            dual_ub=dual_ub,
+            dual_eq=solution.dual_eq,
+            iterations=solution.iterations,
+            message=solution.message,
+        )
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _renamed_basis(
+        basis: tuple[BasisTag, ...], old_n_q: int, new_n_q: int
+    ) -> tuple[BasisTag, ...]:
+        """Shift ``u``-variable tags after columns were appended.
+
+        Ordering columns occupy variable indices ``[0, n_q)`` and keep
+        them forever; the ``u`` block starts at ``n_q`` and slides right
+        as columns arrive.  Row-keyed tags (slacks, artificials of
+        ``<=``/``==`` rows) are untouched — the row set never changes.
+        """
+        if old_n_q == new_n_q:
+            return basis
+        shift = new_n_q - old_n_q
+        renamed: list[BasisTag] = []
+        for kind, idx in basis:
+            if kind in ("x", "neg", "s_bnd", "art_bnd") and idx >= old_n_q:
+                idx += shift
+            renamed.append((kind, idx))
+        return tuple(renamed)
+
+    def solve(
+        self, *, prune: bool = False
+    ) -> tuple[FixedThresholdSolution, LPSolution]:
+        """Solve the restricted master; returns policy plus raw LP data.
+
+        ``prune=True`` drops dominated rows/columns first (lossless; see
+        :meth:`_solve_lp_pruned`) and skips warm starts — the pruned
+        shape varies between solves, so no basis is carried.
+        """
+        n_q = len(self._orderings)
+        if prune:
+            if not self._orderings:
+                raise RuntimeError("master problem has no columns")
+            solution = self._solve_lp_pruned()
+        else:
+            lp = self.build_lp()
+            warm = None
+            if self.warm_start and self._basis is not None:
+                warm = self._renamed_basis(
+                    self._basis, self._basis_n_q, n_q
+                )
+            started = time.perf_counter()
+            solution = solve_lp(
+                lp, backend=self.backend, warm_basis=warm
+            ).require_optimal()
+            self.lp_seconds += time.perf_counter() - started
+            if warm is not None:
+                self.warm_solves += 1
+            if self.warm_start and solution.basis is not None:
+                self._basis = solution.basis
+                self._basis_n_q = n_q
+        self.lp_calls += 1
         probs = np.clip(solution.x[:n_q], 0.0, None)
         total = probs.sum()
         if total <= 0:
@@ -294,10 +746,7 @@ class MasterProblem:
         # Recompute utilities at the (renormalized) mixed strategy so the
         # reported objective is self-consistent.
         game = self.context.game
-        pal_rows = np.stack(
-            [self.context.pal(o) for o in self._orderings], axis=0
-        )
-        mixed_pal = probs @ pal_rows
+        mixed_pal = probs @ self._pal_buf[:n_q]
         pat = game.attack_map.detection_probability(mixed_pal)
         eu = game.payoffs.utility_matrix(pat)
         responses = best_responses(eu, game.payoffs)
@@ -356,6 +805,7 @@ def batch_policy_contexts(
     orderings: Sequence[Ordering],
     *,
     subset_table: bool | None = None,
+    representative_rows: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> list[PolicyContext]:
     """One pre-warmed :class:`PolicyContext` per threshold vector.
 
@@ -375,6 +825,9 @@ def batch_policy_contexts(
       once for the whole pass) and planted into the per-vector caches;
       the batched walk shares the serial kernel's pairwise expectation
       reduction, so the seeded rows equal the serial rows bitwise.
+
+    ``representative_rows`` (shared LP row dedup) is computed once here
+    when not supplied and reused by every context in the batch.
     """
     arr = np.asarray(thresholds_batch, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != game.n_types:
@@ -384,12 +837,25 @@ def batch_policy_contexts(
         )
     if subset_table is None:
         subset_table = subset_table_pays(len(orderings), game.n_types)
+    if representative_rows is None:
+        representative_rows = PolicyContext.representative_rows_for(game)
     if subset_table:
         return [
-            PolicyContext(game, scenarios, b, subset_table=True)
+            PolicyContext(
+                game,
+                scenarios,
+                b,
+                subset_table=True,
+                representative_rows=representative_rows,
+            )
             for b in arr
         ]
-    contexts = [PolicyContext(game, scenarios, b) for b in arr]
+    contexts = [
+        PolicyContext(
+            game, scenarios, b, representative_rows=representative_rows
+        )
+        for b in arr
+    ]
     if len(arr) == 0:
         return contexts
     _check_batch_inputs(arr, scenarios, game.costs, game.budget)

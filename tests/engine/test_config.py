@@ -87,3 +87,56 @@ class TestMakeConfig:
 
     def test_describe_mentions_fields(self):
         assert "step_size" in ISHMConfig().describe()
+
+
+class TestLpBackendAlias:
+    def test_alias_maps_to_backend(self):
+        config = ISHMConfig.from_dict({"lp_backend": "simplex"})
+        assert config.backend == "simplex"
+
+    def test_alias_conflicts_with_backend(self):
+        with pytest.raises(ValueError, match="lp_backend"):
+            CGGSConfig.from_dict(
+                {"backend": "scipy", "lp_backend": "simplex"}
+            )
+
+    def test_unknown_backend_names_choices(self):
+        with pytest.raises(ValueError, match=r"scipy.*simplex"):
+            ISHMConfig.from_dict({"lp_backend": "gurobi"})
+        with pytest.raises(ValueError, match=r"scipy.*simplex"):
+            CGGSConfig.from_dict({"backend": "cplex"})
+
+    def test_alias_on_every_lp_solver_config(self):
+        from repro.engine import EnumerationConfig
+
+        for cls in (ISHMConfig, EnumerationConfig, CGGSConfig):
+            assert cls.from_dict(
+                {"lp_backend": "simplex"}
+            ).backend == "simplex"
+
+
+class TestUnionCoercion:
+    def test_cggs_subset_table_words(self):
+        assert CGGSConfig.from_dict(
+            {"subset_table": "lazy"}
+        ).subset_table == "lazy"
+        assert CGGSConfig.from_dict(
+            {"subset_table": "true"}
+        ).subset_table is True
+        assert CGGSConfig.from_dict(
+            {"subset_table": "false"}
+        ).subset_table is False
+        assert CGGSConfig.from_dict(
+            {"subset_table": "none"}
+        ).subset_table is None
+
+    def test_cggs_warm_start_coercion(self):
+        assert CGGSConfig.from_dict(
+            {"warm_start": "off"}
+        ).warm_start is False
+
+    def test_enumeration_prune_coercion(self):
+        from repro.engine import EnumerationConfig
+
+        config = EnumerationConfig.from_dict({"prune": "yes"})
+        assert config.prune is True

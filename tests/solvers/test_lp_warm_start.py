@@ -1,0 +1,275 @@
+"""Revised simplex: warm starts, adversarial LPs, dual cross-validation.
+
+The warm-start contract (documented in README "Solver internals"):
+
+* re-entering an LP from its *own* optimal basis reproduces the cold
+  solution **bit-for-bit** (objective, primal, duals) in zero pivots —
+  extraction depends only on ``(A, b, c, basis)``, never the pivot path;
+* after a structural edit (column generation's added column), a warm
+  re-solve is guaranteed optimal with the cold objective to LP-roundoff;
+  vertex identity is only guaranteed when the LP has a unique optimal
+  basis (degenerate masters have many, and simplex entry paths may pick
+  different — equally optimal — vertices);
+* a stale basis (renamed/removed columns, infeasible point, singular
+  matrix) silently falls back to the cold two-phase path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lp import (
+    LinearProgram,
+    LPStatus,
+    solve_lp,
+    solve_with_scipy,
+    solve_with_simplex,
+    supports_warm_start,
+    warm_start_backends,
+)
+
+
+def bitwise_equal(a, b):
+    return (
+        a.objective_value == b.objective_value
+        and np.array_equal(a.x, b.x)
+        and np.array_equal(a.dual_ub, b.dual_ub)
+        and np.array_equal(a.dual_eq, b.dual_eq)
+    )
+
+
+class TestWarmStartDispatch:
+    def test_simplex_supports_warm_start(self):
+        assert supports_warm_start("simplex")
+        assert not supports_warm_start("scipy")
+        assert warm_start_backends() == ("simplex",)
+
+    def test_solve_lp_forwards_basis_to_simplex(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 2.0]),
+            a_ub=np.array([[-1.0, -1.0]]),
+            b_ub=np.array([-2.0]),
+        )
+        cold = solve_lp(lp, backend="simplex")
+        assert cold.basis is not None
+        warm = solve_lp(lp, backend="simplex", warm_basis=cold.basis)
+        assert warm.iterations == 0
+        assert bitwise_equal(warm, cold)
+
+    def test_scipy_silently_ignores_basis(self):
+        lp = LinearProgram(objective=np.array([1.0]))
+        # A nonsense basis must not reach (or upset) the HiGHS backend.
+        sol = solve_lp(lp, backend="scipy", warm_basis=(("x", 0),))
+        assert sol.is_optimal
+        assert sol.basis is None
+
+    def test_unknown_backend_lists_choices(self):
+        lp = LinearProgram(objective=np.array([1.0]))
+        with pytest.raises(ValueError, match="scipy.*simplex"):
+            solve_lp(lp, backend="glop")
+
+
+class TestWarmStartReentry:
+    def lp_pair(self):
+        """An LP and the same LP with one appended column."""
+        base = LinearProgram(
+            objective=np.array([-1.0, -2.0, 0.0]),
+            a_ub=np.array([[1.0, 1.0, 1.0], [1.0, 3.0, 0.0]]),
+            b_ub=np.array([4.0, 6.0]),
+            a_eq=np.array([[1.0, 1.0, 1.0]]),
+            b_eq=np.array([3.0]),
+        )
+        extended = LinearProgram(
+            objective=np.array([-1.0, -2.0, 0.0, -0.5]),
+            a_ub=np.array(
+                [[1.0, 1.0, 1.0, 0.3], [1.0, 3.0, 0.0, 0.1]]
+            ),
+            b_ub=np.array([4.0, 6.0]),
+            a_eq=np.array([[1.0, 1.0, 1.0, 1.0]]),
+            b_eq=np.array([3.0]),
+        )
+        return base, extended
+
+    def test_same_lp_reentry_is_bitwise_and_pivot_free(self):
+        base, _ = self.lp_pair()
+        cold = solve_with_simplex(base)
+        warm = solve_with_simplex(base, warm_basis=cold.basis)
+        assert warm.iterations == 0
+        assert bitwise_equal(warm, cold)
+
+    def test_column_append_reentry_reaches_the_optimum(self):
+        base, extended = self.lp_pair()
+        cold_base = solve_with_simplex(base)
+        warm = solve_with_simplex(
+            extended, warm_basis=cold_base.basis
+        )
+        cold = solve_with_simplex(extended)
+        assert warm.is_optimal
+        assert warm.objective_value == pytest.approx(
+            cold.objective_value, abs=1e-12
+        )
+        # Warm entry skips phase 1 entirely: strictly fewer pivots than
+        # the two-phase cold run.
+        assert warm.iterations < cold.iterations
+
+    def test_stale_basis_falls_back_to_cold(self):
+        base, _ = self.lp_pair()
+        cold = solve_with_simplex(base)
+        # A tag naming a variable that does not exist.
+        stale = (("x", 99),) + tuple(cold.basis[1:])
+        sol = solve_with_simplex(base, warm_basis=stale)
+        assert bitwise_equal(sol, cold)
+
+    def test_wrong_length_basis_falls_back(self):
+        base, _ = self.lp_pair()
+        cold = solve_with_simplex(base)
+        sol = solve_with_simplex(base, warm_basis=cold.basis[:1])
+        assert bitwise_equal(sol, cold)
+
+    def test_positive_artificial_in_warm_basis_falls_back(self):
+        # A redundant-row solve leaves a zero-valued artificial in the
+        # basis.  Re-using that basis on an *infeasible* variant must
+        # not skip phase 1's infeasibility check: the artificial would
+        # sit at a positive value and the "solution" would violate the
+        # original rows.
+        lp1 = LinearProgram(
+            objective=np.array([1.0]),
+            a_eq=np.array([[1.0], [1.0]]),
+            b_eq=np.array([1.0, 1.0]),
+        )
+        cold1 = solve_with_simplex(lp1)
+        assert cold1.is_optimal
+        assert any(tag[0] == "art_eq" for tag in cold1.basis)
+        lp2 = LinearProgram(
+            objective=np.array([1.0]),
+            a_eq=np.array([[1.0], [1.0]]),
+            b_eq=np.array([1.0, 2.0]),  # inconsistent: infeasible
+        )
+        warm = solve_with_simplex(lp2, warm_basis=cold1.basis)
+        assert warm.status == LPStatus.INFEASIBLE
+        assert solve_with_scipy(lp2).status == LPStatus.INFEASIBLE
+
+    def test_zero_artificial_in_warm_basis_is_accepted(self):
+        # The redundant-row case itself: re-entry with the zero-valued
+        # artificial basic reproduces the cold solve bitwise.
+        lp = LinearProgram(
+            objective=np.array([1.0]),
+            a_eq=np.array([[1.0], [1.0]]),
+            b_eq=np.array([1.0, 1.0]),
+        )
+        cold = solve_with_simplex(lp)
+        warm = solve_with_simplex(lp, warm_basis=cold.basis)
+        assert warm.iterations == 0
+        assert bitwise_equal(warm, cold)
+
+    def test_infeasible_warm_point_falls_back(self):
+        # Basis valid structurally but primal infeasible for the new rhs.
+        lp1 = LinearProgram(
+            objective=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, -1.0]]),
+            b_eq=np.array([2.0]),
+        )
+        cold1 = solve_with_simplex(lp1)
+        lp2 = LinearProgram(
+            objective=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, -1.0]]),
+            b_eq=np.array([-2.0]),  # x0 - x1 = -2: old vertex infeasible
+        )
+        warm = solve_with_simplex(lp2, warm_basis=cold1.basis)
+        cold2 = solve_with_simplex(lp2)
+        assert bitwise_equal(warm, cold2)
+
+
+class TestAdversarialLPs:
+    """Degenerate / unbounded / infeasible, cross-validated with HiGHS."""
+
+    def test_beale_cycling_lp_terminates_via_bland(self):
+        # Beale's classic example: Dantzig's rule cycles forever without
+        # an anti-cycling fallback.
+        lp = LinearProgram(
+            objective=np.array([-0.75, 150.0, -0.02, 6.0]),
+            a_ub=np.array(
+                [
+                    [0.25, -60.0, -0.04, 9.0],
+                    [0.5, -90.0, -0.02, 3.0],
+                    [0.0, 0.0, 1.0, 0.0],
+                ]
+            ),
+            b_ub=np.array([0.0, 0.0, 1.0]),
+        )
+        ours = solve_with_simplex(lp)
+        reference = solve_with_scipy(lp)
+        assert ours.is_optimal and reference.is_optimal
+        assert ours.objective_value == pytest.approx(-0.05, abs=1e-9)
+        assert ours.objective_value == pytest.approx(
+            reference.objective_value, abs=1e-9
+        )
+        np.testing.assert_allclose(
+            ours.dual_ub, reference.dual_ub, atol=1e-7
+        )
+
+    def test_degenerate_transport_duals_match_scipy(self):
+        # Redundant constraint system => primal degeneracy; duals of the
+        # binding rows still agree with HiGHS.
+        lp = LinearProgram(
+            objective=np.array([2.0, 3.0, 4.0]),
+            a_ub=np.array(
+                [
+                    [-1.0, -1.0, 0.0],
+                    [0.0, -1.0, -1.0],
+                    [-1.0, -1.0, -1.0],
+                ]
+            ),
+            b_ub=np.array([-2.0, -2.0, -4.0]),
+        )
+        ours = solve_with_simplex(lp)
+        reference = solve_with_scipy(lp)
+        assert ours.is_optimal and reference.is_optimal
+        assert ours.objective_value == pytest.approx(
+            reference.objective_value, abs=1e-9
+        )
+        np.testing.assert_allclose(
+            ours.dual_ub, reference.dual_ub, atol=1e-7
+        )
+
+    def test_unbounded_status_matches_scipy(self):
+        lp = LinearProgram(
+            objective=np.array([-1.0, 0.0]),
+            a_ub=np.array([[-1.0, 1.0]]),
+            b_ub=np.array([1.0]),
+        )
+        assert solve_with_simplex(lp).status == LPStatus.UNBOUNDED
+        assert solve_with_scipy(lp).status == LPStatus.UNBOUNDED
+
+    def test_infeasible_status_matches_scipy(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0], [-1.0, -1.0]]),
+            b_ub=np.array([1.0, -3.0]),  # x+y <= 1 and x+y >= 3
+        )
+        assert solve_with_simplex(lp).status == LPStatus.INFEASIBLE
+        assert solve_with_scipy(lp).status == LPStatus.INFEASIBLE
+
+    def test_infeasible_equality_matches_scipy(self):
+        lp = LinearProgram(
+            objective=np.array([1.0]),
+            a_eq=np.array([[1.0], [1.0]]),
+            b_eq=np.array([1.0, 2.0]),
+        )
+        assert solve_with_simplex(lp).status == LPStatus.INFEASIBLE
+        assert solve_with_scipy(lp).status == LPStatus.INFEASIBLE
+
+    def test_redundant_rows_keep_duals_consistent(self):
+        # Duplicated equality row: the basis retains a zero artificial;
+        # strong duality must still hold against the ORIGINAL rows.
+        lp = LinearProgram(
+            objective=np.array([1.0, 2.0]),
+            a_eq=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            b_eq=np.array([2.0, 2.0]),
+        )
+        ours = solve_with_simplex(lp)
+        assert ours.is_optimal
+        assert ours.objective_value == pytest.approx(2.0, abs=1e-9)
+        dual_value = float(ours.dual_eq @ lp.b_eq)
+        assert dual_value == pytest.approx(
+            ours.objective_value, abs=1e-7
+        )

@@ -1,0 +1,393 @@
+"""Incremental master assembly, dominance pruning, warm re-solves.
+
+Covers the structure-exploiting LP layer:
+
+* O(rows) column appends assemble the same LP as the legacy restack;
+* dominated-row/column pruning is lossless (equivalence vs the unpruned
+  LP on the shapes the solvers emit);
+* warm-started master re-solves (simplex backend) skip phase 1 and agree
+  with cold re-solves to LP-roundoff, bitwise on re-entry into the same
+  LP;
+* the shared :class:`MasterSkeleton` changes nothing numerically;
+* the CGGS table oracle matches the legacy oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LazyPalTable, Ordering, PalTable, all_orderings
+from repro.solvers import (
+    CGGSSolver,
+    EnumerationSolver,
+    MasterProblem,
+    MasterSkeleton,
+    PolicyContext,
+)
+
+THRESHOLD_GRID = [
+    np.array([3.0, 3.0, 3.0, 3.0]),
+    np.array([3.0, 2.0, 3.0, 2.0]),
+    np.array([0.0, 4.0, 1.0, 5.0]),
+    np.array([10.0, 0.0, 0.0, 0.0]),
+]
+
+
+class TestIncrementalAssembly:
+    def test_lp_matches_reference_stack(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """Growable-buffer assembly == restacking the utility tensor."""
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[0]
+        )
+        master = MasterProblem(context)
+        orderings = all_orderings(4)[:7]
+        for o in orderings:
+            master.add_ordering(o)
+        lp = master.build_lp()
+        e_rows, v_rows = context.representative_rows
+        utilities = np.stack(
+            [context.utilities(o) for o in orderings], axis=0
+        )
+        expected = utilities[:, e_rows, v_rows].T
+        np.testing.assert_array_equal(
+            lp.a_ub[:, : len(orderings)], expected
+        )
+        # u block: -1 at each row's adversary column.
+        n_q = len(orderings)
+        for r, e in enumerate(e_rows):
+            assert lp.a_ub[r, n_q + e] == -1.0
+
+    def test_interleaved_adds_and_solves_are_consistent(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """solve / add / solve yields the same LP as building fresh."""
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[1]
+        )
+        incremental = MasterProblem(context)
+        orderings = all_orderings(4)
+        for i, o in enumerate(orderings[:8]):
+            incremental.add_ordering(o)
+            if i % 3 == 0:
+                incremental.solve()
+        fresh = MasterProblem(context)
+        for o in orderings[:8]:
+            fresh.add_ordering(o)
+        a, _ = incremental.solve()
+        b, _ = fresh.solve()
+        assert a.objective == b.objective
+        np.testing.assert_array_equal(
+            a.policy.probabilities, b.policy.probabilities
+        )
+
+    def test_growth_beyond_initial_capacity(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """The column buffer doubles transparently past 16 columns."""
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[0]
+        )
+        master = MasterProblem(context)
+        for o in all_orderings(4):  # 24 > 16: forces one regrowth
+            master.add_ordering(o)
+        assert master.n_columns == 24
+        fixed, _ = master.solve()
+        assert fixed.objective == pytest.approx(-3.3868, abs=2e-3)
+
+
+class TestDominancePruning:
+    @pytest.mark.parametrize("idx", range(len(THRESHOLD_GRID)))
+    def test_pruned_solve_is_lossless(
+        self, syn_a_game, syn_a_scenarios, idx
+    ):
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[idx]
+        )
+        plain = MasterProblem(context)
+        pruned = MasterProblem(context)
+        for o in all_orderings(4):
+            plain.add_ordering(o)
+            pruned.add_ordering(o)
+        fixed_plain, sol_plain = plain.solve()
+        fixed_pruned, sol_pruned = pruned.solve(prune=True)
+        assert abs(
+            sol_plain.objective_value - sol_pruned.objective_value
+        ) <= 1e-9
+        assert abs(
+            fixed_plain.objective - fixed_pruned.objective
+        ) <= 1e-9
+        # Expanded duals stay a valid pricing vector: every enumerated
+        # column must price non-negative at the (pruned) optimum.
+        for o in all_orderings(4):
+            assert pruned.reduced_cost(sol_pruned, o) >= -1e-6
+
+    def test_pruning_actually_prunes(self, syn_a_game, syn_a_scenarios):
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[0]
+        )
+        master = MasterProblem(context)
+        for o in all_orderings(4):
+            master.add_ordering(o)
+        master.solve(prune=True)
+        assert master.pruned_columns > 0
+
+    def test_identical_columns_keep_exactly_one(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        # With a budget large enough to audit everything, ordering stops
+        # mattering: all columns identical, exactly one survives.
+        rich = syn_a_game.with_budget(10_000.0)
+        upper = rich.threshold_upper_bounds().astype(float)
+        context = PolicyContext(rich, syn_a_scenarios, upper)
+        master = MasterProblem(context)
+        for o in all_orderings(4):
+            master.add_ordering(o)
+        row_keep, col_keep = master.prune_masks()
+        assert col_keep.sum() == 1
+        assert col_keep[0]  # lowest index survives
+
+    def test_engine_prune_knob_matches_default(self, syn_a_game):
+        from repro.engine import AuditEngine
+
+        with AuditEngine(syn_a_game) as engine:
+            base = engine.solve(
+                "enumeration", thresholds=(3.0, 3.0, 3.0, 3.0)
+            )
+            pruned = engine.solve(
+                "enumeration",
+                thresholds=(3.0, 3.0, 3.0, 3.0),
+                prune=True,
+            )
+        assert pruned.objective == pytest.approx(
+            base.objective, abs=1e-9
+        )
+
+
+class TestWarmStartedMaster:
+    def test_reentry_same_lp_is_bitwise(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[1]
+        )
+        master = MasterProblem(context, backend="simplex")
+        for o in all_orderings(4)[:6]:
+            master.add_ordering(o)
+        first, sol_first = master.solve()
+        # No structural change: the second solve re-enters the previous
+        # basis and must reproduce the solution bit-for-bit.
+        second, sol_second = master.solve()
+        assert master.warm_solves == 1
+        assert sol_first.objective_value == sol_second.objective_value
+        np.testing.assert_array_equal(sol_first.x, sol_second.x)
+        np.testing.assert_array_equal(
+            sol_first.dual_ub, sol_second.dual_ub
+        )
+        np.testing.assert_array_equal(
+            first.policy.probabilities, second.policy.probabilities
+        )
+        # lp_calls counts both solves: warm re-entry is still a solve.
+        assert master.lp_calls == 2
+
+    def test_column_adds_track_cold_objective(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """Warm re-solves stay optimal through a CGGS-style add loop."""
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[2]
+        )
+        warm = MasterProblem(context, backend="simplex")
+        for i, o in enumerate(all_orderings(4)[:10]):
+            warm.add_ordering(o)
+            _, sol_warm = warm.solve()
+            cold = MasterProblem(
+                context, backend="simplex", warm_start=False
+            )
+            for oo in warm.orderings:
+                cold.add_ordering(oo)
+            _, sol_cold = cold.solve()
+            assert sol_warm.objective_value == pytest.approx(
+                sol_cold.objective_value, abs=1e-9
+            )
+            # The expanded duals from either path price every known
+            # column non-negatively (both are optimal dual solutions).
+            for oo in warm.orderings:
+                assert warm.reduced_cost(sol_warm, oo) >= -1e-6
+        assert warm.warm_solves == 9  # every re-solve after the first
+
+    def test_scipy_backend_never_warm_starts(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[0]
+        )
+        master = MasterProblem(context, backend="scipy")
+        assert not master.warm_start
+        master.add_ordering(Ordering((0, 1, 2, 3)))
+        master.solve()
+        master.solve()
+        assert master.warm_solves == 0
+
+    def test_cggs_warm_start_matches_cold_objective(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        b = THRESHOLD_GRID[1]
+        warm = CGGSSolver(
+            syn_a_game,
+            syn_a_scenarios,
+            backend="simplex",
+            rng=np.random.default_rng(5),
+            warm_start=True,
+        ).solve(b)
+        cold = CGGSSolver(
+            syn_a_game,
+            syn_a_scenarios,
+            backend="simplex",
+            rng=np.random.default_rng(5),
+            warm_start=False,
+        ).solve(b)
+        assert warm.objective == pytest.approx(
+            cold.objective, abs=1e-9
+        )
+        assert warm.lp_calls == cold.lp_calls
+
+
+class TestSkeletonReuse:
+    def test_skeleton_changes_nothing(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        rows = PolicyContext.representative_rows_for(syn_a_game)
+        skeleton = MasterSkeleton(syn_a_game, rows[0], 24)
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[1]
+        )
+        with_skel = MasterProblem(context, skeleton=skeleton)
+        without = MasterProblem(context)
+        for o in all_orderings(4):
+            with_skel.add_ordering(o)
+            without.add_ordering(o)
+        a, sa = with_skel.solve()
+        b, sb = without.solve()
+        assert sa.objective_value == sb.objective_value
+        np.testing.assert_array_equal(sa.x, sb.x)
+
+    def test_mismatched_skeleton_is_ignored(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        rows = PolicyContext.representative_rows_for(syn_a_game)
+        skeleton = MasterSkeleton(syn_a_game, rows[0], 99)  # wrong n_q
+        context = PolicyContext(
+            syn_a_game, syn_a_scenarios, THRESHOLD_GRID[0]
+        )
+        master = MasterProblem(context, skeleton=skeleton)
+        master.add_ordering(Ordering((0, 1, 2, 3)))
+        fixed, _ = master.solve()  # falls back to locally built blocks
+        assert np.isfinite(fixed.objective)
+
+    def test_solve_batch_equals_serial(self, syn_a_game, syn_a_scenarios):
+        solver = EnumerationSolver(syn_a_game, syn_a_scenarios)
+        batch = np.stack(THRESHOLD_GRID)
+        batched = solver.solve_batch(batch)
+        for b, got in zip(THRESHOLD_GRID, batched):
+            ref = solver.solve(b)
+            assert got.objective == ref.objective
+            np.testing.assert_array_equal(
+                got.policy.probabilities, ref.policy.probabilities
+            )
+
+
+class TestCGGSTableOracle:
+    def test_lazy_table_matches_eager_table(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        b = THRESHOLD_GRID[1]
+        eager = PalTable(
+            b, syn_a_scenarios, syn_a_game.costs, syn_a_game.budget
+        )
+        lazy = LazyPalTable(
+            b, syn_a_scenarios, syn_a_game.costs, syn_a_game.budget
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            ordering = tuple(rng.permutation(4)[: rng.integers(1, 5)])
+            np.testing.assert_array_equal(
+                lazy.pal(ordering), eager.pal(ordering)
+            )
+        for mask in range(15):
+            free = [t for t in range(4) if not (mask >> t) & 1]
+            if not free:
+                continue
+            np.testing.assert_array_equal(
+                lazy.extension_values(mask, free),
+                eager.extension_values(mask, free),
+            )
+
+    def test_scalar_entries_match_vectorized_rows(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """pal() single-entry fills == extension_values row sweeps."""
+        b = THRESHOLD_GRID[2]
+        args = (b, syn_a_scenarios, syn_a_game.costs, syn_a_game.budget)
+        by_entry = LazyPalTable(*args)
+        by_row = LazyPalTable(*args)
+        ordering = (2, 0, 3, 1)
+        entry_pal = by_entry.pal(ordering)
+        mask = 0
+        for t in ordering:
+            by_row.extension_values(mask, [t])
+            mask |= 1 << t
+        np.testing.assert_array_equal(
+            entry_pal, by_row.pal(ordering)
+        )
+
+    def test_table_oracle_matches_legacy_oracle_choice(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        """Same greedy orderings from both oracles on an exact game."""
+        for seed in range(3):
+            legacy = CGGSSolver(
+                syn_a_game,
+                syn_a_scenarios,
+                rng=np.random.default_rng(seed),
+                subset_table=False,
+            )
+            fast = CGGSSolver(
+                syn_a_game,
+                syn_a_scenarios,
+                rng=np.random.default_rng(seed),
+                subset_table=None,
+            )
+            for b in THRESHOLD_GRID[:2]:
+                a = legacy.solve(b)
+                c = fast.solve(b)
+                assert c.objective == pytest.approx(
+                    a.objective, abs=1e-9
+                )
+
+    def test_auto_rule(self, syn_a_game, syn_a_scenarios, tiny_game,
+                       tiny_scenarios):
+        assert CGGSSolver(
+            syn_a_game, syn_a_scenarios
+        ).subset_table == "lazy"
+        # 2-type games stay on the legacy walk.
+        assert CGGSSolver(
+            tiny_game, tiny_scenarios
+        ).subset_table is False
+
+    def test_unknown_subset_table_string_rejected(
+        self, syn_a_game, syn_a_scenarios
+    ):
+        # A typo must fail at construction, not silently truth-test
+        # into the eager table.
+        with pytest.raises(ValueError, match="lazy"):
+            CGGSSolver(
+                syn_a_game, syn_a_scenarios, subset_table="lzay"
+            )
+        with pytest.raises(ValueError, match="lazy"):
+            PolicyContext(
+                syn_a_game,
+                syn_a_scenarios,
+                THRESHOLD_GRID[0],
+                subset_table="full",
+            )
