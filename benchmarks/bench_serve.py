@@ -1,0 +1,171 @@
+"""Serving-layer benchmark: ingest throughput, score latency, re-solve lag.
+
+Drives the stdlib app of :mod:`repro.serve` end to end with the
+simulator's event sources as load generator:
+
+1. **ingest** — stream stationary alert batches (drawn from the game's
+   own count model via the ``model`` event source) through
+   ``POST /alerts`` and report events/sec;
+2. **score** — time individual ``POST /score`` requests against the
+   published policy and report the p95 latency;
+3. **drift** — switch the stream to inflated counts until the drift
+   detector schedules a background re-solve, then measure the lag from
+   trigger to the new policy version being published — while verifying
+   the old version kept serving in between.
+
+Results land in ``BENCH_serve.json`` (``events_per_sec``,
+``score_p95_ms``, ``resolve_lag_seconds``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+from conftest import emit, pick, smoke_mode, write_bench_json
+
+from repro.datasets import syn_a
+from repro.serve import AuditService, StdlibApp
+from repro.sim import EVENT_SOURCES
+
+#: Floor on accepted ingest throughput (events/sec).
+MIN_EVENTS_PER_SEC = 50.0
+#: Ceiling on accepted p95 score latency (milliseconds).
+MAX_SCORE_P95_MS = 250.0
+
+
+async def _run_bench():
+    n_ingest_batches = pick(smoke=10, fast=40, full=200)
+    batch_rows = pick(smoke=16, fast=64, full=256)
+    n_score_requests = pick(smoke=50, fast=200, full=1000)
+
+    game = syn_a(budget=2)
+    rng = np.random.default_rng(0)
+    source = EVENT_SOURCES.create("model", game, {})
+
+    async with AuditService(
+        game,
+        solver="ishm",
+        solver_options={"step_size": 0.5},
+        estimator="rolling-empirical",
+        estimator_options={"window": 64, "min_periods": 8},
+        drift_threshold=0.5,
+        max_batch=max(batch_rows, 4096),
+    ) as service:
+        app = StdlibApp(service)
+
+        # -- phase 1: stationary ingest throughput --------------------
+        batches = [
+            [source.counts(p, rng).tolist() for _ in range(batch_rows)]
+            for p in range(n_ingest_batches)
+        ]
+        started = time.perf_counter()
+        for batch in batches:
+            status, payload = await app.handle(
+                "POST", "/alerts", {"counts": batch}
+            )
+            assert status == 200, payload
+        ingest_seconds = time.perf_counter() - started
+        n_events = n_ingest_batches * batch_rows
+        events_per_sec = n_events / ingest_seconds
+        assert not payload["resolve_scheduled"], (
+            "stationary stream must not trigger a re-solve; drift="
+            f"{payload['drift']:.3f}"
+        )
+
+        # -- phase 2: score latency -----------------------------------
+        row = source.counts(0, rng).tolist()
+        latencies = []
+        for _ in range(n_score_requests):
+            t0 = time.perf_counter()
+            status, scored = await app.handle(
+                "POST", "/score", {"alerts": [row]}
+            )
+            latencies.append(time.perf_counter() - t0)
+            assert status == 200, scored
+        score_p50_ms = float(np.percentile(latencies, 50) * 1e3)
+        score_p95_ms = float(np.percentile(latencies, 95) * 1e3)
+        fingerprint_before = scored["fingerprint"]
+
+        # -- phase 3: drift -> background re-solve --------------------
+        drifted = EVENT_SOURCES.create(
+            "drift", game, {"drift": 3.0, "std_scale": 0.5}
+        )
+        completed_before = service.resolves_completed
+        triggered = time.perf_counter()
+        scheduled = False
+        for period in range(64):
+            batch = [
+                drifted.counts(8, rng).tolist()
+                for _ in range(batch_rows)
+            ]
+            status, payload = await app.handle(
+                "POST", "/alerts", {"counts": batch}
+            )
+            assert status == 200, payload
+            if payload["resolve_scheduled"]:
+                scheduled = True
+                break
+        assert scheduled, "drifted stream never crossed the threshold"
+
+        # The old version keeps serving until the publish lands.
+        status, mid = await app.handle(
+            "POST", "/score", {"alerts": [row]}
+        )
+        assert status == 200
+        if service.resolves_completed == completed_before:
+            assert mid["fingerprint"] == fingerprint_before
+
+        while service.resolves_completed == completed_before:
+            await asyncio.sleep(0.005)
+        swap_seconds = time.perf_counter() - triggered
+        resolve_lag_seconds = service.last_resolve_lag_seconds
+
+        status, after = await app.handle(
+            "POST", "/score", {"alerts": [row]}
+        )
+        assert status == 200
+        assert after["fingerprint"] != fingerprint_before
+
+        return {
+            "events_per_sec": events_per_sec,
+            "ingest_seconds": ingest_seconds,
+            "n_events": n_events,
+            "batch_rows": batch_rows,
+            "score_requests": n_score_requests,
+            "score_p50_ms": score_p50_ms,
+            "score_p95_ms": score_p95_ms,
+            "resolve_lag_seconds": resolve_lag_seconds,
+            "drift_to_swap_seconds": swap_seconds,
+            "drift_at_trigger": payload["drift"],
+            "resolves_completed": service.resolves_completed,
+        }
+
+
+def test_serve_throughput_latency_and_resolve_lag():
+    stats = asyncio.run(_run_bench())
+
+    emit(
+        "repro.serve: stdlib app end to end",
+        "\n".join(
+            [
+                f"ingest      {stats['events_per_sec']:>10.0f} events/s "
+                f"({stats['n_events']} events in "
+                f"{stats['ingest_seconds']:.2f}s, "
+                f"batches of {stats['batch_rows']})",
+                f"score       p50={stats['score_p50_ms']:.2f}ms  "
+                f"p95={stats['score_p95_ms']:.2f}ms  "
+                f"({stats['score_requests']} requests)",
+                f"re-solve    lag={stats['resolve_lag_seconds']:.3f}s "
+                f"(trigger->swap {stats['drift_to_swap_seconds']:.3f}s, "
+                f"drift={stats['drift_at_trigger']:.2f})",
+            ]
+        ),
+    )
+    write_bench_json("serve", stats)
+
+    assert stats["events_per_sec"] > MIN_EVENTS_PER_SEC
+    if not smoke_mode():
+        assert stats["score_p95_ms"] < MAX_SCORE_P95_MS
+    assert stats["resolve_lag_seconds"] > 0

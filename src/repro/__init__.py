@@ -32,6 +32,8 @@ from . import (
     distributions,
     engine,
     extensions,
+    serve,
+    sim,
     solvers,
     tdmt,
 )
@@ -39,7 +41,7 @@ from .core import AuditGame, AuditPolicy, Ordering
 from .engine import AuditEngine, SolveResult
 from .solvers import iterative_shrink, solve_optimal
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AuditEngine",
@@ -56,6 +58,8 @@ __all__ = [
     "engine",
     "extensions",
     "iterative_shrink",
+    "serve",
+    "sim",
     "solve_optimal",
     "solvers",
     "tdmt",

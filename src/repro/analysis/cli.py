@@ -30,6 +30,16 @@ re-estimation, warm-started re-solving and a pluggable adversary.
             adversary=quantal adversary.rationality=2.0
     python -m repro.run_experiments --list-sim-plugins
 
+**Serve mode** (``--serve``) starts the long-running
+:mod:`repro.serve` audit-policy service: it solves and publishes the
+initial policy, then answers ``/score`` and ``/alerts`` over HTTP while
+a background worker re-solves on distribution drift.  Uses
+fastapi/uvicorn when installed, the stdlib asyncio server otherwise::
+
+    python -m repro.run_experiments --serve --dataset syn_a --budget 10 \
+        --port 8331 --serve-config drift_threshold=0.2 \
+            estimator.window=32 solver.step_size=0.25
+
 Each artifact is written to ``<out>/<name>.txt`` and echoed to stdout.
 """
 
@@ -291,6 +301,91 @@ def _run_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve mode: the long-running :mod:`repro.serve` policy service."""
+    import asyncio
+
+    from ..serve import (
+        AuditService,
+        ServeConfig,
+        StdlibApp,
+        have_fastapi,
+        make_fastapi_app,
+    )
+
+    game = DATASETS[args.dataset](budget=args.budget)
+    pairs = _parse_config_pairs(args.serve_config, flag="--serve-config")
+    try:
+        config = ServeConfig.from_pairs(pairs)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--serve-config error: {exc}") from exc
+    if "solver_seed" not in pairs:
+        config = config.replace(solver_seed=args.seed)
+    if args.config:
+        config = config.replace(
+            solver_options={
+                **dict(config.solver_options),
+                **_parse_config_pairs(args.config),
+            }
+        )
+    try:
+        service = AuditService(game, config)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"--serve-config error: {exc}") from exc
+
+    def uvicorn_available() -> bool:
+        if not have_fastapi():
+            return False
+        try:
+            import uvicorn  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    async def serve_forever() -> None:
+        async with service:
+            active = service.active()
+            print(
+                f"published v{active.version} "
+                f"(objective={active.result.objective:.4f}, "
+                f"fingerprint={active.fingerprint})"
+            )
+            if uvicorn_available():
+                import uvicorn
+
+                print(
+                    f"serving on http://{args.host}:{args.port} "
+                    "(fastapi/uvicorn backend)"
+                )
+                server = uvicorn.Server(
+                    uvicorn.Config(
+                        make_fastapi_app(service),
+                        host=args.host,
+                        port=args.port,
+                        log_level="warning",
+                    )
+                )
+                await server.serve()
+            else:
+                print(
+                    f"serving on http://{args.host}:{args.port} "
+                    "(stdlib backend; pip install -e '.[serve]' "
+                    "for fastapi/uvicorn)"
+                )
+                await StdlibApp(service).run(args.host, args.port)
+
+    print(
+        f"dataset={args.dataset} budget={args.budget:g} "
+        f"solver={config.solver} estimator={config.estimator} "
+        f"drift_threshold={config.drift_threshold:g}"
+    )
+    try:
+        asyncio.run(serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _sim_plugin_tables() -> str:
     """Overview of every registered simulator plugin, by kind."""
     sections = []
@@ -371,6 +466,30 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help=(
+            "run the long-running audit-policy service instead of a "
+            "one-shot solve (fastapi/uvicorn when installed, stdlib "
+            "asyncio otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --serve mode",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8331,
+        help="bind port for --serve mode",
+    )
+    parser.add_argument(
+        "--serve-config", nargs="*", default=[], metavar="K=V",
+        help=(
+            "ServeConfig fields (drift_threshold=0.2) and dotted "
+            "plugin options (estimator.window=32, solver.step_size=0.5) "
+            "for --serve mode"
+        ),
+    )
+    parser.add_argument(
         "--list-solvers", action="store_true",
         help="print the solver registry table and exit",
     )
@@ -386,6 +505,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_sim_plugins:
         print(_sim_plugin_tables())
         return 0
+    if args.serve:
+        if args.sim or args.only or args.full:
+            parser.error(
+                "--serve runs the policy service; it cannot be "
+                "combined with --sim or the experiment-mode flags "
+                "--only/--full"
+            )
+        return _run_serve(args)
+    if args.serve_config:
+        parser.error(
+            "--serve-config configures the policy service; add --serve"
+        )
     if args.sim:
         if args.only or args.full:
             parser.error(

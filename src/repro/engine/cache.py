@@ -36,6 +36,7 @@ of static blocks instead of being rebuilt per vector (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -80,6 +81,15 @@ class FixedSolveCache:
     scope: within one call (e.g. one ISHM run) repeated vectors are
     still deduplicated, but results never depend on what the engine
     solved earlier, preserving the equal-seed ⇒ equal-result guarantee.
+
+    The cache is **thread-safe**: memo mutation, hit/miss counters,
+    solver construction and executor lifecycle all run under one
+    reentrant lock, so a service can share one engine (and therefore
+    one cache) across request-handler and background-worker threads.
+    The underlying enumeration solver keeps mutable per-solve state
+    (LP skeletons, subset tables), so pricing through a shared solver
+    is *serialized* by the same lock — concurrency across threads is
+    for safety, not speedup; use ``workers > 1`` for parallel pricing.
     """
 
     def __init__(self, game: AuditGame, scenarios: ScenarioSet) -> None:
@@ -89,6 +99,7 @@ class FixedSolveCache:
         self._solutions: dict[tuple, FixedThresholdSolution] = {}
         self._executor = None
         self._executor_workers = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -122,16 +133,17 @@ class FixedSolveCache:
             # still share solutions.
             solver_key = (method, backend, options)
             solution_scope = (method, backend, options)
-            base = self._solvers.get(solver_key)
-            if base is None:
-                base = make_fixed_solver(
-                    self.game,
-                    self.scenarios,
-                    method=method,
-                    backend=backend,
-                    **kwargs,
-                )
-                self._solvers[solver_key] = base
+            with self._lock:
+                base = self._solvers.get(solver_key)
+                if base is None:
+                    base = make_fixed_solver(
+                        self.game,
+                        self.scenarios,
+                        method=method,
+                        backend=backend,
+                        **kwargs,
+                    )
+                    self._solvers[solver_key] = base
             solutions = self._solutions
         else:
             # Stateful (CGGS): fresh solver + a memo local to this call,
@@ -151,14 +163,18 @@ class FixedSolveCache:
         def cached(thresholds: np.ndarray) -> FixedThresholdSolution:
             b = np.asarray(thresholds, dtype=np.float64)
             key = solution_scope + (tuple(np.round(b, 9).tolist()),)
-            hit = solutions.get(key)
-            if hit is not None:
-                self.hits += 1
-                return hit
-            self.misses += 1
-            solution = base(b)
-            solutions[key] = solution
-            return solution
+            # The solve stays inside the lock: the shared enumeration
+            # solver mutates internal state (skeletons, tables) while
+            # pricing, so concurrent walks through it are not safe.
+            with self._lock:
+                hit = solutions.get(key)
+                if hit is not None:
+                    self.hits += 1
+                    return hit
+                self.misses += 1
+                solution = base(b)
+                solutions[key] = solution
+                return solution
 
         return cached
 
@@ -213,30 +229,36 @@ class FixedSolveCache:
             keys = [
                 scope + (tuple(np.round(b, 9).tolist()),) for b in arr
             ]
-            fresh: dict[tuple, np.ndarray] = {}
-            for key, b in zip(keys, arr):
-                if key in self._solutions or key in fresh:
-                    self.hits += 1
-                else:
-                    self.misses += 1
-                    fresh[key] = b
-            if fresh:
-                stack = np.stack(list(fresh.values()))
-                chunk = (
-                    chunk_size
-                    if chunk_size is not None
-                    else parallel.default_chunk_size(len(stack), workers)
-                )
-                solutions = parallel.price_parallel(
-                    self._ensure_executor(workers),
-                    backend,
-                    options,
-                    stack,
-                    chunk,
-                )
-                for key, solution in zip(fresh, solutions):
-                    self._solutions[key] = solution
-            return [self._solutions[key] for key in keys]
+            # One lock span for dedupe + solve + insert: a concurrent
+            # batch must not observe a half-filled memo, and the pool
+            # executor is single-ownership state.
+            with self._lock:
+                fresh: dict[tuple, np.ndarray] = {}
+                for key, b in zip(keys, arr):
+                    if key in self._solutions or key in fresh:
+                        self.hits += 1
+                    else:
+                        self.misses += 1
+                        fresh[key] = b
+                if fresh:
+                    stack = np.stack(list(fresh.values()))
+                    chunk = (
+                        chunk_size
+                        if chunk_size is not None
+                        else parallel.default_chunk_size(
+                            len(stack), workers
+                        )
+                    )
+                    solutions = parallel.price_parallel(
+                        self._ensure_executor(workers),
+                        backend,
+                        options,
+                        stack,
+                        chunk,
+                    )
+                    for key, solution in zip(fresh, solutions):
+                        self._solutions[key] = solution
+                return [self._solutions[key] for key in keys]
 
         return price
 
@@ -273,27 +295,30 @@ class FixedSolveCache:
         return arr
 
     def _ensure_executor(self, workers: int):
-        if self._executor is not None and (
-            self._executor_workers != workers
-            # A pool whose worker died (OOM kill, crash) stays broken
-            # forever; rebuild instead of re-raising on every batch.
-            or getattr(self._executor, "_broken", False)
-        ):
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._executor is None:
-            self._executor = parallel.make_executor(
-                self.game, self.scenarios, workers
-            )
-            self._executor_workers = workers
-        return self._executor
+        with self._lock:
+            if self._executor is not None and (
+                self._executor_workers != workers
+                # A pool whose worker died (OOM kill, crash) stays
+                # broken forever; rebuild instead of re-raising on
+                # every batch.
+                or getattr(self._executor, "_broken", False)
+            ):
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            if self._executor is None:
+                self._executor = parallel.make_executor(
+                    self.game, self.scenarios, workers
+                )
+                self._executor_workers = workers
+            return self._executor
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; memo stays usable)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_workers = 0
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._executor_workers = 0
 
     def __enter__(self) -> "FixedSolveCache":
         return self
@@ -302,8 +327,9 @@ class FixedSolveCache:
         self.close()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            solutions=len(self._solutions),
-            hits=self.hits,
-            misses=self.misses,
-        )
+        with self._lock:
+            return CacheInfo(
+                solutions=len(self._solutions),
+                hits=self.hits,
+                misses=self.misses,
+            )

@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -58,6 +59,13 @@ class EngineCacheInfo:
 
 class AuditEngine:
     """Facade over the solver registry with scenario/kernel caching.
+
+    The engine is thread-safe: scenario-set and solution-cache creation
+    are locked here, and each :class:`FixedSolveCache` locks its own
+    memo, so the serve layer can share one engine across request
+    handlers and background re-solve threads.  Concurrent pricing
+    through one cache serializes (the underlying solvers keep mutable
+    state); use ``workers > 1`` for actual parallelism.
 
     Parameters
     ----------
@@ -101,6 +109,11 @@ class AuditEngine:
         self.prefer_exact_below = prefer_exact_below
         self._scenarios: dict[tuple, ScenarioSet] = {}
         self._caches: dict[int, FixedSolveCache] = {}
+        # Guards cache-map mutation so one engine can be shared across
+        # threads (the serve layer's request handlers and background
+        # re-solve workers).  Solution-level locking lives inside each
+        # FixedSolveCache; lock order is always engine -> cache.
+        self._lock = threading.RLock()
         self._scenario_hits = 0
         self._scenario_misses = 0
 
@@ -129,18 +142,19 @@ class AuditEngine:
                 else prefer_exact_below
             ),
         )
-        cached = self._scenarios.get(key)
-        if cached is not None:
-            self._scenario_hits += 1
-            return cached
-        self._scenario_misses += 1
-        scenarios = self.game.scenario_set(
-            rng=np.random.default_rng(key[0]),
-            n_samples=key[1],
-            prefer_exact_below=key[2],
-        )
-        self._scenarios[key] = scenarios
-        return scenarios
+        with self._lock:
+            cached = self._scenarios.get(key)
+            if cached is not None:
+                self._scenario_hits += 1
+                return cached
+            self._scenario_misses += 1
+            scenarios = self.game.scenario_set(
+                rng=np.random.default_rng(key[0]),
+                n_samples=key[1],
+                prefer_exact_below=key[2],
+            )
+            self._scenarios[key] = scenarios
+            return scenarios
 
     #: Bound on per-scenario-set solution caches kept alive at once.
     #: Engine-generated scenario sets are few (one per sampling key);
@@ -151,15 +165,18 @@ class AuditEngine:
 
     def solution_cache(self, scenarios: ScenarioSet) -> FixedSolveCache:
         """The engine's :class:`FixedSolveCache` for a scenario set."""
-        cache = self._caches.get(id(scenarios))
-        if cache is None:
-            cache = FixedSolveCache(self.game, scenarios)
-            self._caches[id(scenarios)] = cache
-            while len(self._caches) > self.MAX_SOLUTION_CACHES:
-                # Evict the oldest (dict preserves insertion order).
-                evicted = self._caches.pop(next(iter(self._caches)))
-                evicted.close()
-        return cache
+        with self._lock:
+            cache = self._caches.get(id(scenarios))
+            if cache is None:
+                cache = FixedSolveCache(self.game, scenarios)
+                self._caches[id(scenarios)] = cache
+                while len(self._caches) > self.MAX_SOLUTION_CACHES:
+                    # Evict the oldest (dict keeps insertion order).
+                    evicted = self._caches.pop(
+                        next(iter(self._caches))
+                    )
+                    evicted.close()
+            return cache
 
     # ------------------------------------------------------------------
     # Solving and evaluation
@@ -276,28 +293,31 @@ class AuditEngine:
 
     def cache_info(self) -> EngineCacheInfo:
         """Aggregated scenario- and solution-cache counters."""
-        infos = [cache.info() for cache in self._caches.values()]
-        return EngineCacheInfo(
-            scenario_sets=len(self._scenarios),
-            scenario_hits=self._scenario_hits,
-            scenario_misses=self._scenario_misses,
-            fixed_solutions=sum(i.solutions for i in infos),
-            solution_hits=sum(i.hits for i in infos),
-            solution_misses=sum(i.misses for i in infos),
-        )
+        with self._lock:
+            infos = [cache.info() for cache in self._caches.values()]
+            return EngineCacheInfo(
+                scenario_sets=len(self._scenarios),
+                scenario_hits=self._scenario_hits,
+                scenario_misses=self._scenario_misses,
+                fixed_solutions=sum(i.solutions for i in infos),
+                solution_hits=sum(i.hits for i in infos),
+                solution_misses=sum(i.misses for i in infos),
+            )
 
     def clear_caches(self) -> None:
         """Drop every cached scenario set and solution."""
-        self.close()
-        self._scenarios.clear()
-        self._caches.clear()
-        self._scenario_hits = 0
-        self._scenario_misses = 0
+        with self._lock:
+            self.close()
+            self._scenarios.clear()
+            self._caches.clear()
+            self._scenario_hits = 0
+            self._scenario_misses = 0
 
     def close(self) -> None:
         """Shut down every cache's worker pool (caches stay usable)."""
-        for cache in self._caches.values():
-            cache.close()
+        with self._lock:
+            for cache in self._caches.values():
+                cache.close()
 
     def __enter__(self) -> "AuditEngine":
         return self

@@ -10,6 +10,7 @@ so new solvers plug in without touching any of them.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -18,7 +19,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from ..core.objective import BestResponse, PolicyEvaluation
-from ..core.policy import AuditPolicy
+from ..core.policy import AuditPolicy, Ordering
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..core.game import AuditGame
@@ -26,6 +27,45 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .config import SolverConfig
 
 __all__ = ["SolveResult", "finalize_result"]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce one value to plain JSON types (numpy scalars included).
+
+    Python's ``json`` serializes floats with ``repr``, which round-trips
+    every finite float64 bit for bit — so coercing to plain ``float``
+    here keeps :meth:`SolveResult.to_dict` lossless for the numeric
+    payload.  Values with no JSON shape fall back to ``repr`` (they are
+    diagnostics, not contract).
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def _config_class(name: str) -> type:
+    """Resolve a ``SolverConfig`` subclass by its serialized class name."""
+    from .config import SolverConfig
+
+    def walk(cls: type):
+        yield cls
+        for sub in cls.__subclasses__():
+            yield from walk(sub)
+
+    for cls in walk(SolverConfig):
+        if cls.__name__ == name:
+            return cls
+    raise ValueError(f"unknown solver config class {name!r}")
 
 
 @dataclass(frozen=True, eq=False)
@@ -110,6 +150,104 @@ class SolveResult:
             lines.append(f"diagnostics: {diag}")
         lines.append(self.policy.describe(type_names))
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the policy store / HTTP wire format)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless JSON-ready representation of this result.
+
+        Orderings, mixed weights, thresholds, objective, timings and
+        the config echo survive a ``json.dumps``/``loads`` round trip
+        bit for bit (Python's float repr is exact for float64).  The
+        ``raw`` solver-native object is intentionally dropped — it is a
+        power-user handle, not part of the result contract — so
+        ``from_dict`` restores it as ``None``.
+        """
+        return {
+            "solver": self.solver,
+            "objective": self.objective,
+            "policy": {
+                "orderings": [
+                    list(o.positions) for o in self.policy.orderings
+                ],
+                "probabilities": [
+                    float(p) for p in self.policy.probabilities
+                ],
+                "thresholds": [
+                    float(b) for b in self.policy.thresholds
+                ],
+            },
+            "best_responses": [
+                {
+                    "adversary": int(r.adversary),
+                    "victim": int(r.victim),
+                    "utility": float(r.utility),
+                }
+                for r in self.best_responses
+            ],
+            "diagnostics": {
+                str(k): _jsonable(v)
+                for k, v in self.diagnostics.items()
+            },
+            "wall_time": self.wall_time,
+            "solve_seconds": self.solve_seconds,
+            "config": {
+                "class": type(self.config).__name__,
+                "values": {
+                    f.name: _jsonable(getattr(self.config, f.name))
+                    for f in dataclasses.fields(self.config)
+                },
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SolveResult":
+        """Rebuild a result from :meth:`to_dict` output (post-JSON ok)."""
+        policy_data = data["policy"]
+        policy = AuditPolicy(
+            orderings=tuple(
+                Ordering(tuple(int(t) for t in o))
+                for o in policy_data["orderings"]
+            ),
+            probabilities=np.asarray(
+                policy_data["probabilities"], dtype=np.float64
+            ),
+            thresholds=np.asarray(
+                policy_data["thresholds"], dtype=np.float64
+            ),
+        )
+        config_data = data["config"]
+        config_cls = _config_class(config_data["class"])
+        values = {
+            # JSON has no tuples; tuple-typed config fields (e.g.
+            # initial_thresholds) come back as lists.
+            key: tuple(v) if isinstance(v, list) else v
+            for key, v in config_data["values"].items()
+        }
+        return cls(
+            solver=str(data["solver"]),
+            objective=float(data["objective"]),
+            policy=policy,
+            best_responses=tuple(
+                BestResponse(
+                    adversary=int(r["adversary"]),
+                    victim=int(r["victim"]),
+                    utility=float(r["utility"]),
+                )
+                for r in data["best_responses"]
+            ),
+            diagnostics=MappingProxyType(dict(data["diagnostics"])),
+            wall_time=float(data["wall_time"]),
+            config=config_cls(**values),
+            raw=None,
+            solve_seconds=(
+                None
+                if data.get("solve_seconds") is None
+                else float(data["solve_seconds"])
+            ),
+        )
 
 
 def finalize_result(

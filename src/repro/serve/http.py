@@ -1,0 +1,398 @@
+"""HTTP layer: one route contract, two interchangeable apps.
+
+The contract is a table of :class:`Route` records — method, path
+pattern, handler — where every handler is an async function over the
+framework-agnostic :class:`~repro.serve.service.AuditService`.  Two
+adapters expose it:
+
+* :func:`make_fastapi_app` — a FastAPI application (when ``fastapi`` is
+  installed; ``pip install -e '.[serve]'``), for production serving
+  under uvicorn;
+* :class:`StdlibApp` — a dependency-free fallback on ``asyncio`` stream
+  servers with minimal HTTP/1.1 parsing, mirroring the repo's
+  scipy/HiGHS ↔ pure-simplex backend split: offline environments run
+  the same routes with the same payloads.
+
+Both adapters dispatch through :func:`dispatch`, so the contract cannot
+drift between them — the route-contract test suite drives the same
+requests through each.
+
+Routes
+------
+========  =====================  =============================================
+method    path                   purpose
+========  =====================  =============================================
+GET       /healthz               liveness + current policy version
+GET       /status                counters, drift, worker state
+GET       /policy                current published policy (full serialization)
+GET       /policy/{version}      stale-version read from the retained history
+POST      /score                 score alert-count rows against the policy
+POST      /alerts                ingest observed counts (feeds the estimator)
+POST      /resolve               force a re-solve and await the publish
+========  =====================  =============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Mapping
+
+from .service import AuditService
+
+__all__ = [
+    "Route",
+    "ROUTES",
+    "dispatch",
+    "StdlibApp",
+    "make_fastapi_app",
+    "have_fastapi",
+]
+
+Handler = Callable[
+    [AuditService, Mapping[str, str], object],
+    Awaitable[tuple[int, dict]],
+]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One entry of the shared route contract."""
+
+    method: str
+    pattern: str
+    handler: Handler
+    summary: str
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(
+            s for s in self.pattern.strip("/").split("/") if s
+        )
+
+    def match(self, path: str) -> Mapping[str, str] | None:
+        """Path params when ``path`` matches the pattern, else None."""
+        parts = tuple(p for p in path.strip("/").split("/") if p)
+        pattern = self.segments
+        if len(parts) != len(pattern):
+            return None
+        params: dict[str, str] = {}
+        for want, got in zip(pattern, parts):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+# ----------------------------------------------------------------------
+# Handlers (async, framework-free)
+# ----------------------------------------------------------------------
+
+
+async def _healthz(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    active = service.active()
+    return 200, {
+        "status": "ok",
+        "policy_version": None if active is None else active.version,
+    }
+
+
+async def _status(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    return 200, service.status()
+
+
+async def _policy(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    active = service.active()
+    if active is None:
+        return 404, {"error": "no policy published yet"}
+    return 200, {**active.describe(), "result": active.result.to_dict()}
+
+
+async def _policy_version(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    active = service.active()
+    if active is None:
+        return 404, {"error": "no policy published yet"}
+    try:
+        version = int(params["version"])
+    except ValueError:
+        return 400, {
+            "error": f"version must be an integer, got "
+            f"{params['version']!r}"
+        }
+    try:
+        record = service.store.get(active.key, version)
+    except KeyError as exc:
+        return 404, {"error": str(exc.args[0])}
+    return 200, {**record.describe(), "result": record.result.to_dict()}
+
+
+def _rows_from(body: object, field: str) -> object:
+    if not isinstance(body, Mapping) or field not in body:
+        raise ValueError(
+            f"request body must be a JSON object with {field!r}"
+        )
+    return body[field]
+
+
+async def _score(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    try:
+        payload = service.score(_rows_from(body, "alerts"))
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    except RuntimeError as exc:
+        return 409, {"error": str(exc)}
+    return 200, payload
+
+
+async def _alerts(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    try:
+        payload = service.ingest(_rows_from(body, "counts"))
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    except RuntimeError as exc:
+        return 409, {"error": str(exc)}
+    return 200, payload
+
+
+async def _resolve(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, dict]:
+    published = await service.resolve_now()
+    return 200, published.describe()
+
+
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", _healthz, "liveness probe"),
+    Route("GET", "/status", _status, "counters, drift, worker state"),
+    Route("GET", "/policy", _policy, "current published policy"),
+    Route(
+        "GET", "/policy/{version}", _policy_version,
+        "stale-version policy read",
+    ),
+    Route("POST", "/score", _score, "score alert rows vs the policy"),
+    Route("POST", "/alerts", _alerts, "ingest observed alert counts"),
+    Route("POST", "/resolve", _resolve, "force a re-solve and publish"),
+)
+
+
+async def dispatch(
+    service: AuditService, method: str, path: str, body: object = None
+) -> tuple[int, dict]:
+    """Route one request through the shared contract.
+
+    Returns ``(status, payload)``; unknown paths get 404, known paths
+    with the wrong method 405, and handler crashes a 500 envelope (the
+    stdlib server must never die on a bad request).
+    """
+    path = path.split("?", 1)[0]
+    method = method.upper()
+    allowed: list[str] = []
+    for route in ROUTES:
+        params = route.match(path)
+        if params is None:
+            continue
+        if route.method != method:
+            allowed.append(route.method)
+            continue
+        try:
+            return await route.handler(service, params, body)
+        except Exception as exc:  # noqa: BLE001 - envelope, not a crash
+            return 500, {
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+    if allowed:
+        return 405, {
+            "error": f"{method} not allowed on {path}; "
+            f"allowed: {', '.join(sorted(set(allowed)))}"
+        }
+    return 404, {"error": f"no route for {path}"}
+
+
+# ----------------------------------------------------------------------
+# Stdlib fallback app (no third-party dependencies)
+# ----------------------------------------------------------------------
+
+
+class StdlibApp:
+    """Asyncio stream-server app implementing the route contract.
+
+    In-process callers use :meth:`handle` directly (the route-contract
+    tests and the benchmark do); :meth:`serve` binds a real socket with
+    a minimal HTTP/1.1 request parser on top of the same dispatch.
+    """
+
+    #: Refuse request bodies larger than this (bytes).
+    MAX_BODY = 8 * 1024 * 1024
+
+    def __init__(self, service: AuditService) -> None:
+        self.service = service
+
+    async def handle(
+        self, method: str, path: str, body: object = None
+    ) -> tuple[int, dict]:
+        """In-process dispatch: ``(status, payload)`` for one request."""
+        return await dispatch(self.service, method, path, body)
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 8331
+    ) -> asyncio.AbstractServer:
+        """Bind and return an :class:`asyncio.AbstractServer` (started)."""
+        return await asyncio.start_server(
+            self._client_connected, host, port
+        )
+
+    async def run(
+        self, host: str = "127.0.0.1", port: int = 8331
+    ) -> None:
+        """Serve forever (until cancelled)."""
+        server = await self.serve(host, port)
+        async with server:
+            await server.serve_forever()
+
+    async def _client_connected(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, payload = await self._one_request(reader)
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        body = json.dumps(payload).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 409: "Conflict",
+                  413: "Payload Too Large",
+                  500: "Internal Server Error"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode() + body
+        )
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _one_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0], parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if content_length > self.MAX_BODY:
+            return 413, {
+                "error": f"body of {content_length} bytes exceeds "
+                f"{self.MAX_BODY}"
+            }
+        body: object = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+        return await dispatch(self.service, method, path, body)
+
+
+# ----------------------------------------------------------------------
+# FastAPI adapter (optional dependency)
+# ----------------------------------------------------------------------
+
+
+def have_fastapi() -> bool:
+    """True when the optional ``fastapi`` dependency is importable."""
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_fastapi_app(service: AuditService):
+    """A FastAPI application over the same route contract.
+
+    Every route funnels through :func:`dispatch`, so payloads and
+    status codes are identical to :class:`StdlibApp` by construction.
+    Raises ``ImportError`` with an install hint when FastAPI is absent
+    — use :class:`StdlibApp` then.
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as exc:  # pragma: no cover - env without fastapi
+        raise ImportError(
+            "fastapi is not installed; pip install -e '.[serve]' or "
+            "use repro.serve.StdlibApp"
+        ) from exc
+
+    app = FastAPI(
+        title="repro.serve audit-policy service",
+        description=(
+            "Streaming alert scoring and drift-triggered re-solving "
+            "over the ICDE'18 audit game engine."
+        ),
+    )
+
+    def bind(route: Route):
+        async def endpoint(request: Request):
+            body: object = None
+            if route.method == "POST":
+                raw = await request.body()
+                if raw:
+                    try:
+                        body = json.loads(raw)
+                    except json.JSONDecodeError as exc:
+                        return JSONResponse(
+                            {"error": f"invalid JSON body: {exc}"},
+                            status_code=400,
+                        )
+            status, payload = await dispatch(
+                service,
+                route.method,
+                request.url.path,
+                body,
+            )
+            return JSONResponse(payload, status_code=status)
+
+        app.add_api_route(
+            route.pattern,
+            endpoint,
+            methods=[route.method],
+            summary=route.summary,
+        )
+
+    for route in ROUTES:
+        bind(route)
+    return app

@@ -1,0 +1,524 @@
+"""The async audit-policy service core.
+
+:class:`AuditService` wires the existing layers into a long-running
+defender: a :class:`~repro.serve.store.PolicyStore` holds published
+policies keyed by (count-model fingerprint, budget); incoming alert
+batches feed a :mod:`repro.sim` distribution estimator online; a
+background worker watches the estimated model drift away from the
+published one and re-solves through warm
+:class:`~repro.engine.AuditEngine` instances, publishing the new policy
+version with an atomic swap; and request-time scoring
+(:class:`~repro.serve.scoring.PolicyScorer`) reads whichever version is
+current without ever touching the solver hot path.
+
+The service is framework-agnostic: both the FastAPI app and the stdlib
+asyncio fallback in :mod:`repro.serve.http` are thin adapters over the
+async methods here.  Solves run in a worker thread
+(``asyncio.to_thread``), so the event loop keeps answering ``/score``
+and ``/alerts`` while a re-solve is in flight — the old policy version
+serves until the new one swaps in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+import typing
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..core.game import AuditGame
+from ..distributions.joint import JointCountModel
+from ..engine import AuditEngine
+from ..engine import registry as engine_registry
+from ..engine.config import coerce_value
+from ..engine.result import SolveResult
+from ..sim.registry import ESTIMATORS
+from ..sim.simulator import DistributionEstimator, _coerced_options
+from .scoring import PolicyScorer, ScoreBatch
+from .store import PolicyStore, PublishedPolicy, model_fingerprint
+
+__all__ = ["ServeConfig", "AuditService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Complete tuning surface of one audit-policy service.
+
+    Attributes
+    ----------
+    solver, solver_options:
+        Registry solver used for every (re-)solve and its overrides.
+    estimator, estimator_options:
+        Online distribution estimator fed by ``/alerts`` (a plugin name
+        from :data:`~repro.sim.registry.ESTIMATORS`).
+    drift_threshold:
+        Relative per-type mean shift between the estimated and the
+        published count model that schedules a background re-solve.
+    auto_resolve:
+        False disables drift-triggered re-solves (``/resolve`` still
+        works).
+    keep_versions:
+        Policy versions retained per store key for stale reads.
+    max_batch:
+        Upper bound on rows accepted per ``/score`` / ``/alerts`` call.
+    solver_seed, n_samples, backend, workers:
+        Engine construction parameters (as in the simulator).
+    """
+
+    solver: str = "ishm"
+    solver_options: Mapping[str, object] = field(default_factory=dict)
+    estimator: str = "rolling-empirical"
+    estimator_options: Mapping[str, object] = field(default_factory=dict)
+    drift_threshold: float = 0.15
+    auto_resolve: bool = True
+    keep_versions: int = 8
+    max_batch: int = 4096
+    solver_seed: int = 0
+    n_samples: int = 2000
+    backend: str = "scipy"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be >= 0, got {self.drift_threshold}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[str, str]) -> "ServeConfig":
+        """Build from flat CLI-style ``k=v`` pairs.
+
+        Plain keys coerce onto :class:`ServeConfig` fields; dotted keys
+        route to plugin options (``estimator.window=14``,
+        ``solver.step_size=0.5``), mirroring ``SimConfig.from_pairs``.
+        """
+        hints = typing.get_type_hints(cls)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        plain: dict[str, object] = {}
+        nested: dict[str, dict[str, str]] = {}
+        for key, value in pairs.items():
+            scope, dot, option = key.partition(".")
+            if dot:
+                if scope not in ("estimator", "solver"):
+                    raise ValueError(
+                        f"unknown plugin scope {scope!r} in option "
+                        f"{key!r}; use estimator./solver."
+                    )
+                if not option:
+                    raise ValueError(f"empty option name in {key!r}")
+                nested.setdefault(scope, {})[option] = value
+            elif key.endswith("_options") and key in fields:
+                scope = key[: -len("_options")]
+                raise ValueError(
+                    f"{key} cannot be set directly; use dotted options "
+                    f"like {scope}.<option>=<value>"
+                )
+            elif key in fields:
+                plain[key] = (
+                    coerce_value(value, hints[key])
+                    if isinstance(value, str)
+                    else value
+                )
+            else:
+                raise ValueError(
+                    f"ServeConfig has no option {key!r}; valid options: "
+                    f"{', '.join(sorted(fields))}"
+                )
+        for scope, options in nested.items():
+            plain[f"{scope}_options"] = options
+        return cls(**plain)
+
+    def replace(self, **changes: object) -> "ServeConfig":
+        """Functional update (alias for :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class _ActivePolicy:
+    """The immutable serving snapshot swapped on every publish."""
+
+    published: PublishedPolicy
+    scorer: PolicyScorer
+    model: JointCountModel
+    means: np.ndarray
+
+
+@dataclass(frozen=True)
+class _ResolveRequest:
+    model: JointCountModel
+    budget: float
+    triggered_at: float
+    drift: float
+    reason: str
+
+
+class AuditService:
+    """Long-running defender over one audit game.
+
+    Construction validates the solver and estimator configuration
+    (fail fast, before the service goes live); :meth:`start` solves and
+    publishes the initial policy from the game's prior count model and
+    launches the background re-solve worker; :meth:`stop` tears both
+    down.  Use as an async context manager::
+
+        async with AuditService(game, drift_threshold=0.2) as service:
+            scores = service.score([[3, 1, 4, 1]])
+    """
+
+    #: Engines kept alive across re-solves (one per distinct
+    #: (fingerprint, budget); bounds pinned scenario sets, as in the
+    #: simulator).
+    MAX_ENGINES = 4
+
+    def __init__(
+        self,
+        game: AuditGame,
+        config: ServeConfig | None = None,
+        **overrides: object,
+    ) -> None:
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.game = game
+        self.config = config
+        estimator_spec = ESTIMATORS.get(config.estimator)
+        self._estimator_options = _coerced_options(
+            estimator_spec.factory, config.estimator_options
+        )
+        self._estimator: DistributionEstimator = ESTIMATORS.create(
+            config.estimator, game, self._estimator_options
+        )
+        # Fail fast on solver misconfiguration, before period 0.
+        engine_registry.make_config(
+            engine_registry.get_solver(config.solver),
+            dict(config.solver_options),
+        )
+        self.store = PolicyStore(keep_versions=config.keep_versions)
+        self._active: _ActivePolicy | None = None
+        self._engines: dict[tuple[str, float], AuditEngine] = {}
+        self._solve_memo: dict[tuple[str, float], SolveResult] = {}
+        self._engines_lock = threading.RLock()
+        self._pending: _ResolveRequest | None = None
+        self._wake = asyncio.Event()
+        self._resolve_lock = asyncio.Lock()
+        self._worker_task: asyncio.Task | None = None
+        self._started_at = time.time()
+        # Counters surfaced by /status.
+        self.events_ingested = 0
+        self.score_requests = 0
+        self.rows_scored = 0
+        self.resolves_scheduled = 0
+        self.resolves_completed = 0
+        self.last_resolve_lag_seconds: float | None = None
+        self.last_drift = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Publish the initial policy and launch the re-solve worker."""
+        if self._worker_task is not None:
+            return
+        if self._active is None:
+            await self._resolve(
+                _ResolveRequest(
+                    model=self.game.counts,
+                    budget=float(self.game.budget),
+                    triggered_at=time.monotonic(),
+                    drift=0.0,
+                    reason="initial",
+                )
+            )
+        self._worker_task = asyncio.create_task(
+            self._worker(), name="repro-serve-resolver"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the worker and shut down engine worker pools."""
+        task, self._worker_task = self._worker_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        with self._engines_lock:
+            for engine in self._engines.values():
+                engine.close()
+
+    async def __aenter__(self) -> "AuditService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    @property
+    def worker_running(self) -> bool:
+        return (
+            self._worker_task is not None
+            and not self._worker_task.done()
+        )
+
+    # ------------------------------------------------------------------
+    # Request-time operations (cheap, never touch the solver)
+    # ------------------------------------------------------------------
+
+    def active(self) -> PublishedPolicy | None:
+        """The currently-served policy version (None before start)."""
+        snapshot = self._active
+        return None if snapshot is None else snapshot.published
+
+    def score(self, alerts: object) -> dict[str, object]:
+        """Score realized alert-count rows against the current policy.
+
+        The snapshot is taken once per call, so a concurrent republish
+        cannot tear a response: every row scores against one version,
+        and the response names it.
+        """
+        snapshot = self._active
+        if snapshot is None:
+            raise RuntimeError(
+                "no policy published yet; call start() first"
+            )
+        batch = snapshot.scorer.as_batch(alerts)
+        if batch.shape[0] > self.config.max_batch:
+            raise ValueError(
+                f"batch of {batch.shape[0]} rows exceeds max_batch="
+                f"{self.config.max_batch}"
+            )
+        scores: ScoreBatch = snapshot.scorer.score(batch)
+        self.score_requests += 1
+        self.rows_scored += scores.n_rows
+        return {
+            "policy_version": snapshot.published.version,
+            "fingerprint": snapshot.published.fingerprint,
+            "rows": scores.n_rows,
+            **scores.to_payload(),
+        }
+
+    def ingest(self, counts: object) -> dict[str, object]:
+        """Feed observed alert-count rows to the online estimator.
+
+        Each row counts as one observation period.  After the batch the
+        estimated model's drift against the published one is measured;
+        past ``drift_threshold`` (with ``auto_resolve``) a background
+        re-solve is scheduled — this call never blocks on solving.
+        """
+        snapshot = self._active
+        if snapshot is None:
+            raise RuntimeError(
+                "no policy published yet; call start() first"
+            )
+        arr = np.asarray(counts, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.game.n_types:
+            raise ValueError(
+                f"alert batch must have shape (B, {self.game.n_types}), "
+                f"got {arr.shape}"
+            )
+        if arr.shape[0] > self.config.max_batch:
+            raise ValueError(
+                f"batch of {arr.shape[0]} rows exceeds max_batch="
+                f"{self.config.max_batch}"
+            )
+        if arr.size and (arr.min() < 0 or not np.isfinite(arr).all()):
+            raise ValueError(
+                "alert counts must be finite and non-negative"
+            )
+        rows = arr.astype(np.int64)
+        for row in rows:
+            self._estimator.observe(self.events_ingested, row)
+            self.events_ingested += 1
+        model = self._estimator.model()
+        drift = self._drift(snapshot, model)
+        self.last_drift = drift
+        scheduled = False
+        if (
+            self.config.auto_resolve
+            and drift >= self.config.drift_threshold
+            and model is not snapshot.model
+        ):
+            scheduled = self._request_resolve(model, drift, "drift")
+        return {
+            "observed": int(rows.shape[0]),
+            "events_ingested": self.events_ingested,
+            "drift": drift,
+            "resolve_scheduled": scheduled,
+            "policy_version": snapshot.published.version,
+        }
+
+    def status(self) -> dict[str, object]:
+        """JSON-ready service status (the ``/status`` payload)."""
+        snapshot = self._active
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "events_ingested": self.events_ingested,
+            "score_requests": self.score_requests,
+            "rows_scored": self.rows_scored,
+            "resolves_scheduled": self.resolves_scheduled,
+            "resolves_completed": self.resolves_completed,
+            "last_resolve_lag_seconds": self.last_resolve_lag_seconds,
+            "drift": self.last_drift,
+            "drift_threshold": self.config.drift_threshold,
+            "resolve_pending": self._pending is not None
+            or self._resolve_lock.locked(),
+            "worker_running": self.worker_running,
+            "policy_keys": len(self.store),
+            "policy": None
+            if snapshot is None
+            else snapshot.published.describe(),
+        }
+
+    # ------------------------------------------------------------------
+    # Re-solving (the background path)
+    # ------------------------------------------------------------------
+
+    def _drift(
+        self, snapshot: _ActivePolicy, model: JointCountModel
+    ) -> float:
+        """Max relative per-type mean shift vs the published model."""
+        if model is snapshot.model:
+            return 0.0
+        means = np.array(
+            [m.mean() for m in model.marginals], dtype=np.float64
+        )
+        base = np.maximum(np.abs(snapshot.means), 1.0)
+        return float(np.max(np.abs(means - snapshot.means) / base))
+
+    def _request_resolve(
+        self, model: JointCountModel, drift: float, reason: str
+    ) -> bool:
+        """Queue a background re-solve (latest request wins)."""
+        if self._worker_task is None:
+            return False
+        self._pending = _ResolveRequest(
+            model=model,
+            budget=float(self.game.budget),
+            triggered_at=time.monotonic(),
+            drift=drift,
+            reason=reason,
+        )
+        self.resolves_scheduled += 1
+        self._wake.set()
+        return True
+
+    async def resolve_now(self) -> PublishedPolicy:
+        """Force a re-solve of the latest estimated model and await it."""
+        request = _ResolveRequest(
+            model=self._estimator.model(),
+            budget=float(self.game.budget),
+            triggered_at=time.monotonic(),
+            drift=self.last_drift,
+            reason="manual",
+        )
+        self.resolves_scheduled += 1
+        return await self._resolve(request)
+
+    async def _worker(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while True:
+                request, self._pending = self._pending, None
+                if request is None:
+                    break
+                await self._resolve(request)
+
+    async def _resolve(
+        self, request: _ResolveRequest
+    ) -> PublishedPolicy:
+        """Solve off-loop, publish atomically, swap the serving snapshot."""
+        async with self._resolve_lock:
+            fingerprint = model_fingerprint(request.model)
+            result = await asyncio.to_thread(
+                self._solve_blocking,
+                fingerprint,
+                request.model,
+                request.budget,
+            )
+            lag = time.monotonic() - request.triggered_at
+            published = self.store.publish(
+                fingerprint,
+                request.budget,
+                result,
+                meta={
+                    "drift": request.drift,
+                    "reason": request.reason,
+                    "resolve_lag_seconds": lag,
+                },
+            )
+            game = self._game_for(request.model, request.budget)
+            self._active = _ActivePolicy(
+                published=published,
+                scorer=PolicyScorer(result.policy, game),
+                model=request.model,
+                means=np.array(
+                    [m.mean() for m in request.model.marginals],
+                    dtype=np.float64,
+                ),
+            )
+            self.resolves_completed += 1
+            self.last_resolve_lag_seconds = lag
+            return published
+
+    def _game_for(
+        self, model: JointCountModel, budget: float
+    ) -> AuditGame:
+        game = self.game.with_budget(budget)
+        if model is not self.game.counts:
+            game = dataclasses.replace(game, counts=model)
+        return game
+
+    def _solve_blocking(
+        self,
+        fingerprint: str,
+        model: JointCountModel,
+        budget: float,
+    ) -> SolveResult:
+        """Warm-started solve (runs on a worker thread).
+
+        Engines are kept per (fingerprint, budget) content key, so a
+        model that drifts back to a previously-solved distribution
+        replays that engine's caches — and an unchanged model replays
+        the memoized result outright (determinism makes both lossless).
+        """
+        cfg = self.config
+        key = (fingerprint, float(budget))
+        with self._engines_lock:
+            memoized = self._solve_memo.get(key)
+            if memoized is not None:
+                return memoized
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = AuditEngine(
+                    self._game_for(model, budget),
+                    backend=cfg.backend,
+                    seed=cfg.solver_seed,
+                    workers=cfg.workers,
+                    n_samples=cfg.n_samples,
+                )
+                self._engines[key] = engine
+                while len(self._engines) > self.MAX_ENGINES:
+                    evicted_key = next(iter(self._engines))
+                    self._engines.pop(evicted_key).close()
+                    self._solve_memo.pop(evicted_key, None)
+            else:
+                self._engines[key] = self._engines.pop(key)
+        result = engine.solve(cfg.solver, dict(cfg.solver_options))
+        with self._engines_lock:
+            if key in self._engines:
+                self._solve_memo[key] = result
+        return result

@@ -278,6 +278,30 @@ class TestSimMode:
             )
 
 
+class TestServeMode:
+    def test_serve_conflicts_with_other_modes(self):
+        with pytest.raises(SystemExit):
+            main(["--serve", "--sim"])
+        with pytest.raises(SystemExit):
+            main(["--serve", "--only", "table3"])
+        with pytest.raises(SystemExit):
+            main(["--serve", "--full"])
+
+    def test_serve_config_requires_serve_mode(self):
+        with pytest.raises(SystemExit):
+            main(["--serve-config", "drift_threshold=0.2"])
+
+    def test_bad_serve_config_is_clean_error(self):
+        with pytest.raises(SystemExit, match="--serve-config error"):
+            main(["--serve", "--serve-config", "no_such_option=1"])
+        with pytest.raises(SystemExit, match="--serve-config error"):
+            main(["--serve", "--serve-config", "estimator=psychic"])
+
+    def test_malformed_serve_config_pair(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["--serve", "--serve-config", "drift_threshold"])
+
+
 class TestMain:
     def test_writes_selected_artifact(self, tmp_path, monkeypatch):
         # Patch in a stub experiment so the CLI test stays fast.

@@ -1,0 +1,139 @@
+"""SolveResult JSON round-trip: to_dict/from_dict must be lossless."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import AuditEngine
+from repro.engine.result import SolveResult
+
+
+@pytest.fixture(scope="module")
+def results(tiny_game_module):
+    engine = AuditEngine(tiny_game_module)
+    return {
+        "ishm": engine.solve("ishm", step_size=0.5),
+        "random": engine.solve("random-threshold", n_draws=3),
+    }
+
+
+@pytest.fixture(scope="module")
+def tiny_game_module():
+    from repro.core import (
+        AlertType,
+        AlertTypeSet,
+        AttackTypeMap,
+        AuditGame,
+        PayoffModel,
+    )
+    from repro.distributions import DiscretizedGaussian, JointCountModel
+
+    alert_types = AlertTypeSet(
+        (
+            AlertType("fast", audit_cost=1.0),
+            AlertType("slow", audit_cost=2.0),
+        )
+    )
+    type_matrix = np.array([[0, 1, -1], [1, 0, 0]])
+    payoffs = PayoffModel.create(
+        n_adversaries=2,
+        n_victims=3,
+        benefit=np.where(
+            type_matrix == 0, 4.0, np.where(type_matrix == 1, 6.0, 0.0)
+        ),
+        penalty=5.0,
+        attack_cost=0.5,
+        attack_prior=1.0,
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=JointCountModel(
+            [
+                DiscretizedGaussian(mean=3.0, std=1.0),
+                DiscretizedGaussian(mean=2.0, std=1.0),
+            ]
+        ),
+        attack_map=AttackTypeMap.from_type_matrix(type_matrix, n_types=2),
+        payoffs=payoffs,
+        budget=3.0,
+    )
+
+
+@pytest.mark.parametrize("name", ["ishm", "random"])
+class TestRoundTrip:
+    def test_bitwise_through_json(self, results, name):
+        """dict -> json -> dict -> SolveResult preserves every number.
+
+        Python's ``json`` writes floats with ``repr``, which round-trips
+        any finite float64 bit for bit — so equality here is exact, not
+        approximate.
+        """
+        result = results[name]
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = SolveResult.from_dict(wire)
+
+        assert restored.solver == result.solver
+        assert restored.objective == result.objective  # bitwise
+        assert restored.wall_time == result.wall_time
+        assert restored.solve_seconds == result.solve_seconds
+
+        # Policy: orderings, mixed weights and thresholds, exactly.
+        assert tuple(
+            tuple(o) for o in restored.policy.orderings
+        ) == tuple(tuple(o) for o in result.policy.orderings)
+        np.testing.assert_array_equal(
+            restored.policy.probabilities, result.policy.probabilities
+        )
+        np.testing.assert_array_equal(
+            restored.policy.thresholds, result.policy.thresholds
+        )
+        assert restored.policy.probabilities.dtype == np.float64
+
+        # Best responses, exactly.
+        assert len(restored.best_responses) == len(result.best_responses)
+        for ours, theirs in zip(
+            restored.best_responses, result.best_responses
+        ):
+            assert ours.adversary == theirs.adversary
+            assert ours.victim == theirs.victim
+            assert ours.utility == theirs.utility
+
+        # The config echo restores to an equal typed config.
+        assert type(restored.config) is type(result.config)
+        assert restored.config == result.config
+
+    def test_second_round_trip_is_identity(self, results, name):
+        once = SolveResult.from_dict(
+            json.loads(json.dumps(results[name].to_dict()))
+        )
+        twice = SolveResult.from_dict(
+            json.loads(json.dumps(once.to_dict()))
+        )
+        assert once.to_dict() == twice.to_dict()
+
+    def test_raw_is_dropped_by_contract(self, results, name):
+        restored = SolveResult.from_dict(results[name].to_dict())
+        assert restored.raw is None
+        assert "raw" not in results[name].to_dict()
+
+    def test_diagnostics_survive(self, results, name):
+        result = results[name]
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = SolveResult.from_dict(wire)
+        assert set(restored.diagnostics) == set(result.diagnostics)
+        assert (
+            restored.diagnostics["n_scenarios"]
+            == result.diagnostics["n_scenarios"]
+        )
+        with pytest.raises(TypeError):
+            restored.diagnostics["n_scenarios"] = 0  # read-only
+
+
+def test_unknown_config_class_is_rejected(results):
+    wire = results["ishm"].to_dict()
+    wire["config"] = {"class": "NoSuchConfig", "values": {}}
+    with pytest.raises(ValueError, match="NoSuchConfig"):
+        SolveResult.from_dict(wire)

@@ -1,0 +1,48 @@
+"""Shared serve-layer fixtures.
+
+Service tests run real solves, so the shared configuration keeps them
+cheap: Syn A at budget 2 with a coarse ISHM step.  Async tests drive
+their own event loop via ``asyncio.run`` (one loop per test, no
+framework plugin needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import syn_a
+from repro.engine import AuditEngine
+from repro.serve import AuditService
+
+#: Cheap-but-real solver settings shared by every service test.
+FAST = {
+    "solver": "ishm",
+    "solver_options": {"step_size": 0.5},
+    "estimator": "rolling-empirical",
+    "estimator_options": {"window": 8, "min_periods": 2},
+}
+
+
+@pytest.fixture(scope="session")
+def serve_game():
+    """The small game every service test solves (Syn A, budget 2)."""
+    return syn_a(budget=2)
+
+
+@pytest.fixture()
+def make_service(serve_game):
+    """Factory for an :class:`AuditService` with the fast test config."""
+
+    def factory(game=None, **overrides) -> AuditService:
+        return AuditService(
+            serve_game if game is None else game, **{**FAST, **overrides}
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def solve_result(serve_game):
+    """One real SolveResult to publish in store-level tests."""
+    with AuditEngine(serve_game) as engine:
+        return engine.solve("ishm", step_size=0.5)

@@ -1,0 +1,180 @@
+"""PolicyScorer: request-time scoring vs the reference detection kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlertType,
+    AlertTypeSet,
+    AttackTypeMap,
+    AuditGame,
+    PayoffModel,
+)
+from repro.core.detection import pal_for_ordering
+from repro.core.policy import AuditPolicy, Ordering
+from repro.distributions import ConstantCount, JointCountModel
+from repro.serve import PolicyScorer
+
+
+def constant_game(z0: int, z1: int, budget: float = 3.0) -> AuditGame:
+    """2-type game whose scenario set is the single realization (z0, z1).
+
+    Costs (1, 2) as in the shared tiny game; constant counts make the
+    scenario set degenerate, so the reference kernel's expectation *is*
+    the per-row score.
+    """
+    alert_types = AlertTypeSet(
+        (
+            AlertType("fast", audit_cost=1.0),
+            AlertType("slow", audit_cost=2.0),
+        )
+    )
+    counts = JointCountModel([ConstantCount(z0), ConstantCount(z1)])
+    type_matrix = np.array([[0, 1, -1], [1, 0, 0]])
+    payoffs = PayoffModel.create(
+        n_adversaries=2,
+        n_victims=3,
+        benefit=np.where(
+            type_matrix == 0, 4.0, np.where(type_matrix == 1, 6.0, 0.0)
+        ),
+        penalty=5.0,
+        attack_cost=0.5,
+        attack_prior=1.0,
+    )
+    return AuditGame(
+        alert_types=alert_types,
+        counts=counts,
+        attack_map=AttackTypeMap.from_type_matrix(type_matrix, n_types=2),
+        payoffs=payoffs,
+        budget=budget,
+    )
+
+
+def mixed_policy(thresholds=(2.0, 2.0), p=(0.4, 0.6)) -> AuditPolicy:
+    return AuditPolicy(
+        orderings=(Ordering((0, 1)), Ordering((1, 0))),
+        probabilities=np.asarray(p, dtype=np.float64),
+        thresholds=np.asarray(thresholds, dtype=np.float64),
+    )
+
+
+class TestKernelAgreement:
+    @pytest.mark.parametrize("z", [(2, 1), (5, 3), (1, 0), (0, 0)])
+    def test_single_row_matches_pal(self, z):
+        """Scoring the realized Z equals eq. 1 on a degenerate scenario set.
+
+        With ConstantCount marginals the game's scenario set holds exactly
+        the one realization we score, so ``Pal(o, b, t)`` from the
+        reference kernel *is* the per-row detection — mixed over the
+        policy weights.
+        """
+        game = constant_game(*z)
+        scenarios = game.scenario_set()
+        assert scenarios.counts.shape[0] == 1
+        assert tuple(scenarios.counts[0]) == z
+        policy = mixed_policy()
+        scorer = PolicyScorer(policy, game)
+        scores = scorer.score([list(z)])
+        expected = np.zeros(game.n_types)
+        for ordering, p_o in zip(policy.orderings, policy.probabilities):
+            expected += p_o * pal_for_ordering(
+                ordering,
+                policy.thresholds,
+                scenarios,
+                game.costs,
+                game.budget,
+                zero_count_rule=game.zero_count_rule,
+            )
+        np.testing.assert_allclose(
+            scores.detection[0], expected, rtol=0, atol=0
+        )
+
+    def test_batch_rows_are_independent(self):
+        game = constant_game(2, 1)
+        scorer = PolicyScorer(mixed_policy(), game)
+        rows = [[2, 1], [7, 0], [0, 4], [3, 3]]
+        batch = scorer.score(rows)
+        for i, row in enumerate(rows):
+            single = scorer.score([row])
+            np.testing.assert_array_equal(
+                batch.detection[i], single.detection[0]
+            )
+            np.testing.assert_array_equal(
+                batch.audited[i], single.audited[0]
+            )
+            assert batch.spent[i] == single.spent[0]
+
+    def test_audited_and_spend_hand_check(self):
+        # Budget 3, costs (1, 2), thresholds (2, 2), Z = (2, 1).
+        # Ordering (0, 1): type 0 audits min(floor(3/1), floor(2/1), 2)=2
+        # consuming min(2, 2*1)=2; type 1 then has capacity
+        # floor((3-2)/2)=0 -> audits 0.
+        # Ordering (1, 0): type 1 audits min(floor(3/2), floor(2/2), 1)=1
+        # consuming min(2, 1*2)=2; type 0 then audits
+        # min(floor((3-2)/1), 2, 2)=1.
+        game = constant_game(2, 1)
+        scorer = PolicyScorer(mixed_policy(p=(0.4, 0.6)), game)
+        scores = scorer.score([[2, 1]])
+        np.testing.assert_allclose(
+            scores.audited[0], [0.4 * 2 + 0.6 * 1, 0.6 * 1]
+        )
+        np.testing.assert_allclose(
+            scores.detection[0], [0.4 * 2 / 2 + 0.6 * 1 / 2, 0.6 * 1 / 1]
+        )
+        # Spend = audited @ costs.
+        np.testing.assert_allclose(
+            scores.spent[0], (0.4 * 2 + 0.6) * 1.0 + 0.6 * 2.0
+        )
+
+    def test_zero_count_unit_rule(self):
+        # Z = (0, 0): the phantom singleton bin is caught when capacity
+        # remains, but no realized alert is audited and no budget spent.
+        game = constant_game(0, 0)
+        scorer = PolicyScorer(mixed_policy(), game)
+        scores = scorer.score([[0, 0]])
+        np.testing.assert_array_equal(scores.detection[0], [1.0, 1.0])
+        np.testing.assert_array_equal(scores.audited[0], [0.0, 0.0])
+        assert scores.spent[0] == 0.0
+
+
+class TestValidation:
+    def test_rejects_mismatched_types(self):
+        game = constant_game(2, 1)
+        scorer = PolicyScorer(mixed_policy(), game)
+        with pytest.raises(ValueError, match=r"shape \(B, 2\)"):
+            scorer.score([[1, 2, 3]])
+
+    def test_rejects_negative_and_nonfinite(self):
+        scorer = PolicyScorer(mixed_policy(), constant_game(2, 1))
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            scorer.score([[-1, 2]])
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            scorer.score([[np.nan, 2]])
+
+    def test_rejects_policy_game_mismatch(self):
+        game = constant_game(2, 1)
+        policy = AuditPolicy(
+            orderings=(Ordering((0, 1, 2)),),
+            probabilities=np.array([1.0]),
+            thresholds=np.array([1.0, 1.0, 1.0]),
+        )
+        with pytest.raises(ValueError, match="types"):
+            PolicyScorer(policy, game)
+
+    def test_single_vector_coerces_to_one_row(self):
+        scorer = PolicyScorer(mixed_policy(), constant_game(2, 1))
+        scores = scorer.score([2, 1])
+        assert scores.n_rows == 1
+        payload = scores.to_payload()
+        assert isinstance(payload["detection"][0][0], float)
+
+    def test_support_is_pruned(self):
+        game = constant_game(2, 1)
+        policy = AuditPolicy(
+            orderings=(Ordering((0, 1)), Ordering((1, 0))),
+            probabilities=np.array([1.0, 0.0]),
+            thresholds=np.array([2.0, 2.0]),
+        )
+        assert PolicyScorer(policy, game).support_size == 1

@@ -1,0 +1,165 @@
+"""PolicyStore semantics: fingerprints, versioning, atomic republish."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import syn_a
+from repro.distributions import (
+    DiscretizedGaussian,
+    EmpiricalCounts,
+    JointCountModel,
+)
+from repro.serve import PolicyStore, model_fingerprint
+from repro.serve.store import make_key
+
+
+class TestFingerprint:
+    def test_equal_content_shares_fingerprint(self):
+        # Two separately built model objects with identical content must
+        # land on the same store key (a warm re-publish replaces, not
+        # forks).
+        a = syn_a(budget=2).counts
+        b = syn_a(budget=10).counts  # budget is not part of the model
+        assert a is not b
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_distinct_models_do_not_collide(self):
+        base = JointCountModel(
+            [
+                DiscretizedGaussian(mean=3.0, std=1.0),
+                DiscretizedGaussian(mean=2.0, std=1.0),
+            ]
+        )
+        shifted = JointCountModel(
+            [
+                DiscretizedGaussian(mean=3.5, std=1.0),
+                DiscretizedGaussian(mean=2.0, std=1.0),
+            ]
+        )
+        assert model_fingerprint(base) != model_fingerprint(shifted)
+
+    def test_distribution_family_is_hashed(self):
+        # Same support and (nearly) same pmf through a different class
+        # still separates: the class name participates in the hash.
+        gaussian = DiscretizedGaussian(mean=3.0, std=1.0)
+        empirical = EmpiricalCounts.from_samples(
+            np.repeat(gaussian.support(), 1)
+        )
+        a = JointCountModel([gaussian])
+        b = JointCountModel([empirical])
+        assert model_fingerprint(a) != model_fingerprint(b)
+
+    def test_make_key_includes_budget(self):
+        model = syn_a(budget=2).counts
+        assert make_key(model, 2) != make_key(model, 10)
+
+
+class TestVersioning:
+    def test_first_publish_is_version_one(self, solve_result):
+        store = PolicyStore()
+        record = store.publish("fp", 2.0, solve_result)
+        assert record.version == 1
+        assert store.current(("fp", 2.0)) is record
+        assert len(store) == 1
+
+    def test_republish_bumps_version_per_key(self, solve_result):
+        store = PolicyStore()
+        store.publish("fp", 2.0, solve_result)
+        second = store.publish("fp", 2.0, solve_result)
+        other = store.publish("other", 2.0, solve_result)
+        assert second.version == 2
+        assert other.version == 1  # versions are per key
+        assert store.versions(("fp", 2.0)) == (1, 2)
+
+    def test_stale_version_reads(self, solve_result):
+        store = PolicyStore(keep_versions=3)
+        records = [
+            store.publish("fp", 2.0, solve_result, meta={"i": i})
+            for i in range(5)
+        ]
+        # Current is the newest; versions 3..5 are retained, 1..2 aged
+        # out of the keep_versions=3 window.
+        assert store.current(("fp", 2.0)) is records[-1]
+        assert store.versions(("fp", 2.0)) == (3, 4, 5)
+        assert store.get(("fp", 2.0), 3).meta["i"] == 2
+        with pytest.raises(KeyError, match="not retained"):
+            store.get(("fp", 2.0), 1)
+        with pytest.raises(KeyError, match="no policy published"):
+            store.get(("nope", 2.0), 1)
+
+    def test_meta_is_read_only(self, solve_result):
+        record = PolicyStore().publish(
+            "fp", 2.0, solve_result, meta={"reason": "drift"}
+        )
+        with pytest.raises(TypeError):
+            record.meta["reason"] = "tampered"  # type: ignore[index]
+
+    def test_keep_versions_validated(self):
+        with pytest.raises(ValueError, match="keep_versions"):
+            PolicyStore(keep_versions=0)
+
+    def test_publish_for_uses_content_key(self, solve_result):
+        store = PolicyStore()
+        model = syn_a(budget=2).counts
+        record = store.publish_for(model, 2.0, solve_result)
+        assert record.fingerprint == model_fingerprint(model)
+        assert store.current(make_key(model, 2.0)) is record
+
+
+class TestRepublishAtomicity:
+    def test_concurrent_readers_never_see_a_mixture(self, solve_result):
+        """Readers racing a republish storm observe only complete records.
+
+        Each publish stamps ``meta["i"] == version - 1``; a torn swap
+        (new version with old meta, or vice versa) would break that
+        invariant for some reader.  Versions must also be monotone per
+        reader — the current pointer never moves backwards.
+        """
+        store = PolicyStore(keep_versions=4)
+        key = ("fp", 2.0)
+        n_publishes = 300
+        store.publish("fp", 2.0, solve_result, meta={"i": 0})
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            last_version = 0
+            while not stop.is_set():
+                record = store.current(key)
+                if record.version != record.meta["i"] + 1:
+                    failures.append(
+                        f"torn record: version={record.version} "
+                        f"meta={dict(record.meta)}"
+                    )
+                if record.version < last_version:
+                    failures.append(
+                        f"version moved backwards: {last_version} -> "
+                        f"{record.version}"
+                    )
+                last_version = record.version
+                # Retained stale versions stay internally consistent too.
+                for version in store.versions(key)[:-1]:
+                    try:
+                        stale = store.get(key, version)
+                    except KeyError:
+                        continue  # aged out between list and read
+                    if stale.version != stale.meta["i"] + 1:
+                        failures.append(
+                            f"torn stale record at version {version}"
+                        )
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(1, n_publishes):
+            store.publish("fp", 2.0, solve_result, meta={"i": i})
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures[:5]
+        assert store.current(key).version == n_publishes
+        assert store.publishes == n_publishes
