@@ -55,7 +55,7 @@ def test_ablation_scenario_count(benchmark):
     )
     rows = [
         [str(n), f"{err:.4f}"]
-        for n, err in zip(sample_counts, errors)
+        for n, err in zip(sample_counts, errors, strict=True)
     ]
     emit(
         "Ablation — sampling error of eq. 1 "

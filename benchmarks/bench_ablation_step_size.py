@@ -47,7 +47,7 @@ def test_ablation_step_size(benchmark):
         },
     )
     rows = []
-    for step, result in zip(steps, results):
+    for step, result in zip(steps, results, strict=True):
         gap = result.objective - optimal.objective
         rows.append(
             [
@@ -70,6 +70,6 @@ def test_ablation_step_size(benchmark):
 
     # Finer steps must cost more probes and end (weakly) closer.
     calls = [r.diagnostics["lp_calls"] for r in results]
-    assert all(b <= a for a, b in zip(calls, calls[1:]))
+    assert all(b <= a for a, b in zip(calls, calls[1:], strict=False))
     assert results[0].objective <= results[-1].objective + 1e-6
     assert results[0].objective >= optimal.objective - 1e-9

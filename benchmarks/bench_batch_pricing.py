@@ -99,7 +99,7 @@ def test_batch_pricing_speedup(benchmark):
     )
 
     # The determinism guarantee: identical results, bit for bit.
-    for s, p in zip(serial, parallel):
+    for s, p in zip(serial, parallel, strict=True):
         assert p.objective == s.objective
         assert p.thresholds.tolist() == s.thresholds.tolist()
         assert (

@@ -78,7 +78,7 @@ def test_engine_cache_speedup(benchmark):
     # The cache must actually fire, and never change the answers.
     assert info.scenario_misses == 1
     assert info.solution_hits > 0
-    for c, w in zip(cold, warm):
+    for c, w in zip(cold, warm, strict=True):
         assert c.objective == w.objective
         assert c.thresholds.tolist() == w.thresholds.tolist()
     # Warm runs strictly less work than cold; allow generous noise slack.

@@ -56,7 +56,7 @@ def test_quantal_rationality_sweep(benchmark):
 
     losses = [q.auditor_loss for q in sweep]
     # Monotone in rationality, converging to the best-response loss.
-    assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:], strict=False))
     assert abs(losses[-1] - solved.objective) < 0.05
 
 

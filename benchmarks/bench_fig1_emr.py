@@ -57,7 +57,7 @@ def test_figure1_emr_loss_curves(benchmark):
     # Loss falls (weakly) with budget and the proposed policy dominates
     # every baseline at every budget.
     assert all(
-        b <= a + 1e-6 for a, b in zip(proposed, proposed[1:])
+        b <= a + 1e-6 for a, b in zip(proposed, proposed[1:], strict=False)
     )
     for series in (
         curves.random_thresholds,
@@ -65,7 +65,7 @@ def test_figure1_emr_loss_curves(benchmark):
         curves.benefit_greedy,
     ):
         assert all(
-            p <= s + 1e-6 for p, s in zip(proposed, series)
+            p <= s + 1e-6 for p, s in zip(proposed, series, strict=True)
         )
     # The fixed, predictable benefit-greedy policy is the weakest
     # baseline at the low-budget end (Figure 1's fourth finding).

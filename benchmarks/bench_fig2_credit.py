@@ -57,7 +57,7 @@ def test_figure2_credit_loss_curves(benchmark):
         },
     )
     assert all(
-        b <= a + 1e-6 for a, b in zip(proposed, proposed[1:])
+        b <= a + 1e-6 for a, b in zip(proposed, proposed[1:], strict=False)
     )
     for series in (
         curves.random_thresholds,
@@ -65,5 +65,5 @@ def test_figure2_credit_loss_curves(benchmark):
         curves.benefit_greedy,
     ):
         assert all(
-            p <= s + 1e-6 for p, s in zip(proposed, series)
+            p <= s + 1e-6 for p, s in zip(proposed, series, strict=True)
         )

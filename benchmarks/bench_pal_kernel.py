@@ -209,7 +209,7 @@ def test_enumeration_solver_batch_speedup(benchmark):
 
             worst = max(
                 abs(a.objective - b.objective)
-                for a, b in zip(fast, legacy)
+                for a, b in zip(fast, legacy, strict=True)
             )
             assert worst <= 1e-9
             speedup = (

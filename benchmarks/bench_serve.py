@@ -95,7 +95,7 @@ async def _run_bench():
         completed_before = service.resolves_completed
         triggered = time.perf_counter()
         scheduled = False
-        for period in range(64):
+        for _period in range(64):
             batch = [
                 drifted.counts(8, rng).tolist()
                 for _ in range(batch_rows)

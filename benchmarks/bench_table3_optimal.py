@@ -50,7 +50,7 @@ def test_table3_optimal(benchmark):
         },
     )
     assert all(
-        b < a for a, b in zip(objectives, objectives[1:])
+        b < a for a, b in zip(objectives, objectives[1:], strict=False)
     ), "objective must decrease monotonically in budget"
     # The B=2 optimum is pinned by the paper: thresholds [1,1,1,1].
     assert result.rows[0].thresholds.astype(int).tolist() == [1, 1, 1, 1]

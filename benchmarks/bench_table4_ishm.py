@@ -48,7 +48,7 @@ def test_table4_ishm_grid(benchmark):
     # (materially) worse at fixed B.
     for step in steps:
         series = grid.objectives(step)
-        assert all(b < a for a, b in zip(series, series[1:]))
+        assert all(b < a for a, b in zip(series, series[1:], strict=False))
     for i in range(len(budgets)):
         fine = grid.cells[i][0].objective
         coarse = grid.cells[i][-1].objective

@@ -46,6 +46,6 @@ def test_table5_ishm_cggs_grid(benchmark):
 
     for step in steps:
         series = grid.objectives(step)
-        assert all(b < a for a, b in zip(series, series[1:])), (
+        assert all(b < a for a, b in zip(series, series[1:], strict=False)), (
             "loss must fall as the budget grows"
         )

@@ -74,7 +74,7 @@ def test_table7_exploration_counts(benchmark):
 
     # Paper trend: coarser steps explore (weakly) less.
     assert all(
-        b <= a + 1e-9 for a, b in zip(mean_calls, mean_calls[1:])
+        b <= a + 1e-9 for a, b in zip(mean_calls, mean_calls[1:], strict=False)
     )
     # ISHM explores only a small fraction of the brute-force grid.
     assert ratios[1] < 0.25

@@ -30,7 +30,17 @@ from pathlib import Path
 #: Allowed relative regression before the check fails.
 TOLERANCE = 0.30
 
-BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_DIR = BENCH_DIR / "baselines"
+#: One-place list of bench record names, shared with CI's
+#: record-presence check.
+MANIFEST = BENCH_DIR / "bench_manifest.json"
+
+
+def manifest_names() -> list[str]:
+    """Bench names from ``bench_manifest.json`` (sorted)."""
+    data = json.loads(MANIFEST.read_text())
+    return sorted(data["benches"])
 
 
 def iter_speedups(node, path=""):
@@ -66,12 +76,32 @@ def main() -> int:
         print(f"perf-trend: no baseline directory {BASELINE_DIR}")
         return 0
 
+    names = manifest_names()
+    # The manifest is authoritative: a committed baseline for a bench
+    # it doesn't list means the two drifted apart — fail loudly rather
+    # than silently skipping the comparison.
+    unmanifested = sorted(
+        p.name
+        for p in BASELINE_DIR.glob("BENCH_*.json")
+        if p.stem.removeprefix("BENCH_") not in names
+    )
+    if unmanifested:
+        for record in unmanifested:
+            print(
+                f"perf-trend FAILURE: baselines/{record} is not in "
+                f"{MANIFEST.name}",
+                file=sys.stderr,
+            )
+        return 1
+
     fresh_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     regressions: list[str] = []
     compared = 0
-    for baseline_path in sorted(BASELINE_DIR.glob("BENCH_*.json")):
+    for name in names:
+        baseline_path = BASELINE_DIR / f"BENCH_{name}.json"
+        if not baseline_path.is_file():
+            continue  # no committed reference for this bench yet
         baseline = json.loads(baseline_path.read_text())
-        name = baseline.get("bench", baseline_path.stem)
         fresh_path = fresh_dir / baseline_path.name
         if not fresh_path.is_file():
             print(f"perf-trend: {name}: no fresh record, skipped")

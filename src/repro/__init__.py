@@ -41,7 +41,7 @@ from .core import AuditGame, AuditPolicy, Ordering
 from .engine import AuditEngine, SolveResult
 from .solvers import iterative_shrink, solve_optimal
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AuditEngine",

@@ -21,7 +21,7 @@ def render_table(
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     def fmt(cells: Sequence[str]) -> str:
-        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths, strict=True))
     lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in materialized)
     return "\n".join(lines)
@@ -44,6 +44,6 @@ def render_series(
 ) -> str:
     """One figure series as aligned (x, y) pairs."""
     pairs = "  ".join(
-        f"({x:g}, {y:.2f})" for x, y in zip(xs, ys)
+        f"({x:g}, {y:.2f})" for x, y in zip(xs, ys, strict=True)
     )
     return f"{name}: {pairs}"

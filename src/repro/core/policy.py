@@ -199,7 +199,7 @@ class AuditPolicy:
         probs = self.probabilities[keep]
         return AuditPolicy(
             orderings=tuple(
-                o for o, k in zip(self.orderings, keep) if k
+                o for o, k in zip(self.orderings, keep, strict=True) if k
             ),
             probabilities=probs / probs.sum(),
             thresholds=self.thresholds,

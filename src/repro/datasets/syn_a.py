@@ -92,7 +92,7 @@ def syn_a(
     counts = JointCountModel(
         [
             DiscretizedGaussian(mean, std, coverage=coverage)
-            for mean, std in zip(SYN_A_MEANS, SYN_A_STDS)
+            for mean, std in zip(SYN_A_MEANS, SYN_A_STDS, strict=True)
         ]
     )
     rules = np.asarray(SYN_A_RULES, dtype=np.int64)

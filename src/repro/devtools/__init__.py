@@ -1,0 +1,46 @@
+"""Developer tooling: the repo-specific invariant linter.
+
+``repro.devtools`` machine-checks the contracts the codebase's
+correctness rests on but no off-the-shelf linter knows about — the
+declared lock hierarchy, the "solves never block the event loop" rule
+of the serve layer, RNG/determinism discipline in kernel code, frozen
+result contracts, and the registry protocols.  See ``rules`` for the
+shipped rule set and the README's "Static analysis & invariants"
+section for the workflow.
+
+Run it as::
+
+    python -m repro.devtools.lint src tests benchmarks
+
+This package deliberately imports nothing from the rest of ``repro``
+at runtime — it parses source, it never executes it — so the linter
+works even while the library itself is broken.
+"""
+
+from .baseline import compare, load_baseline, write_baseline
+from .engine import (
+    LintContext,
+    LintEngine,
+    LintReport,
+    Rule,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+from .findings import Finding
+from .rules import BLOCKING_CALL_PATTERNS
+
+__all__ = [
+    "BLOCKING_CALL_PATTERNS",
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "available_rules",
+    "compare",
+    "get_rule",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]

@@ -1,0 +1,98 @@
+"""Ratcheting baseline: known findings, committed and zero-tolerance.
+
+The baseline file records every finding the linter is currently allowed
+to report, keyed by the line-independent :attr:`Finding.baseline_key`
+with a count (the same violation can occur more than once in one
+context).  CI compares a fresh run against it in *both* directions:
+
+* a finding not in the baseline (or occurring more often) is **new**
+  and fails the run;
+* a baseline entry no fresh finding matches (or matched fewer times)
+  is **stale** and also fails the run — fixing a violation must shrink
+  the baseline in the same commit, so the ratchet only tightens.
+
+The committed baseline for this repo is *empty*: the tree is clean and
+stays clean.  The file still exists so the mechanism is exercised and
+so a future judgment call can land with an explicit, reviewable entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "compare",
+    "counts_for",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def counts_for(findings: Iterable[Finding]) -> dict[str, int]:
+    """Baseline-key -> occurrence count for a set of findings."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = finding.baseline_key
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION}); regenerate with "
+            "--write-baseline"
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path}: 'findings' must be an object")
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the baseline for the given findings (sorted, stable)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(counts_for(findings).items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare(
+    findings: Iterable[Finding], baseline: Mapping[str, int]
+) -> tuple[list[str], list[str]]:
+    """``(new, stale)`` baseline keys between a run and the baseline.
+
+    ``new`` lists keys reported more often than the baseline allows
+    (one entry per excess occurrence); ``stale`` lists baseline entries
+    the run no longer produces.  Both sorted; both must be empty for a
+    clean exit.
+    """
+    current = counts_for(findings)
+    new: list[str] = []
+    stale: list[str] = []
+    for key in sorted(set(current) | set(baseline)):
+        have = current.get(key, 0)
+        allowed = baseline.get(key, 0)
+        if have > allowed:
+            new.extend([key] * (have - allowed))
+        elif have < allowed:
+            stale.extend([key] * (allowed - have))
+    return new, stale

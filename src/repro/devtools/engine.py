@@ -1,0 +1,450 @@
+"""The pluggable AST lint engine.
+
+One :class:`LintEngine` run parses every target file **once**, walks the
+AST **once**, and dispatches each node to every registered rule — rules
+are visitor fragments, not separate passes, so adding a rule does not
+add a parse.  The engine is deterministic by construction: files are
+visited in sorted order, findings are sorted before they are returned,
+and rule codes are stable, so its JSON output can be golden-tested.
+
+Rules register themselves with :func:`register_rule`, mirroring the
+``@register_solver`` registry of :mod:`repro.engine.registry`::
+
+    @register_rule
+    class MyRule(Rule):
+        code = "RPL901"
+        name = "my-invariant"
+        summary = "one-line description"
+        domains = frozenset({"src"})
+
+        def visit_Call(self, node, ctx):
+            ...
+            ctx.report(self.code, node, "explain the violation")
+
+Suppressions are inline comments on the offending line::
+
+    risky_call()  # replint: disable=RPL201
+    other_call()  # replint: disable=all
+
+Every file is classified into a *domain* (``src`` / ``tests`` /
+``benchmarks`` / ``examples`` / ``other``, from its path segments) and
+rules declare which domains they police — RNG discipline binds library
+code, not tests.  Fixture trees can force a domain (and a dotted module
+name) through :meth:`LintEngine.lint_file`, which is how the rule test
+suite runs ``tests/devtools/fixtures/`` snippets as if they were
+library code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "DOMAINS",
+    "LintContext",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "RuleSpec",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "rule_table",
+]
+
+#: Recognized file domains, in classification priority order.
+DOMAINS = ("tests", "benchmarks", "examples", "src", "other")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+)
+
+#: Directory names never walked implicitly (fixture trees contain
+#: deliberate violations; explicit file arguments still lint them).
+SKIPPED_DIRS = frozenset(
+    {"fixtures", "__pycache__", ".git", ".venv", "node_modules"}
+)
+
+
+class Rule:
+    """Base class for lint rules (visitor fragments).
+
+    Subclasses set the class attributes below and implement any number
+    of ``visit_<NodeType>`` / ``leave_<NodeType>`` methods taking
+    ``(node, ctx)``.  Per-file state must be reset in :meth:`begin_file`
+    — one rule instance is reused across every file of a run.
+    """
+
+    #: Primary stable code (``RPL...``).
+    code: str = ""
+    #: Short kebab-case rule name.
+    name: str = ""
+    #: One-line summary for ``--list-rules`` and docs.
+    summary: str = ""
+    #: The repo invariant this rule machine-checks.
+    invariant: str = ""
+    #: Every code this rule can emit (defaults to just ``code``).
+    codes: tuple[str, ...] = ()
+    #: Domains the rule polices (see :data:`DOMAINS`).
+    domains: frozenset[str] = frozenset({"src"})
+
+    def all_codes(self) -> tuple[str, ...]:
+        return self.codes or (self.code,)
+
+    def begin_file(self, ctx: "LintContext") -> None:
+        """Optional hook: reset per-file state before the walk."""
+
+    def finish_file(self, ctx: "LintContext") -> None:
+        """Optional hook: report whole-file findings after the walk."""
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registry entry: the rule class plus its metadata."""
+
+    code: str
+    name: str
+    summary: str
+    invariant: str
+    codes: tuple[str, ...]
+    domains: frozenset[str]
+    rule_cls: type[Rule]
+
+
+_REGISTRY: dict[str, RuleSpec] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a :class:`Rule` to the registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Rule)):
+        raise TypeError(f"register_rule expects a Rule subclass, got {cls!r}")
+    if not cls.code or not cls.name:
+        raise ValueError(f"{cls.__name__} must set 'code' and 'name'")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"rule code {cls.code!r} is already registered")
+    instance_codes = cls.codes or (cls.code,)
+    for spec in _REGISTRY.values():
+        clash = set(spec.codes) & set(instance_codes)
+        if clash:
+            raise ValueError(
+                f"rule codes {sorted(clash)} already claimed by {spec.name}"
+            )
+    _REGISTRY[cls.code] = RuleSpec(
+        code=cls.code,
+        name=cls.name,
+        summary=cls.summary,
+        invariant=cls.invariant,
+        codes=instance_codes,
+        domains=frozenset(cls.domains),
+        rule_cls=cls,
+    )
+    return cls
+
+
+def available_rules() -> tuple[RuleSpec, ...]:
+    """Registered rules, sorted by primary code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> RuleSpec:
+    """Resolve a primary code to its :class:`RuleSpec`."""
+    spec = _REGISTRY.get(code)
+    if spec is None:
+        raise KeyError(
+            f"no rule registered under {code!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def rule_table() -> str:
+    """Overview text: code(s), name, domains, summary per rule."""
+    rows = [("code", "name", "domains", "summary")]
+    for spec in available_rules():
+        rows.append(
+            (
+                "/".join(spec.codes),
+                spec.name,
+                ",".join(sorted(spec.domains)),
+                spec.summary,
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+class LintContext:
+    """Shared per-file state every rule sees during the walk."""
+
+    def __init__(
+        self,
+        path: str,
+        domain: str,
+        module: str,
+        suppressions: dict[int, set[str]],
+    ) -> None:
+        self.path = path
+        self.domain = domain
+        self.module = module
+        self.findings: list[Finding] = []
+        self.suppressed = 0
+        self._suppressions = suppressions
+        #: Enclosing class names, outermost first.
+        self.class_stack: list[str] = []
+        #: Enclosing functions as (name, is_async), outermost first
+        #: (lambdas enter as ("<lambda>", False)).
+        self.func_stack: list[tuple[str, bool]] = []
+
+    # -- rule-facing helpers -------------------------------------------
+
+    @property
+    def current_class(self) -> str | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    def in_async_function(self) -> bool:
+        """True when the innermost enclosing callable is ``async def``.
+
+        A sync ``def`` (or lambda) nested inside an async function runs
+        wherever it is *called* — typically shipped to a worker thread —
+        so it does not count as async context.
+        """
+        return bool(self.func_stack) and self.func_stack[-1][1]
+
+    def qualname(self) -> str:
+        parts = list(self.class_stack) + [n for n, _ in self.func_stack]
+        return ".".join(parts) if parts else "<module>"
+
+    def report(self, code: str, node: ast.AST, message: str) -> None:
+        """Record one finding (dropped when suppressed inline)."""
+        line = getattr(node, "lineno", 0)
+        codes = self._suppressions.get(line, ())
+        if "all" in codes or code in codes:
+            self.suppressed += 1
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+                context=self.qualname(),
+            )
+        )
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "parse_errors": list(self.parse_errors),
+            "suppressed": self.suppressed,
+            "summary": self.summary(),
+        }
+
+
+def classify_domain(path: Path) -> str:
+    """File domain from path segments (first match in priority order)."""
+    parts = set(path.parts)
+    for domain in DOMAINS[:-1]:
+        if domain in parts:
+            return domain
+    return "other"
+
+
+def module_name(path: Path) -> str:
+    """Dotted module guess: everything under a ``src`` segment, else stem."""
+    parts = path.with_suffix("").parts
+    if "src" in parts:
+        idx = len(parts) - 1 - tuple(reversed(parts)).index("src")
+        tail = parts[idx + 1 :]
+        if tail:
+            return ".".join(tail)
+    return path.stem
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """``# replint: disable=CODE[,CODE...]`` markers per 1-based line."""
+    table: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        }
+        if codes:
+            table[lineno] = codes
+    return table
+
+
+class LintEngine:
+    """Run the registered rules over files and collect findings.
+
+    Parameters
+    ----------
+    rules:
+        Primary codes to run (default: every registered rule).  Useful
+        for per-rule fixture tests and for ``--select`` on the CLI.
+    """
+
+    def __init__(self, rules: Sequence[str] | None = None) -> None:
+        specs = (
+            available_rules()
+            if rules is None
+            else tuple(get_rule(code) for code in rules)
+        )
+        self._rules = tuple(spec.rule_cls() for spec in specs)
+        # visit/leave handler tables: node-type name -> [(rule, method)].
+        self._visitors: dict[str, list] = {}
+        self._leavers: dict[str, list] = {}
+        for rule in self._rules:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    self._visitors.setdefault(attr[6:], []).append(
+                        (rule, getattr(rule, attr))
+                    )
+                elif attr.startswith("leave_"):
+                    self._leavers.setdefault(attr[6:], []).append(
+                        (rule, getattr(rule, attr))
+                    )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint every python file under the given files/directories."""
+        report = LintReport()
+        for path in sorted(iter_python_files(paths)):
+            self._lint_into(report, path, None, None, None)
+        report.findings.sort()
+        return report
+
+    def lint_file(
+        self,
+        path: str | Path,
+        *,
+        source: str | None = None,
+        domain: str | None = None,
+        module: str | None = None,
+    ) -> LintReport:
+        """Lint one file, optionally forcing domain/module (fixtures)."""
+        report = LintReport()
+        self._lint_into(report, Path(path), source, domain, module)
+        report.findings.sort()
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _lint_into(
+        self,
+        report: LintReport,
+        path: Path,
+        source: str | None,
+        domain: str | None,
+        module: str | None,
+    ) -> None:
+        if source is None:
+            source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+            return
+        ctx = LintContext(
+            path=str(path),
+            domain=domain if domain is not None else classify_domain(path),
+            module=module if module is not None else module_name(path),
+            suppressions=parse_suppressions(source),
+        )
+        active = [r for r in self._rules if ctx.domain in r.domains]
+        if active:
+            for rule in active:
+                rule.begin_file(ctx)
+            self._walk(tree, ctx, frozenset(id(r) for r in active))
+            for rule in active:
+                rule.finish_file(ctx)
+        report.files_scanned += 1
+        report.findings.extend(ctx.findings)
+        report.suppressed += ctx.suppressed
+
+    def _walk(
+        self, node: ast.AST, ctx: LintContext, active: frozenset[int]
+    ) -> None:
+        node_type = type(node).__name__
+        for rule, method in self._visitors.get(node_type, ()):
+            if id(rule) in active:
+                method(node, ctx)
+        is_class = isinstance(node, ast.ClassDef)
+        is_func = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        if is_class:
+            ctx.class_stack.append(node.name)
+        elif is_func:
+            ctx.func_stack.append(
+                (
+                    getattr(node, "name", "<lambda>"),
+                    isinstance(node, ast.AsyncFunctionDef),
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, active)
+        if is_class:
+            ctx.class_stack.pop()
+        elif is_func:
+            ctx.func_stack.pop()
+        for rule, method in self._leavers.get(node_type, ()):
+            if id(rule) in active:
+                method(node, ctx)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield python files under files/dirs, skipping fixture trees.
+
+    Explicit file arguments are always yielded (so a fixture file can
+    be linted directly); directory walks skip :data:`SKIPPED_DIRS`.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in path.rglob("*.py"):
+            if any(part in SKIPPED_DIRS for part in candidate.parts):
+                continue
+            yield candidate

@@ -1,0 +1,75 @@
+"""The finding model shared by every lint rule.
+
+A :class:`Finding` is one rule violation at one source location.  The
+model is deliberately small and fully ordered so that engine output is
+deterministic (sorted findings, stable codes) and can be golden-tested
+byte-for-byte.
+
+Baseline identity intentionally excludes the line number: a finding is
+identified by ``(path, code, context, message)`` so that unrelated edits
+that shift code up or down do not churn the committed baseline, while
+moving a violation into a different function (or changing what it says)
+does register as a new finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as passed to the engine (kept
+        relative when the input was relative, so output is stable
+        across checkouts).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    code:
+        Stable rule code (``RPL...``); the rule registry maps codes to
+        implementations and documentation.
+    message:
+        Human-readable description of the violation.  Messages never
+        embed line numbers, keeping baseline identity line-free.
+    context:
+        Dotted location inside the file (``Class.method`` or
+        ``<module>``), used in output and in the baseline key.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    context: str = field(default="<module>")
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        digest = hashlib.sha256(self.message.encode()).hexdigest()[:8]
+        return f"{self.path}::{self.code}::{self.context}::{digest}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering: ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} [{self.context}]"
+        )

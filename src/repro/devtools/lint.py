@@ -1,0 +1,183 @@
+"""Command-line front end: ``python -m repro.devtools.lint``.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks
+    python -m repro.devtools.lint src --format json
+    python -m repro.devtools.lint src --select RPL101 RPL201
+    python -m repro.devtools.lint src tests benchmarks --write-baseline
+    python -m repro.devtools.lint --list-rules
+
+Exit codes: 0 clean against the baseline, 1 new findings / stale
+baseline entries / parse errors, 2 usage errors.
+
+By default the run is compared against the committed baseline
+(``devtools_baseline.json`` next to this package's repo root); pass
+``--no-baseline`` to report raw findings, ``--baseline PATH`` to use
+another file, and ``--write-baseline`` to regenerate it from the
+current run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import baseline as baseline_mod
+from .engine import LintEngine, available_rules, rule_table
+from .rules import __all__ as _rules_loaded  # noqa: F401 - registers rules
+
+__all__ = ["main", "DEFAULT_BASELINE"]
+
+#: Committed baseline, at the repo root (four parents up from
+#: src/repro/devtools/lint.py).  Falls back to an empty baseline when
+#: the package is used outside a checkout.
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parents[3] / "devtools_baseline.json"
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: lock "
+            "ordering, async discipline, RNG/determinism and registry "
+            "contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        help="run only these primary rule codes (default: all rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file to compare against "
+        "(default: devtools_baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; any finding fails the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(rule_table())
+        print()
+        for spec in available_rules():
+            print(f"{'/'.join(spec.codes)}: {spec.invariant}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: at least one path is required (or --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        engine = LintEngine(rules=args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        report = engine.lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        baseline_mod.write_baseline(args.baseline, report.findings)
+        print(
+            f"wrote {args.baseline} "
+            f"({len(report.findings)} finding(s) recorded)"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline: dict[str, int] = {}
+    else:
+        try:
+            baseline = baseline_mod.load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new, stale = baseline_mod.compare(report.findings, baseline)
+
+    clean = not new and not stale and not report.parse_errors
+
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["baseline"] = {
+            "path": str(args.baseline) if not args.no_baseline else None,
+            "new": new,
+            "stale": stale,
+        }
+        payload["ok"] = clean
+        print(json.dumps(payload, indent=2, sort_keys=False))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for error in report.parse_errors:
+            print(f"parse error: {error}")
+        counts = report.summary()
+        summary = (
+            ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+            or "no findings"
+        )
+        print(
+            f"{report.files_scanned} file(s) scanned; {summary}; "
+            f"{report.suppressed} suppressed"
+        )
+        if stale:
+            print(f"{len(stale)} stale baseline entr(y/ies):")
+            for key in stale:
+                print(f"  stale: {key}")
+        if new:
+            print(f"{len(new)} finding(s) not in baseline:")
+            for key in new:
+                print(f"  new: {key}")
+        if clean:
+            print("clean: no new findings, no stale baseline entries")
+
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,7 +69,7 @@ class EmpiricalCounts(AlertCountModel):
             cut = int(np.searchsorted(cum, coverage - 1e-12, side="left"))
             uniq = uniq[: cut + 1]
             probs = probs[: cut + 1]
-        return cls({int(c): float(p) for c, p in zip(uniq, probs)})
+        return cls({int(c): float(p) for c, p in zip(uniq, probs, strict=True)})
 
     @property
     def min_count(self) -> int:

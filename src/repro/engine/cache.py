@@ -99,6 +99,9 @@ class FixedSolveCache:
         self._solutions: dict[tuple, FixedThresholdSolution] = {}
         self._executor = None
         self._executor_workers = 0
+        # Rank 30 ("cache") in repro/devtools/lock_hierarchy.py: may be
+        # taken under the engine lock, must call back into nothing
+        # above it.
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -234,7 +237,7 @@ class FixedSolveCache:
             # executor is single-ownership state.
             with self._lock:
                 fresh: dict[tuple, np.ndarray] = {}
-                for key, b in zip(keys, arr):
+                for key, b in zip(keys, arr, strict=True):
                     if key in self._solutions or key in fresh:
                         self.hits += 1
                     else:
@@ -256,7 +259,7 @@ class FixedSolveCache:
                         stack,
                         chunk,
                     )
-                    for key, solution in zip(fresh, solutions):
+                    for key, solution in zip(fresh, solutions, strict=True):
                         self._solutions[key] = solution
                 return [self._solutions[key] for key in keys]
 

@@ -111,8 +111,8 @@ class AuditEngine:
         self._caches: dict[int, FixedSolveCache] = {}
         # Guards cache-map mutation so one engine can be shared across
         # threads (the serve layer's request handlers and background
-        # re-solve workers).  Solution-level locking lives inside each
-        # FixedSolveCache; lock order is always engine -> cache.
+        # re-solve workers).  Rank and ordering constraints live in
+        # repro/devtools/lock_hierarchy.py (lint-enforced).
         self._lock = threading.RLock()
         self._scenario_hits = 0
         self._scenario_misses = 0
@@ -209,7 +209,7 @@ class AuditEngine:
         spec = registry.get_solver(method)
         if config is None or isinstance(config, Mapping):
             merged = dict(config or {})
-            for key, value in merged.items():
+            for key in merged:
                 if key in overrides:
                     raise TypeError(
                         f"config option {key!r} given both in config and "

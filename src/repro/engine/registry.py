@@ -201,7 +201,7 @@ def solver_table() -> str:
     lines = []
     for i, row in enumerate(rows):
         lines.append(
-            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)).rstrip()
         )
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))

@@ -78,7 +78,7 @@ class Route:
         if len(parts) != len(pattern):
             return None
         params: dict[str, str] = {}
-        for want, got in zip(pattern, parts):
+        for want, got in zip(pattern, parts, strict=True):
             if want.startswith("{") and want.endswith("}"):
                 params[want[1:-1]] = got
             elif want != got:

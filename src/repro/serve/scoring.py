@@ -120,7 +120,7 @@ class PolicyScorer:
         detection = np.zeros_like(Z)
         audited_mix = np.zeros_like(Z)
         b, c = self._thresholds, self._costs
-        for ordering, p_o in zip(self._orderings, self._probabilities):
+        for ordering, p_o in zip(self._orderings, self._probabilities, strict=True):
             consumed = np.zeros(Z.shape[0])
             for t in ordering:
                 capacity = np.maximum(

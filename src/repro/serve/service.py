@@ -207,6 +207,9 @@ class AuditService:
         self._active: _ActivePolicy | None = None
         self._engines: dict[tuple[str, float], AuditEngine] = {}
         self._solve_memo: dict[tuple[str, float], SolveResult] = {}
+        # Ranks 10 ("serve.engines") and 5 ("serve.resolve") in
+        # repro/devtools/lock_hierarchy.py — the linted ordering
+        # contract for everything these may nest around.
         self._engines_lock = threading.RLock()
         self._pending: _ResolveRequest | None = None
         self._wake = asyncio.Event()
@@ -253,9 +256,15 @@ class AuditService:
                 await task
             except asyncio.CancelledError:
                 pass
+        # engine.close() joins executor threads (a blocking wait, flagged
+        # by RPL201 when done on the loop) — snapshot under the lock,
+        # shut down off-loop.
         with self._engines_lock:
-            for engine in self._engines.values():
-                engine.close()
+            engines = list(self._engines.values())
+        if engines:
+            await asyncio.to_thread(
+                lambda: [engine.close() for engine in engines]
+            )
 
     async def __aenter__(self) -> "AuditService":
         await self.start()

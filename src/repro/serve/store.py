@@ -144,6 +144,9 @@ class PolicyStore:
                 f"keep_versions must be >= 1, got {keep_versions}"
             )
         self.keep_versions = int(keep_versions)
+        # Rank 40 ("store") in repro/devtools/lock_hierarchy.py: the
+        # leaf — publishing is allowed under any other lock, and this
+        # lock calls out to nothing.
         self._lock = threading.RLock()
         self._current: dict[PolicyKey, PublishedPolicy] = {}
         self._history: dict[PolicyKey, deque[PublishedPolicy]] = {}

@@ -118,7 +118,7 @@ class DriftingSource:
     ) -> np.ndarray:
         means = self.means_at(period)
         out = np.empty(len(means), dtype=np.int64)
-        for t, (mean, std) in enumerate(zip(means, self._stds)):
+        for t, (mean, std) in enumerate(zip(means, self._stds, strict=True)):
             model = DiscretizedGaussian(
                 float(mean), float(std), coverage=self.coverage
             )

@@ -246,7 +246,7 @@ class Trajectory:
             final = self.records[-1]
             named = ", ".join(
                 f"{name}={value:g}"
-                for name, value in zip(type_names, final.thresholds)
+                for name, value in zip(type_names, final.thresholds, strict=True)
             )
             lines.append(f"final thresholds: {named}")
         return "\n".join(lines)

@@ -157,7 +157,7 @@ def run_solve_optimal(
 
     def scan(chunk: list[np.ndarray]) -> None:
         nonlocal best_objective, best_thresholds, best_solution, evaluated
-        for b, candidate in zip(chunk, batch_solver(np.stack(chunk))):
+        for b, candidate in zip(chunk, batch_solver(np.stack(chunk)), strict=True):
             evaluated += 1
             improved = candidate.objective < best_objective - 1e-12
             tied = (

@@ -196,7 +196,7 @@ class CGGSSolver:
             utilities = context.extension_utilities(prefix, remaining)
             best_type = -1
             best_score = -np.inf
-            for t, candidate_utilities in zip(remaining, utilities):
+            for t, candidate_utilities in zip(remaining, utilities, strict=True):
                 score = float(np.sum(duals * candidate_utilities))
                 if score > best_score:
                     best_score = score

@@ -245,12 +245,12 @@ def run_iterative_shrink(
         nonlocal lp_calls
         keys = [tuple(np.round(p, 9).tolist()) for p in probes]
         fresh: dict[tuple[float, ...], np.ndarray] = {}
-        for key, probe in zip(keys, probes):
+        for key, probe in zip(keys, probes, strict=True):
             if key not in cache and key not in fresh:
                 fresh[key] = probe
         if fresh:
             solutions = batch_solver(np.stack(list(fresh.values())))
-            for key, solution in zip(fresh, solutions):
+            for key, solution in zip(fresh, solutions, strict=True):
                 cache[key] = solution
             lp_calls += len(fresh)
         return [cache[key] for key in keys]
@@ -293,7 +293,7 @@ def run_iterative_shrink(
                 if key not in cache:
                     fresh_keys.add(key)
                 probes.append(probe)
-            for probe, candidate in zip(probes, price_round(probes)):
+            for probe, candidate in zip(probes, price_round(probes), strict=True):
                 if candidate.objective < round_best:
                     round_best = candidate.objective
                     round_probe = probe

@@ -569,7 +569,7 @@ class SimplexSolver:
         dual_ub = np.zeros(problem.n_ub_rows)
         dual_eq = np.zeros(problem.n_eq_rows)
         for row, (kind, idx) in enumerate(
-            zip(std.row_kind, std.row_index)
+            zip(std.row_kind, std.row_index, strict=True)
         ):
             if kind == "ub":
                 dual_ub[idx] = y[row]

@@ -326,7 +326,7 @@ class PolicyContext:
                 for t in prefix:
                     mask |= 1 << t
                 values = kernel.extension_values(mask, missing)
-                for t, value in zip(missing, values):
+                for t, value in zip(missing, values, strict=True):
                     row = base.copy()
                     row[t] = value
                     self._pal_cache[prefix + (t,)] = row
@@ -869,6 +869,6 @@ def batch_policy_contexts(
             game.zero_count_rule,
             validate=False,
         )
-        for context, row in zip(contexts, pal_rows):
+        for context, row in zip(contexts, pal_rows, strict=True):
             context.seed_pal(ordering, row)
     return contexts

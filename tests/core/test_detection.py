@@ -191,7 +191,7 @@ class TestPalForOrdering:
             pal_for_ordering(Ordering((0, 1)), b, sc, costs, float(B))
             for B in (0, 2, 4, 6, 8)
         ]
-        for lo, hi in zip(pals, pals[1:]):
+        for lo, hi in zip(pals, pals[1:], strict=False):
             assert np.all(hi >= lo - 1e-12)
 
 

@@ -118,7 +118,7 @@ class TestPalForOrderingsDispatch:
         b, sc, costs, budget = random_world(rng, 4)
         few = [Ordering((0, 1, 2, 3)), Ordering((3, 2, 1, 0))]
         rows = pal_for_orderings(few, b, sc, costs, budget)
-        for row, o in zip(rows, few):
+        for row, o in zip(rows, few, strict=True):
             assert np.array_equal(
                 row, pal_for_ordering(o, b, sc, costs, budget)
             )

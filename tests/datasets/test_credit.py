@@ -108,7 +108,7 @@ class TestSynthesizer:
     def test_batch_counts_near_table9(self, rng):
         counts = simulate_credit_batches(n_periods=6, rng=rng)
         for name, (mean, _) in zip(
-            CREDIT_TYPE_NAMES, CREDIT_TYPE_STATS
+            CREDIT_TYPE_NAMES, CREDIT_TYPE_STATS, strict=True
         ):
             observed = counts[name].mean()
             assert abs(observed - mean) < max(0.5 * mean, 10.0)
@@ -129,8 +129,8 @@ class TestReaBGame:
         assert np.all((matrix != BENIGN).any(axis=1))
 
     def test_published_distributions(self, game):
-        for model, (mean, std) in zip(
-            game.counts.marginals, CREDIT_TYPE_STATS
+        for model, (mean, _std) in zip(
+            game.counts.marginals, CREDIT_TYPE_STATS, strict=True
         ):
             assert model.mean_param == pytest.approx(mean)
 

@@ -68,7 +68,7 @@ class TestLog:
         counts = period_type_counts(
             alerts, EMR_TYPE_NAMES, SMALL.n_days
         )
-        for name, (mean, std) in zip(EMR_TYPE_NAMES, EMR_TYPE_STATS):
+        for name, (mean, std) in zip(EMR_TYPE_NAMES, EMR_TYPE_STATS, strict=True):
             observed = counts[name].mean()
             # 4 periods only: allow a wide tolerance band.
             assert abs(observed - mean) < max(3.0 * std, 10.0)
@@ -86,7 +86,7 @@ class TestReaAGame:
 
     def test_published_distributions(self, game):
         for model, (mean, std) in zip(
-            game.counts.marginals, EMR_TYPE_STATS
+            game.counts.marginals, EMR_TYPE_STATS, strict=True
         ):
             assert model.mean_param == pytest.approx(mean)
             assert model.std_param == pytest.approx(std)

@@ -23,7 +23,7 @@ class TestStructure:
     def test_count_model_matches_table2a(self):
         game = syn_a()
         for model, mean, std in zip(
-            game.counts.marginals, SYN_A_MEANS, SYN_A_STDS
+            game.counts.marginals, SYN_A_MEANS, SYN_A_STDS, strict=True
         ):
             assert model.mean_param == mean
             assert model.std_param == std

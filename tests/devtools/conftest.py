@@ -1,0 +1,36 @@
+"""Shared devtools-test helpers: fixture linting with forced domains."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = FIXTURES / "golden_findings.json"
+
+
+@pytest.fixture(scope="session")
+def golden():
+    """The committed golden findings, keyed by fixture file name."""
+    return json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="session")
+def lint_fixture(golden):
+    """Lint one fixture exactly as the golden file did (forced domain)."""
+
+    def run(name: str, rules=None):
+        entry = golden[name]
+        engine = LintEngine(rules=rules)
+        return engine.lint_file(
+            Path(name),
+            source=(FIXTURES / name).read_text(encoding="utf-8"),
+            domain=entry["domain"],
+            module=entry["module"],
+        )
+
+    return run

@@ -1,0 +1,16 @@
+"""Bad fixture: blocking calls made directly on the event loop."""
+
+import time
+
+
+async def sleeps_on_loop():
+    time.sleep(0.1)
+
+
+async def solves_on_loop(engine):
+    return engine.solve("ishm")
+
+
+async def reads_on_loop(path):
+    with open(path) as fh:
+        return fh.read()

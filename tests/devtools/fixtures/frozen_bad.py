@@ -1,0 +1,15 @@
+"""Bad fixture: mutating the frozen result contracts."""
+
+
+def mutate_annotated(result: "SolveResult"):
+    result.value = 0.0
+
+
+def sneak_setattr(policy: "PublishedPolicy"):
+    object.__setattr__(policy, "version", 99)
+
+
+def mutate_fresh_instance():
+    record = SolveResult()  # noqa: F821 - fixture is parsed, never run
+    record.policy = None
+    return record

@@ -1,0 +1,21 @@
+"""Good fixture: contracts read or replaced, never mutated."""
+
+import dataclasses
+
+
+def replace_not_mutate(result: "SolveResult"):
+    return dataclasses.replace(result, value=0.0)
+
+
+def read_is_fine(policy: "PublishedPolicy"):
+    return policy.version
+
+
+def other_objects_are_mutable(thing):
+    thing.value = 0.0
+    return thing
+
+
+class NotAContract:
+    def __init__(self):
+        object.__setattr__(self, "x", 1)  # frozen-dataclass idiom

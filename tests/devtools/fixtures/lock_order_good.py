@@ -1,0 +1,36 @@
+"""Good fixture: acquisitions that descend the hierarchy (or don't nest)."""
+
+import threading
+
+
+class AuditEngine:
+    """Name mirrors the real engine class, so ``self._lock`` is rank 20."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def publish_under_engine(self, store, fingerprint, budget, result):
+        with self._lock:  # rank 20 -> publish acquires rank 40: descends
+            return store.publish(fingerprint, budget, result)
+
+    def reentrant_is_fine(self):
+        with self._lock:
+            with self._lock:  # re-acquiring a held RLock
+                return None
+
+    def nested_def_is_a_barrier(self):
+        with self._lock:
+            def later(other):
+                with other._engines_lock:  # runs later, holds nothing
+                    return None
+
+            return later
+
+
+class AuditService:
+    def __init__(self):
+        self._engines_lock = threading.RLock()
+
+    def solve_under_engines_lock(self, engine):
+        with self._engines_lock:  # rank 10 -> solve acquires 20: descends
+            return engine.solve("ishm")

@@ -1,0 +1,22 @@
+"""Bad fixture: numeric accumulation over unordered iteration."""
+
+import numpy as np
+
+
+def sum_over_set(values):
+    return sum({round(v, 6) for v in values})
+
+
+def np_sum_over_dict_values(table):
+    return np.sum(table.values())
+
+
+def sum_genexp_over_set(values):
+    return sum(v * v for v in set(values))
+
+
+def accumulate_over_dict(table):
+    total = 0.0
+    for key in table.keys():
+        total += table[key]
+    return total

@@ -1,0 +1,30 @@
+"""Good fixture: reductions over explicitly ordered iterables."""
+
+import numpy as np
+
+
+def sum_sorted_set(values):
+    return sum(sorted({round(v, 6) for v in values}))
+
+
+def sum_over_list(values):
+    return sum([v * v for v in values])
+
+
+def np_sum_over_array(array):
+    return np.sum(array, axis=0)
+
+
+def accumulate_over_sorted(table):
+    total = 0.0
+    for key in sorted(table):
+        total += table[key]
+    return total
+
+
+def set_for_membership_not_reduction(values):
+    seen = set(values)
+    out = []
+    for v in seen:
+        out.append(v)  # collecting, not numeric accumulation
+    return out

@@ -1,0 +1,25 @@
+"""Bad fixture: registrants that break the registry contracts."""
+
+from repro.engine.registry import register_solver
+from repro.sim.registry import ADVERSARIES, ESTIMATORS
+
+
+class BadConfig:
+    pass
+
+
+@register_solver("bad", config=BadConfig)
+def bad_solver(game):
+    return None
+
+
+@ESTIMATORS.register("bad-estimator")
+class BadEstimator:
+    def __init__(self):
+        pass
+
+
+@ADVERSARIES.register("bad-adversary")
+class BadAdversary:
+    def pick(self, policy):  # protocol method is `choose`
+        return 0

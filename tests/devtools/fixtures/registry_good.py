@@ -1,0 +1,43 @@
+"""Good fixture: registrants that honor the registry contracts."""
+
+from repro.engine.registry import register_solver
+from repro.sim.registry import ESTIMATORS, EVENT_SOURCES
+
+
+class GoodConfig:
+    @classmethod
+    def from_dict(cls, data):
+        return cls()
+
+
+class DerivedConfig(GoodConfig):
+    pass
+
+
+@register_solver("good", config=GoodConfig)
+def good_solver(game, scenarios, config, *, cache=None):
+    return None
+
+
+@register_solver("kwargs-style", config=DerivedConfig)
+def kwargs_solver(game, scenarios, config, **kwargs):
+    return None
+
+
+class _RollingBase:
+    def observe(self, period, counts):
+        pass
+
+    def model(self):
+        return None
+
+
+@ESTIMATORS.register("good-estimator")
+class GoodEstimator(_RollingBase):
+    """Protocol methods inherited from an in-file base."""
+
+
+@EVENT_SOURCES.register("good-source")
+class GoodSource:
+    def counts(self, period, rng):
+        return None

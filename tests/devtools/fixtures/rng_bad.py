@@ -1,0 +1,22 @@
+"""Bad fixture: global RNG state and unseeded generators."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def module_state(n):
+    return np.random.normal(size=n)
+
+
+def unseeded_bare():
+    return default_rng()
+
+
+def unseeded_np():
+    return np.random.default_rng()
+
+
+def stdlib_choice(items):
+    return random.choice(items)

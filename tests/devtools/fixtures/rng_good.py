@@ -1,0 +1,19 @@
+"""Good fixture: randomness flows through seeded Generators."""
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_kw():
+    return np.random.default_rng(seed=0)
+
+
+def threaded(rng: np.random.Generator, n: int):
+    return rng.normal(size=n)
+
+
+def explicit_bit_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))

@@ -1,0 +1,11 @@
+"""Fixture: inline suppressions silence specific codes (or all)."""
+
+import time
+
+
+async def known_blocking_kept():
+    time.sleep(0.0)  # replint: disable=RPL201
+
+
+async def everything_waved_through(engine):
+    return engine.solve("ishm")  # replint: disable=all

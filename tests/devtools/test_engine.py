@@ -1,0 +1,239 @@
+"""Engine mechanics: registry, walking, suppressions, baseline, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import baseline as baseline_mod
+from repro.devtools.engine import (
+    LintEngine,
+    Rule,
+    available_rules,
+    classify_domain,
+    get_rule,
+    iter_python_files,
+    module_name,
+    register_rule,
+    rule_table,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.lint import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        specs = available_rules()
+        assert len(specs) == 6
+        assert [s.code for s in specs] == [
+            "RPL101",
+            "RPL201",
+            "RPL301",
+            "RPL401",
+            "RPL501",
+            "RPL601",
+        ]
+
+    def test_specs_carry_docs(self):
+        for spec in available_rules():
+            assert spec.name and spec.summary and spec.invariant
+            assert spec.code in spec.codes
+            assert spec.domains
+
+    def test_get_rule_unknown_code(self):
+        with pytest.raises(KeyError, match="no rule registered"):
+            get_rule("RPL999")
+
+    def test_register_rejects_duplicate_codes(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_rule
+            class Duplicate(Rule):  # pragma: no cover - registration fails
+                code = "RPL101"
+                name = "dup"
+
+    def test_register_rejects_clashing_secondary_codes(self):
+        with pytest.raises(ValueError, match="already claimed"):
+
+            @register_rule
+            class Clash(Rule):  # pragma: no cover - registration fails
+                code = "RPL998"
+                codes = ("RPL998", "RPL102")
+                name = "clash"
+
+    def test_rule_table_mentions_every_rule(self):
+        table = rule_table()
+        for spec in available_rules():
+            assert spec.name in table
+
+
+class TestClassification:
+    def test_domains(self):
+        assert classify_domain(Path("src/repro/core/game.py")) == "src"
+        assert classify_domain(Path("tests/core/test_game.py")) == "tests"
+        assert classify_domain(Path("benchmarks/bench_serve.py")) == (
+            "benchmarks"
+        )
+        assert classify_domain(Path("examples/quickstart.py")) == "examples"
+        assert classify_domain(Path("scripts/tool.py")) == "other"
+
+    def test_module_name(self):
+        assert module_name(Path("src/repro/core/game.py")) == (
+            "repro.core.game"
+        )
+        assert module_name(Path("benchmarks/bench_serve.py")) == (
+            "bench_serve"
+        )
+
+    def test_iter_python_files_skips_fixture_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "fixtures").mkdir()
+        (tmp_path / "pkg" / "fixtures" / "bad.py").write_text("x = 1\n")
+        walked = sorted(iter_python_files([tmp_path]))
+        assert walked == [tmp_path / "pkg" / "mod.py"]
+        # ... but an explicit file argument is always linted.
+        explicit = tmp_path / "pkg" / "fixtures" / "bad.py"
+        assert list(iter_python_files([explicit])) == [explicit]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([Path("no/such/dir")]))
+
+
+class TestEngineRuns:
+    def test_output_is_deterministic(self):
+        engine = LintEngine()
+        first = engine.lint_paths([REPO / "src" / "repro" / "serve"])
+        second = engine.lint_paths([REPO / "src" / "repro" / "serve"])
+        assert first.findings == second.findings
+        assert first.files_scanned == second.files_scanned
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_parse_errors_are_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "src" / "broken.py"
+        bad.parent.mkdir()
+        bad.write_text("def broken(:\n")
+        report = LintEngine().lint_paths([tmp_path])
+        assert report.findings == []
+        assert len(report.parse_errors) == 1
+        assert "broken.py" in report.parse_errors[0]
+
+    def test_real_tree_clean_against_committed_baseline(self):
+        report = LintEngine().lint_paths(
+            [REPO / "src", REPO / "tests", REPO / "benchmarks"]
+        )
+        assert report.parse_errors == []
+        baseline = baseline_mod.load_baseline(
+            REPO / "devtools_baseline.json"
+        )
+        new, stale = baseline_mod.compare(report.findings, baseline)
+        assert new == [], f"new findings: {new}"
+        assert stale == [], f"stale baseline entries: {stale}"
+
+
+def _finding(code="RPL201", message="m", path="a.py", line=1):
+    return Finding(
+        path=path, line=line, col=0, code=code, message=message
+    )
+
+
+class TestBaseline:
+    def test_roundtrip(self, tmp_path):
+        findings = [_finding(), _finding(), _finding(message="other")]
+        path = tmp_path / "baseline.json"
+        baseline_mod.write_baseline(path, findings)
+        loaded = baseline_mod.load_baseline(path)
+        assert sorted(loaded.values()) == [1, 2]
+        new, stale = baseline_mod.compare(findings, loaded)
+        assert (new, stale) == ([], [])
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert baseline_mod.load_baseline(tmp_path / "nope.json") == {}
+
+    def test_new_and_stale_detection(self):
+        old = _finding(message="old")
+        kept = _finding(message="kept")
+        baseline = baseline_mod.counts_for([old, kept])
+        fresh = [kept, _finding(message="new"), _finding(message="new")]
+        new, stale = baseline_mod.compare(fresh, baseline)
+        assert len(new) == 2  # one per excess occurrence
+        assert new[0] == new[1] == _finding(message="new").baseline_key
+        assert stale == [old.baseline_key]
+
+    def test_line_moves_do_not_churn_identity(self):
+        assert (
+            _finding(line=10).baseline_key == _finding(line=99).baseline_key
+        )
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError, match="unsupported baseline"):
+            baseline_mod.load_baseline(path)
+
+
+BAD_ASYNC = (
+    "import time\n\nasync def f():\n    time.sleep(0.1)\n"
+)
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL101" in out and "RPL601" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert lint_main([]) == 2
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert lint_main(["src", "--select", "RPL999"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["no/such/dir", "--no-baseline"]) == 2
+
+    def test_clean_and_dirty_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("import asyncio\n\nasync def f():\n    pass\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_ASYNC)
+        assert lint_main([str(good), "--no-baseline"]) == 0
+        assert lint_main([str(bad), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RPL201" in out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_ASYNC)
+        assert (
+            lint_main([str(bad), "--no-baseline", "--format", "json"]) == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["summary"] == {"RPL201": 1}
+        assert payload["findings"][0]["code"] == "RPL201"
+
+    def test_baseline_ratchet_cycle(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_ASYNC)
+        baseline = tmp_path / "baseline.json"
+        # 1. Record the debt.
+        assert (
+            lint_main(
+                [str(bad), "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        # 2. Same findings against the baseline: clean.
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 0
+        # 3. Fixing the file makes the entry stale: the ratchet fails
+        #    until the baseline shrinks too.
+        bad.write_text("import asyncio\n\nasync def f():\n    pass\n")
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out

@@ -1,0 +1,108 @@
+"""Per-rule coverage: every rule fires on its bad fixture, stays
+silent on its good one, and the full output matches the golden file.
+
+Deleting any single rule's implementation breaks that rule's
+``test_fires_on_bad_fixture`` (and the golden test), which is the
+acceptance contract for the rule set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import LintEngine, available_rules, get_rule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule primary code -> (bad fixture, good fixture)
+RULE_FIXTURES = {
+    "RPL101": ("lock_order_bad.py", "lock_order_good.py"),
+    "RPL201": ("blocking_async_bad.py", "blocking_async_good.py"),
+    "RPL301": ("rng_bad.py", "rng_good.py"),
+    "RPL401": ("reduction_bad.py", "reduction_good.py"),
+    "RPL501": ("frozen_bad.py", "frozen_good.py"),
+    "RPL601": ("registry_bad.py", "registry_good.py"),
+}
+
+
+def test_every_registered_rule_has_fixtures():
+    registered = {spec.code for spec in available_rules()}
+    assert registered == set(RULE_FIXTURES)
+
+
+@pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+class TestPerRule:
+    def test_fires_on_bad_fixture(self, code, lint_fixture):
+        bad, _ = RULE_FIXTURES[code]
+        report = lint_fixture(bad, rules=[code])
+        assert report.findings, f"{code} stayed silent on {bad}"
+        allowed = set(get_rule(code).codes)
+        assert {f.code for f in report.findings} <= allowed
+
+    def test_silent_on_good_fixture(self, code, lint_fixture):
+        _, good = RULE_FIXTURES[code]
+        report = lint_fixture(good, rules=[code])
+        assert report.findings == [], (
+            f"{code} false-positived on {good}: "
+            f"{[f.render() for f in report.findings]}"
+        )
+
+    def test_bad_fixture_matches_golden(self, code, golden, lint_fixture):
+        bad, _ = RULE_FIXTURES[code]
+        report = lint_fixture(bad)  # all rules, as the golden file ran
+        assert [f.to_dict() for f in report.findings] == golden[bad][
+            "findings"
+        ]
+
+
+def test_all_fixtures_match_golden(golden, lint_fixture):
+    for name, entry in golden.items():
+        report = lint_fixture(name)
+        assert [
+            f.to_dict() for f in report.findings
+        ] == entry["findings"], f"drift in {name}"
+        assert report.suppressed == entry["suppressed"], name
+
+
+def test_suppression_fixture_is_counted(lint_fixture):
+    report = lint_fixture("suppressed.py")
+    assert report.findings == []
+    assert report.suppressed == 2
+
+
+class TestRuleSpecifics:
+    """Behavioral corners the golden file can't express by itself."""
+
+    def test_lock_codes_cover_inversion_and_unranked(self, lint_fixture):
+        codes = [f.code for f in lint_fixture("lock_order_bad.py").findings]
+        assert "RPL101" in codes and "RPL102" in codes
+
+    def test_rng_codes_cover_all_three(self, lint_fixture):
+        codes = {f.code for f in lint_fixture("rng_bad.py").findings}
+        assert codes == {"RPL301", "RPL302", "RPL303"}
+
+    def test_reduction_rule_ignores_non_kernel_modules(self, lint_fixture):
+        source = (FIXTURES / "reduction_bad.py").read_text(encoding="utf-8")
+        report = LintEngine(rules=["RPL401"]).lint_file(
+            Path("reduction_bad.py"),
+            source=source,
+            domain="src",
+            module="repro.serve.fixture",  # not core/solvers
+        )
+        assert report.findings == []
+
+    def test_frozen_rule_exempts_defining_module(self, lint_fixture):
+        source = (FIXTURES / "frozen_bad.py").read_text(encoding="utf-8")
+        report = LintEngine(rules=["RPL501"]).lint_file(
+            Path("frozen_bad.py"),
+            source=source,
+            domain="src",
+            module="repro.serve.store",  # defining module: exempt
+        )
+        assert report.findings == []
+
+    def test_blocking_rule_skips_sync_functions(self, lint_fixture):
+        report = lint_fixture("blocking_async_good.py", rules=["RPL201"])
+        assert report.findings == []

@@ -81,7 +81,7 @@ class TestBatchedKernel:
     ):
         solver = EnumerationSolver(tiny_game, tiny_scenarios)
         batched = solver.solve_batch(batch)
-        for b, solution in zip(batch, batched):
+        for b, solution in zip(batch, batched, strict=True):
             reference = solver.solve(b)
             assert solution.objective == reference.objective
             assert _policies_equal(solution.policy, reference.policy)
@@ -126,7 +126,7 @@ class TestPriceBatch:
             assert cache.misses == len(
                 {tuple(b) for b in batch.tolist()}
             )
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert a.objective == b.objective
             assert _policies_equal(a.policy, b.policy)
             assert np.array_equal(

@@ -95,7 +95,7 @@ class TestRoundTrip:
         # Best responses, exactly.
         assert len(restored.best_responses) == len(result.best_responses)
         for ours, theirs in zip(
-            restored.best_responses, result.best_responses
+            restored.best_responses, result.best_responses, strict=True
         ):
             assert ours.adversary == theirs.adversary
             assert ours.victim == theirs.victim

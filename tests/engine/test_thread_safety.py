@@ -46,7 +46,7 @@ def test_concurrent_price_batch_matches_serial(tiny_game):
             outcomes = list(pool.map(worker, orders))
 
         for order, losses in outcomes:
-            for row, loss in zip(order, losses):
+            for row, loss in zip(order, losses, strict=True):
                 assert loss == expected[row]
 
         info = engine.cache_info()

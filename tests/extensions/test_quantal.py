@@ -98,4 +98,4 @@ class TestEvaluateQuantal:
         )
         losses = [q.auditor_loss for q in sweep]
         # More rational attackers extract (weakly) more.
-        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:], strict=False))

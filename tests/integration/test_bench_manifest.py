@@ -1,0 +1,56 @@
+"""bench_manifest.json is the one source of truth for bench names.
+
+CI's record-presence check and ``benchmarks/check_perf_trend.py`` both
+read it; these tests keep the manifest well-formed and consistent with
+what is actually committed, so a bench added (or a baseline recorded)
+without a manifest entry fails here instead of silently skipping its
+perf guard.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO / "benchmarks"
+MANIFEST = BENCH_DIR / "bench_manifest.json"
+
+
+def _names() -> list[str]:
+    return json.loads(MANIFEST.read_text(encoding="utf-8"))["benches"]
+
+
+def test_manifest_is_sorted_and_unique():
+    names = _names()
+    assert names == sorted(set(names))
+    assert all(re.fullmatch(r"[a-z0-9_]+", n) for n in names)
+
+
+def test_every_committed_baseline_is_in_the_manifest():
+    names = set(_names())
+    for record in (BENCH_DIR / "baselines").glob("BENCH_*.json"):
+        assert record.stem.removeprefix("BENCH_") in names, (
+            f"{record.name} has no bench_manifest.json entry"
+        )
+
+
+def test_every_bench_module_is_plausibly_covered():
+    # Record names don't map 1:1 to files (one module can emit several
+    # records), but every bench module's stem should be a substring
+    # match for at least one manifest entry — catches adding
+    # bench_foo.py without any manifest update.
+    names = _names()
+    for module in BENCH_DIR.glob("bench_*.py"):
+        stem = module.stem.removeprefix("bench_").removeprefix("ablation_")
+        assert any(stem in name or name in stem for name in names), (
+            f"{module.name}: no related entry in bench_manifest.json"
+        )
+
+
+def test_check_perf_trend_uses_the_manifest():
+    source = (BENCH_DIR / "check_perf_trend.py").read_text(
+        encoding="utf-8"
+    )
+    assert "bench_manifest.json" in source

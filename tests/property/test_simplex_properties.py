@@ -55,7 +55,7 @@ def test_simplex_solution_is_feasible(lp):
     if not sol.is_optimal:
         return
     assert np.all(lp.a_ub @ sol.x <= lp.b_ub + 1e-7)
-    for value, (lo, hi) in zip(sol.x, lp.bounds):
+    for value, (lo, hi) in zip(sol.x, lp.bounds, strict=True):
         assert value >= lo - 1e-7
         assert value <= hi + 1e-7
 

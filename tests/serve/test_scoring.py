@@ -78,7 +78,7 @@ class TestKernelAgreement:
         scorer = PolicyScorer(policy, game)
         scores = scorer.score([list(z)])
         expected = np.zeros(game.n_types)
-        for ordering, p_o in zip(policy.orderings, policy.probabilities):
+        for ordering, p_o in zip(policy.orderings, policy.probabilities, strict=True):
             expected += p_o * pal_for_ordering(
                 ordering,
                 policy.thresholds,

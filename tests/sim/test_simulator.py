@@ -155,7 +155,7 @@ class TestBudgetCarryover:
             budget_carryover=True,
         )
         for prev, nxt in zip(
-            trajectory.records, trajectory.records[1:]
+            trajectory.records, trajectory.records[1:], strict=False
         ):
             assert np.isclose(nxt.budget, 3.0 + prev.leftover)
 

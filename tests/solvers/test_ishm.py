@@ -69,7 +69,7 @@ class TestIterativeShrink:
         result = iterative_shrink(tiny_game, tiny_scenarios,
                                   step_size=0.25)
         objectives = [obj for _, obj in result.history]
-        assert all(b < a for a, b in zip(objectives, objectives[1:]))
+        assert all(b < a for a, b in zip(objectives, objectives[1:], strict=False))
 
     def test_never_worse_than_initial(self, tiny_game, tiny_scenarios):
         solver = make_fixed_solver(tiny_game, tiny_scenarios)

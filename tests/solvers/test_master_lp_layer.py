@@ -198,7 +198,7 @@ class TestWarmStartedMaster:
             syn_a_game, syn_a_scenarios, THRESHOLD_GRID[2]
         )
         warm = MasterProblem(context, backend="simplex")
-        for i, o in enumerate(all_orderings(4)[:10]):
+        for o in all_orderings(4)[:10]:
             warm.add_ordering(o)
             _, sol_warm = warm.solve()
             cold = MasterProblem(
@@ -289,7 +289,7 @@ class TestSkeletonReuse:
         solver = EnumerationSolver(syn_a_game, syn_a_scenarios)
         batch = np.stack(THRESHOLD_GRID)
         batched = solver.solve_batch(batch)
-        for b, got in zip(THRESHOLD_GRID, batched):
+        for b, got in zip(THRESHOLD_GRID, batched, strict=True):
             ref = solver.solve(b)
             assert got.objective == ref.objective
             np.testing.assert_array_equal(
