@@ -6,7 +6,10 @@ Every benchmark writes a machine-readable perf record (see
 walks each baseline, finds the matching fresh record (``REPRO_BENCH_DIR``
 or the working directory), and compares every numeric ``speedup`` field:
 a fresh speedup more than ``TOLERANCE`` (30%) below its baseline fails
-the run, turning the JSON records into an actual perf-trend guard.
+the run, turning the JSON records into an actual perf-trend guard.  A
+fresh speedup more than ``TOLERANCE`` *above* its baseline only warns —
+large improvements are welcome but usually mean the baseline is stale
+(or the bench changed shape) and should be re-recorded.
 
 Skipped whenever the comparison would be meaningless:
 
@@ -96,6 +99,7 @@ def main() -> int:
 
     fresh_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     regressions: list[str] = []
+    improvements: list[str] = []
     compared = 0
     for name in names:
         baseline_path = BASELINE_DIR / f"BENCH_{name}.json"
@@ -121,7 +125,13 @@ def main() -> int:
                 continue
             compared += 1
             floor = base_value * (1.0 - TOLERANCE)
-            status = "ok" if fresh_value >= floor else "REGRESSION"
+            ceiling = base_value * (1.0 + TOLERANCE)
+            if fresh_value < floor:
+                status = "REGRESSION"
+            elif fresh_value > ceiling:
+                status = "IMPROVEMENT"
+            else:
+                status = "ok"
             print(
                 f"perf-trend: {name}:{path}: baseline "
                 f"{base_value:.2f}x, fresh {fresh_value:.2f}x "
@@ -133,10 +143,22 @@ def main() -> int:
                     f"{floor:.2f}x (baseline {base_value:.2f}x "
                     f"- {TOLERANCE:.0%})"
                 )
+            elif fresh_value > ceiling:
+                improvements.append(
+                    f"{name}:{path}: {fresh_value:.2f}x > "
+                    f"{ceiling:.2f}x (baseline {base_value:.2f}x "
+                    f"+ {TOLERANCE:.0%}) — baseline looks stale, "
+                    "consider re-recording it"
+                )
     print(
         f"perf-trend: {compared} speedup field(s) compared, "
-        f"{len(regressions)} regression(s)"
+        f"{len(regressions)} regression(s), "
+        f"{len(improvements)} large improvement(s)"
     )
+    # Improvements warn but never fail: a >30% jump is good news for
+    # users and bad news only for the baseline's freshness.
+    for line in improvements:
+        print(f"perf-trend WARNING: {line}", file=sys.stderr)
     if regressions:
         for line in regressions:
             print(f"perf-trend FAILURE: {line}", file=sys.stderr)

@@ -107,4 +107,38 @@ def write_bench_json(name: str, payload: dict) -> str:
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    _append_run_table_row(name, record)
     return path
+
+
+def _append_run_table_row(name: str, record: dict) -> None:
+    """Mirror one bench record into the canonical run_table artifact.
+
+    Active under the same gates as every adopter (``REPRO_RUN_DIR`` or
+    ``REPRO_OBS=1``): ordinary bench runs still produce only the
+    ``BENCH_<name>.json`` files.
+    """
+    from repro import obs
+
+    writer = obs.maybe_writer()
+    if writer is None:
+        return
+    run_id = writer.new_run_id(f"bench-{name}")
+    writer.append(
+        run_id=run_id,
+        kind="bench",
+        name=name,
+        config_hash=obs.config_hash(
+            {"bench": name, "smoke": record["smoke"],
+             "full": record["full"]}
+        ),
+        repetition=0,
+        **{
+            k: v for k, v in record.items()
+            if k not in (
+                "bench", "smoke", "full",
+                "run_id", "kind", "name", "config_hash", "repetition",
+            )
+        },
+    )
+    writer.write_raw(run_id, "bench.json", record)

@@ -32,6 +32,7 @@ from . import (
     distributions,
     engine,
     extensions,
+    obs,
     serve,
     sim,
     solvers,
@@ -41,7 +42,7 @@ from .core import AuditGame, AuditPolicy, Ordering
 from .engine import AuditEngine, SolveResult
 from .solvers import iterative_shrink, solve_optimal
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AuditEngine",
@@ -58,6 +59,7 @@ __all__ = [
     "engine",
     "extensions",
     "iterative_shrink",
+    "obs",
     "serve",
     "sim",
     "solve_optimal",

@@ -50,6 +50,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from .. import obs
 from ..datasets import SYN_A_BUDGETS, rea_a, rea_b, syn_a
 from ..engine import (
     AuditEngine,
@@ -202,13 +203,13 @@ def _run_solver(args: argparse.Namespace) -> int:
     spec = get_solver(args.solver)  # KeyError -> argparse already checked
     game = DATASETS[args.dataset](budget=args.budget)
     config = _parse_config_pairs(args.config)
-    started = time.time()
+    started = time.perf_counter()
     with AuditEngine(game, seed=args.seed) as engine:
         try:
             result = engine.solve(spec.name, config)
         except (TypeError, ValueError) as exc:
             raise SystemExit(f"--config error: {exc}") from exc
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     text = "\n".join(
         [
             f"dataset={args.dataset} budget={args.budget:g} "
@@ -220,6 +221,35 @@ def _run_solver(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     path = args.out / f"solve_{spec.name}.txt"
     path.write_text(text + "\n")
+    writer = obs.maybe_writer()
+    if writer is not None:
+        run_id = writer.new_run_id(f"solve-{spec.name}")
+        writer.append(
+            run_id=run_id,
+            kind="solve",
+            name=args.dataset,
+            solver=spec.name,
+            backend=str(getattr(result.config, "backend", "")),
+            config_hash=obs.config_hash(
+                {"describe": result.config.describe()}
+            ),
+            repetition=0,
+            seed=args.seed,
+            objective=float(result.objective),
+            lp_calls=int(result.diagnostics.get("lp_calls", 0)),
+            warm_solves=int(result.diagnostics.get("warm_solves", 0)),
+            solve_seconds=elapsed,
+        )
+        writer.write_raw(
+            run_id,
+            "result.json",
+            {
+                "summary": text,
+                "diagnostics": dict(result.diagnostics),
+                "thresholds": [float(b) for b in result.thresholds],
+            },
+        )
+        print(f"== run_table: {run_id} -> {writer.csv_path}")
     print(f"== solve:{spec.name} ({elapsed:.1f}s) -> {path}")
     print(text)
     return 0
@@ -282,10 +312,10 @@ def _run_sim(args: argparse.Namespace) -> int:
         raise SystemExit(f"--sim-config error: {exc}") from exc
     # ...while genuine runtime failures inside the period loop keep
     # their honest tracebacks.
-    started = time.time()
+    started = time.perf_counter()
     with simulator:
         trajectory = simulator.run()
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     text = "\n".join(
         [
             f"dataset={args.dataset} budget={args.budget:g} sim",
@@ -296,6 +326,40 @@ def _run_sim(args: argparse.Namespace) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     path = args.out / f"sim_{args.dataset}.txt"
     path.write_text(text + "\n")
+    writer = obs.maybe_writer()
+    if writer is not None:
+        run_id = writer.new_run_id(f"sim-{args.dataset}")
+        writer.append(
+            run_id=run_id,
+            kind="sim",
+            name=args.dataset,
+            solver=config.solver,
+            config_hash=obs.config_hash(
+                {"describe": config.describe()}
+            ),
+            repetition=0,
+            seed=config.seed,
+            objective=trajectory.mean_objective,
+            lp_calls=trajectory.total_lp_calls,
+            solve_seconds=trajectory.total_solve_seconds,
+            detection_rate=trajectory.detection_rate,
+            deterrence_rate=trajectory.deterrence_rate,
+            n_periods=trajectory.n_periods,
+            n_refits=trajectory.n_refits,
+            n_memoized=trajectory.n_memoized,
+            mean_realized_loss=trajectory.mean_realized_loss,
+            wall_seconds=elapsed,
+        )
+        writer.write_raw(
+            run_id,
+            "trajectory.json",
+            {
+                "summary": text,
+                "objectives": list(trajectory.objectives()),
+                "realized_losses": list(trajectory.realized_losses()),
+            },
+        )
+        print(f"== run_table: {run_id} -> {writer.csv_path}")
     print(f"== sim:{args.dataset} ({elapsed:.1f}s) -> {path}")
     print(text)
     return 0
@@ -542,12 +606,29 @@ def main(argv: list[str] | None = None) -> int:
 
     names = args.only if args.only else list(EXPERIMENTS)
     args.out.mkdir(parents=True, exist_ok=True)
+    writer = obs.maybe_writer()
     for name in names:
-        started = time.time()
+        started = time.perf_counter()
         text = EXPERIMENTS[name](args.full, args.seed)
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         path = args.out / f"{name}.txt"
         path.write_text(text + "\n")
+        if writer is not None:
+            run_id = writer.new_run_id(f"experiment-{name}")
+            writer.append(
+                run_id=run_id,
+                kind="experiment",
+                name=name,
+                config_hash=obs.config_hash(
+                    {"name": name, "full": args.full, "seed": args.seed}
+                ),
+                repetition=0,
+                seed=args.seed,
+                solve_seconds=elapsed,
+                full=args.full,
+            )
+            writer.write_raw(run_id, "artifact.json", {"text": text})
+            print(f"== run_table: {run_id} -> {writer.csv_path}")
         print(f"== {name} ({elapsed:.1f}s) -> {path}")
         print(text)
         print()

@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..distributions.joint import ScenarioSet
 from .detection import OrderingPricer
 from .policy import Ordering
@@ -139,6 +140,14 @@ class PalTable:
                 f"sets (> 2^{SUBSET_TABLE_TYPE_LIMIT}); use the legacy "
                 "per-ordering kernel instead"
             )
+        # Telemetry at the build boundary only — the DP loops below stay
+        # obs-free (RPL701).
+        obs.counter("repro_pal_table_builds_total")
+        with obs.span("pal_table.build", types=n_types):
+            self._build_table(scenario_chunk, n_types)
+
+    def _build_table(self, scenario_chunk: int | None, n_types: int) -> None:
+        p = self._pricer
         n_masks = 1 << n_types
         n_scenarios = p.counts.shape[0]
         if scenario_chunk is None:

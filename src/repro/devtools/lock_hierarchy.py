@@ -19,12 +19,15 @@ Current hierarchy, outermost first::
     rank 20   AuditEngine._lock            (scenario/solution-cache maps)
     rank 30   FixedSolveCache._lock        (solution memo + executor)
     rank 40   PolicyStore._lock            (published-policy map; leaf)
+    rank 50   MetricsRegistry._lock        (telemetry instruments; leaf)
 
 So: the serve layer's engine map may create/evict engines (10 -> 20),
 an engine may reach into its caches (20 -> 30), and anyone may publish
 into the store while holding any of the above (… -> 40) — but a cache
 must never call back up into an engine, and nothing may solve while
-holding the store.
+holding the store.  Telemetry sits at the very bottom (rank 50):
+counters and spans may be recorded while holding anything, and the
+registry calls back into nothing.
 """
 
 from __future__ import annotations
@@ -94,6 +97,14 @@ LOCKS: tuple[LockSpec, ...] = (
         attr="_lock",
         kind="threading",
         guards="published-policy pointer + history (leaf: calls nothing)",
+    ),
+    LockSpec(
+        name="obs",
+        rank=50,
+        owner="MetricsRegistry",
+        attr="_lock",
+        kind="threading",
+        guards="telemetry instruments of one registry (strict leaf)",
     ),
 )
 

@@ -20,6 +20,10 @@ RPL501    frozen-contract         ``SolveResult``/``PublishedPolicy`` are
                                   immutable outside their defining modules
 RPL601    registry-contract       registered solvers/plugins expose the
                                   expected signatures and typed configs
+RPL701    telemetry-in-hot-loop   no :mod:`repro.obs` calls inside loops
+                                  of the PalTable DP / simplex kernels —
+                                  count with plain ints, emit at the
+                                  solve()/build() boundary
 ========  ======================  =========================================
 
 Every rule reports through :meth:`LintContext.report`, so inline
@@ -42,7 +46,9 @@ __all__ = [
     "NondeterministicReductionRule",
     "RegistryContractRule",
     "RngDisciplineRule",
+    "TelemetryInHotLoopRule",
     "BLOCKING_CALL_PATTERNS",
+    "TELEMETRY_CALL_PATTERNS",
 ]
 
 
@@ -816,3 +822,104 @@ class RegistryContractRule(Rule):
                 f"method(s) {', '.join(missing)}; the simulator calls "
                 "them every period",
             )
+
+
+# ----------------------------------------------------------------------
+# RPL701 — telemetry in kernel hot loops
+# ----------------------------------------------------------------------
+
+
+#: Call patterns (fnmatch over the normalized dotted target) that record
+#: telemetry.  Free when disabled, but even the ``if not _enabled``
+#: check costs a call frame — inside the kernels' innermost loops that
+#: is measurable, so those modules count with plain ints and emit at
+#: the boundary (see ``SimplexSolver.solve`` / ``PalTable._build``).
+TELEMETRY_CALL_PATTERNS: tuple[str, ...] = (
+    "obs.*",
+    "*.obs.*",
+    "metrics.*",
+    "*.metrics.*",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "get_registry",
+)
+
+
+@register_rule
+class TelemetryInHotLoopRule(Rule):
+    """Keep :mod:`repro.obs` calls out of the kernel inner loops."""
+
+    code = "RPL701"
+    name = "telemetry-in-hot-loop"
+    summary = (
+        "no obs.counter/gauge/observe/span calls inside loops of the "
+        "PalTable DP and simplex kernels"
+    )
+    invariant = (
+        "the <2% disabled-telemetry overhead bound "
+        "(benchmarks/bench_obs_overhead.py) holds because hot loops "
+        "count with plain ints and emit once at the solve()/build() "
+        "boundary"
+    )
+    domains = frozenset({"src"})
+
+    #: Modules whose loops are the measured hot paths.
+    HOT_MODULES = ("repro.core.pal_table", "repro.solvers.lp.simplex")
+
+    def begin_file(self, ctx: LintContext) -> None:
+        self._hot = ctx.module in self.HOT_MODULES
+        self._loop_depth = 0
+        self._barriers: list[int] = []
+
+    # -- loop depth, with function defs as barriers ----------------------
+
+    def _enter_loop(self, node, ctx: LintContext) -> None:
+        self._loop_depth += 1
+
+    def _leave_loop(self, node, ctx: LintContext) -> None:
+        self._loop_depth -= 1
+
+    visit_For = _enter_loop
+    visit_AsyncFor = _enter_loop
+    visit_While = _enter_loop
+    leave_For = _leave_loop
+    leave_AsyncFor = _leave_loop
+    leave_While = _leave_loop
+
+    def _enter_def(self, node, ctx: LintContext) -> None:
+        # A def inside a loop body runs when *called*, not per
+        # iteration; its own body starts at depth 0.
+        self._barriers.append(self._loop_depth)
+        self._loop_depth = 0
+
+    def _leave_def(self, node, ctx: LintContext) -> None:
+        self._loop_depth = self._barriers.pop()
+
+    visit_FunctionDef = _enter_def
+    visit_AsyncFunctionDef = _enter_def
+    visit_Lambda = _enter_def
+    leave_FunctionDef = _leave_def
+    leave_AsyncFunctionDef = _leave_def
+    leave_Lambda = _leave_def
+
+    # -- the check -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
+        if not self._hot or self._loop_depth == 0:
+            return
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        target = normalized(dotted)
+        for pattern in TELEMETRY_CALL_PATTERNS:
+            if fnmatchcase(target, pattern):
+                ctx.report(
+                    self.code,
+                    node,
+                    f"telemetry call '{target}' inside a loop of a "
+                    "measured kernel; count with a plain attribute and "
+                    "emit at the solve()/build() boundary instead",
+                )
+                return

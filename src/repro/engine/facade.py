@@ -32,6 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.game import AuditGame
 from ..core.objective import PolicyEvaluation
 from ..core.policy import AuditPolicy
@@ -232,15 +233,17 @@ class AuditEngine:
             cfg = registry.make_config(spec, config, **overrides)
         if scenarios is None:
             scenarios = self.scenario_set()
-        result = spec.func(
-            self.game,
-            scenarios,
-            cfg,
-            cache=self.solution_cache(scenarios),
-        )
-        return dataclasses.replace(
-            result, solve_seconds=time.perf_counter() - started
-        )
+        with obs.span("engine.solve", method=method):
+            result = spec.func(
+                self.game,
+                scenarios,
+                cfg,
+                cache=self.solution_cache(scenarios),
+            )
+        elapsed = time.perf_counter() - started
+        obs.counter("repro_engine_solves_total", method=method)
+        obs.observe("repro_engine_solve_seconds", elapsed, method=method)
+        return dataclasses.replace(result, solve_seconds=elapsed)
 
     def price_batch(
         self,
@@ -267,15 +270,28 @@ class AuditEngine:
         """
         if scenarios is None:
             scenarios = self.scenario_set()
-        return self.solution_cache(scenarios).price_batch(
-            vectors,
+        started = time.perf_counter()
+        with obs.span("engine.price_batch", method=method):
+            solutions = self.solution_cache(scenarios).price_batch(
+                vectors,
+                method=method,
+                backend=self.backend if backend is None else backend,
+                seed=self.seed if seed is None else seed,
+                workers=self.workers if workers is None else workers,
+                chunk_size=chunk_size,
+                **kwargs,
+            )
+        obs.counter(
+            "repro_engine_vectors_priced_total",
+            len(solutions),
             method=method,
-            backend=self.backend if backend is None else backend,
-            seed=self.seed if seed is None else seed,
-            workers=self.workers if workers is None else workers,
-            chunk_size=chunk_size,
-            **kwargs,
         )
+        obs.observe(
+            "repro_engine_price_batch_seconds",
+            time.perf_counter() - started,
+            method=method,
+        )
+        return solutions
 
     def evaluate(
         self,

@@ -24,6 +24,7 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor
 
 import numpy as np
 
+from .. import obs
 from ..core.game import AuditGame
 from ..distributions.joint import ScenarioSet
 from ..solvers.enumeration import EnumerationSolver
@@ -45,6 +46,7 @@ def _price_chunk(
     backend: str,
     options: tuple[tuple[str, object], ...],
     vectors: np.ndarray,
+    span_path: tuple[str, ...] | None = None,
 ) -> list[FixedThresholdSolution]:
     solvers = _WORKER_STATE["solvers"]
     key = (backend, options)
@@ -57,7 +59,16 @@ def _price_chunk(
             **dict(options),
         )
         solvers[key] = solver
-    return solver.solve_batch(vectors)
+    if span_path is None:
+        return solver.solve_batch(vectors)
+    # The submitter had telemetry on: record into this worker's (local)
+    # registry with the submitting solve's span chain as our parent, so
+    # worker-side spans read `...engine.price_batch.price_chunk`.
+    if not obs.enabled():
+        obs.enable()
+    with obs.adopt_span_path(span_path):
+        with obs.span("price_chunk", vectors=len(vectors)):
+            return solver.solve_batch(vectors)
 
 
 def make_executor(
@@ -96,6 +107,11 @@ def price_parallel(
     chunk_size: int,
 ) -> list[FixedThresholdSolution]:
     """Fan chunks of ``vectors`` out over the pool; gather in input order."""
+    # Contextvars do not cross process boundaries: capture the span
+    # chain once at submit time and ship it with every task so worker
+    # spans keep the submitting solve as their parent (None when
+    # telemetry is off — workers then skip telemetry entirely).
+    span_path = obs.current_span_path() if obs.enabled() else None
     futures: list[Future] = []
     for start in range(0, len(vectors), chunk_size):
         futures.append(
@@ -104,6 +120,7 @@ def price_parallel(
                 backend,
                 options,
                 vectors[start : start + chunk_size],
+                span_path,
             )
         )
     solutions: list[FixedThresholdSolution] = []

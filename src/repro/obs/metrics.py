@@ -1,0 +1,360 @@
+"""Thread-safe metrics primitives and the global telemetry toggle.
+
+One :class:`MetricsRegistry` holds three families of instruments:
+
+* **counters** — monotonically increasing floats (events ingested,
+  re-solves completed, LP calls);
+* **gauges** — last-write-wins floats (current drift, re-solve lag);
+* **histograms** — fixed-bucket latency/size distributions with a
+  cumulative-bucket snapshot and a quantile estimator (p95 score
+  latency).
+
+Every instrument is keyed by ``(name, sorted label items)`` so one
+registry serves many solvers/backends/routes without coordination.
+All mutation runs under one lock — rank 50 ("obs") in
+:mod:`repro.devtools.lock_hierarchy`, a strict leaf: registry methods
+call nothing that could acquire another ranked lock, so telemetry may
+be recorded while holding any of them.
+
+The module-level toggle is the reason instrumented hot paths stay free
+when telemetry is off: :func:`counter` / :func:`gauge` /
+:func:`observe` (and :func:`repro.obs.spans.span`) check one module
+global and return immediately when disabled.  ``REPRO_OBS=1`` in the
+environment enables telemetry at import; :func:`enable` /
+:func:`disable` flip it at runtime.  The disabled-path cost is pinned
+by ``benchmarks/bench_obs_overhead.py`` (<2% on engine solves).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "observe",
+    "set_registry",
+]
+
+#: Default histogram buckets (seconds) — spans request-time scoring
+#: (sub-ms) through multi-second cold solves.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Canonical label key: sorted ``(key, value)`` string pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonicalize a label mapping (sorted, stringified)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """One labeled histogram series, frozen at snapshot time.
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``
+    (non-cumulative per bucket; the Prometheus renderer accumulates),
+    with one overflow slot at the end for observations above the last
+    bucket.
+    """
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (Prometheus-style).
+
+        Returns the upper bound of the bucket containing the q-th
+        observation; ``inf`` when it falls in the overflow bucket,
+        ``nan`` when the series is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        for bound, n in zip(self.buckets, self.counts, strict=False):
+            seen += n
+            if seen >= rank:
+                return bound
+        return math.inf
+
+
+class _Histogram:
+    """Mutable histogram state (registry-internal; lock held by caller)."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.total += value
+        self.count += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(self.counts),
+            total=self.total,
+            count=self.count,
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges and fixed-bucket histograms.
+
+    Instruments are created on first touch; a histogram's buckets are
+    fixed by its first observation (later ``buckets=`` arguments for
+    the same name are ignored, so concurrent observers cannot fork a
+    series).  ``snapshot_*`` methods return plain immutable data — the
+    Prometheus renderer and the serve ``/status`` payload both read
+    through them, which is what makes the two views consistent.
+    """
+
+    def __init__(self) -> None:
+        # Rank 50 ("obs") in repro/devtools/lock_hierarchy.py: a strict
+        # leaf — may be taken while holding any ranked lock, must call
+        # back into nothing.
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[LabelKey, float]] = {}
+        self._gauges: dict[str, dict[LabelKey, float]] = {}
+        self._histograms: dict[str, dict[LabelKey, _Histogram]] = {}
+        self._bucket_choice: dict[str, tuple[float, ...]] = {}
+
+    # -- writes --------------------------------------------------------
+
+    def counter(
+        self, name: str, value: float = 1.0, **labels: object
+    ) -> None:
+        """Add ``value`` (>= 0) to a counter series."""
+        if value < 0:
+            raise ValueError(f"counter increment must be >= 0, got {value}")
+        key = label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge series to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges.setdefault(name, {})[label_key(labels)] = float(
+                value
+            )
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: Iterable[float] | None = None,
+        **labels: object,
+    ) -> None:
+        """Record ``value`` into a histogram series."""
+        key = label_key(labels)
+        with self._lock:
+            chosen = self._bucket_choice.get(name)
+            if chosen is None:
+                chosen = (
+                    DEFAULT_BUCKETS
+                    if buckets is None
+                    else tuple(sorted(float(b) for b in buckets))
+                )
+                if not chosen:
+                    raise ValueError("histogram needs at least one bucket")
+                self._bucket_choice[name] = chosen
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = _Histogram(chosen)
+            hist.observe(float(value))
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh service starts)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._bucket_choice.clear()
+
+    # -- reads ---------------------------------------------------------
+
+    def get_counter(self, name: str, **labels: object) -> float:
+        with self._lock:
+            return self._counters.get(name, {}).get(label_key(labels), 0.0)
+
+    def get_gauge(
+        self, name: str, default: float = 0.0, **labels: object
+    ) -> float:
+        with self._lock:
+            return self._gauges.get(name, {}).get(
+                label_key(labels), default
+            )
+
+    def get_histogram(
+        self, name: str, **labels: object
+    ) -> HistogramSnapshot | None:
+        with self._lock:
+            hist = self._histograms.get(name, {}).get(label_key(labels))
+            return None if hist is None else hist.snapshot()
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across every label combination."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    def snapshot(self) -> dict[str, dict]:
+        """Deep-copied view of every instrument, for rendering.
+
+        Shape::
+
+            {"counters":   {name: {label_key: value}},
+             "gauges":     {name: {label_key: value}},
+             "histograms": {name: {label_key: HistogramSnapshot}}}
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: dict(series)
+                    for name, series in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: dict(series)
+                    for name, series in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        key: hist.snapshot()
+                        for key, hist in series.items()
+                    }
+                    for name, series in sorted(self._histograms.items())
+                },
+            }
+
+
+# ----------------------------------------------------------------------
+# Global toggle + default registry
+# ----------------------------------------------------------------------
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "0").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+#: The telemetry fast-path flag.  Everything in the instrumented hot
+#: paths reduces to ``if not _enabled: return`` when telemetry is off.
+_enabled: bool = _env_enabled()
+_registry: MetricsRegistry | None = None
+
+
+def enabled() -> bool:
+    """Whether global telemetry is currently recording."""
+    return _enabled
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Turn global telemetry on (optionally installing a registry)."""
+    global _enabled, _registry
+    if registry is not None:
+        _registry = registry
+    elif _registry is None:
+        _registry = MetricsRegistry()
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Turn global telemetry off (the registry is kept, not cleared)."""
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The global registry (created on first access)."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> None:
+    """Install a registry as the global one (does not flip the toggle)."""
+    global _registry
+    _registry = registry
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience writers (the instrumented-call surface)
+# ----------------------------------------------------------------------
+
+
+def counter(name: str, value: float = 1.0, **labels: object) -> None:
+    """Increment a global counter; free when telemetry is disabled."""
+    if not _enabled:
+        return
+    get_registry().counter(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: object) -> None:
+    """Set a global gauge; free when telemetry is disabled."""
+    if not _enabled:
+        return
+    get_registry().gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    *,
+    buckets: Iterable[float] | None = None,
+    **labels: object,
+) -> None:
+    """Observe into a global histogram; free when telemetry is disabled."""
+    if not _enabled:
+        return
+    get_registry().observe(name, value, buckets=buckets, **labels)

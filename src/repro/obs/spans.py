@@ -1,0 +1,135 @@
+"""Nested wall-time spans with a contextvar-based parent chain.
+
+``with span("engine.solve", method="ishm"):`` opens one span; spans
+opened inside it become children, and the full dotted path
+(``sim.period.engine.solve``) labels the duration histogram each span
+records into the global registry on exit.  The chain lives in a
+:mod:`contextvars` variable, so it follows execution context — not
+stack frames — across suspension points:
+
+* **async tasks** each get their own copy (``asyncio`` snapshots the
+  context per task), so concurrent requests cannot interleave chains;
+* **threads** entered through context-copying launchers
+  (``asyncio.to_thread``, ``contextvars.copy_context().run``) inherit
+  the chain of their submitter;
+* **process pools** cannot share a contextvar — the fan-out in
+  :mod:`repro.engine.parallel` captures :func:`current_span_path` at
+  submit time, ships it with the task, and the worker re-roots itself
+  with :func:`adopt_span_path` so spans recorded worker-side carry the
+  parent chain of the submitting solve.
+
+When telemetry is disabled (:func:`repro.obs.metrics.enabled` false),
+:func:`span` returns one shared no-op context manager: no contextvar
+write, no clock read, no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+
+from . import metrics
+
+__all__ = [
+    "SPAN_HISTOGRAM",
+    "adopt_span_path",
+    "current_span_path",
+    "span",
+]
+
+#: Histogram every completed span observes into, labeled by the full
+#: dotted span path.
+SPAN_HISTOGRAM = "repro_span_seconds"
+
+_SPAN_PATH: ContextVar[tuple[str, ...]] = ContextVar(
+    "repro_obs_span_path", default=()
+)
+
+
+def current_span_path() -> tuple[str, ...]:
+    """The open span chain of this execution context, outermost first."""
+    return _SPAN_PATH.get()
+
+
+class _Span:
+    """One live span: pushes itself onto the chain, times its body."""
+
+    __slots__ = ("_name", "_attrs", "_path", "_token", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._path = _SPAN_PATH.get() + (self._name,)
+        self._token = _SPAN_PATH.set(self._path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        seconds = time.perf_counter() - self._start
+        _SPAN_PATH.reset(self._token)
+        # Re-checked (not cached from __enter__) so a mid-span disable
+        # simply drops the record instead of writing to a dead registry.
+        if metrics.enabled():
+            metrics.get_registry().observe(
+                SPAN_HISTOGRAM,
+                seconds,
+                span=".".join(self._path),
+                **self._attrs,
+            )
+        return False
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        return self._path
+
+
+class _NoopSpan:
+    """Shared disabled-path span: enter/exit do nothing at all."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: object):
+    """Open a wall-time span (no-op when telemetry is disabled)."""
+    if not metrics.enabled():
+        return _NOOP
+    return _Span(name, attrs)
+
+
+class _AdoptedPath:
+    """Re-root this execution context's span chain (see module doc)."""
+
+    __slots__ = ("_path", "_token")
+
+    def __init__(self, path) -> None:
+        self._path = tuple(path)
+
+    def __enter__(self) -> tuple[str, ...]:
+        self._token = _SPAN_PATH.set(self._path)
+        return self._path
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _SPAN_PATH.reset(self._token)
+        return False
+
+
+def adopt_span_path(path) -> _AdoptedPath:
+    """Adopt a captured span chain (cross-process/-thread propagation).
+
+    The submitter captures :func:`current_span_path`; the worker wraps
+    its task body in ``with adopt_span_path(path):`` so spans it opens
+    nest under the submitter's chain.  Cheap and side-effect-free
+    beyond the contextvar write, so it is safe to use unconditionally.
+    """
+    return _AdoptedPath(path)

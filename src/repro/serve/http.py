@@ -24,6 +24,7 @@ method    path                   purpose
 ========  =====================  =============================================
 GET       /healthz               liveness + current policy version
 GET       /status                counters, drift, worker state
+GET       /metrics               Prometheus text exposition of the registry
 GET       /policy                current published policy (full serialization)
 GET       /policy/{version}      stale-version read from the retained history
 POST      /score                 score alert-count rows against the policy
@@ -39,6 +40,7 @@ import json
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Mapping
 
+from .. import obs
 from .service import AuditService
 
 __all__ = [
@@ -50,9 +52,11 @@ __all__ = [
     "have_fastapi",
 ]
 
+# Handlers return ``(status, payload)``; a ``dict`` payload is rendered
+# as JSON, a ``str`` payload as Prometheus text (``obs.CONTENT_TYPE``).
 Handler = Callable[
     [AuditService, Mapping[str, str], object],
-    Awaitable[tuple[int, dict]],
+    Awaitable[tuple[int, dict | str]],
 ]
 
 
@@ -105,6 +109,12 @@ async def _status(
     service: AuditService, params: Mapping[str, str], body: object
 ) -> tuple[int, dict]:
     return 200, service.status()
+
+
+async def _metrics(
+    service: AuditService, params: Mapping[str, str], body: object
+) -> tuple[int, str]:
+    return 200, obs.render_prometheus(service.metrics)
 
 
 async def _policy(
@@ -178,6 +188,10 @@ async def _resolve(
 ROUTES: tuple[Route, ...] = (
     Route("GET", "/healthz", _healthz, "liveness probe"),
     Route("GET", "/status", _status, "counters, drift, worker state"),
+    Route(
+        "GET", "/metrics", _metrics,
+        "Prometheus text exposition of the service registry",
+    ),
     Route("GET", "/policy", _policy, "current published policy"),
     Route(
         "GET", "/policy/{version}", _policy_version,
@@ -191,12 +205,14 @@ ROUTES: tuple[Route, ...] = (
 
 async def dispatch(
     service: AuditService, method: str, path: str, body: object = None
-) -> tuple[int, dict]:
+) -> tuple[int, dict | str]:
     """Route one request through the shared contract.
 
     Returns ``(status, payload)``; unknown paths get 404, known paths
     with the wrong method 405, and handler crashes a 500 envelope (the
-    stdlib server must never die on a bad request).
+    stdlib server must never die on a bad request).  A ``str`` payload
+    (the ``/metrics`` exposition) is served as Prometheus text, every
+    ``dict`` as JSON.
     """
     path = path.split("?", 1)[0]
     method = method.upper()
@@ -243,7 +259,7 @@ class StdlibApp:
 
     async def handle(
         self, method: str, path: str, body: object = None
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict | str]:
         """In-process dispatch: ``(status, payload)`` for one request."""
         return await dispatch(self.service, method, path, body)
 
@@ -274,14 +290,19 @@ class StdlibApp:
             status, payload = 500, {
                 "error": f"{type(exc).__name__}: {exc}"
             }
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = obs.CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 409: "Conflict",
                   413: "Payload Too Large",
                   500: "Internal Server Error"}.get(status, "OK")
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n".encode() + body
         )
@@ -294,7 +315,7 @@ class StdlibApp:
 
     async def _one_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, dict | str]:
         request_line = (await reader.readline()).decode("latin-1")
         parts = request_line.split()
         if len(parts) < 2:
@@ -350,7 +371,7 @@ def make_fastapi_app(service: AuditService):
     """
     try:
         from fastapi import FastAPI, Request
-        from fastapi.responses import JSONResponse
+        from fastapi.responses import JSONResponse, PlainTextResponse
     except ImportError as exc:  # pragma: no cover - env without fastapi
         raise ImportError(
             "fastapi is not installed; pip install -e '.[serve]' or "
@@ -384,6 +405,12 @@ def make_fastapi_app(service: AuditService):
                 request.url.path,
                 body,
             )
+            if isinstance(payload, str):
+                return PlainTextResponse(
+                    payload,
+                    status_code=status,
+                    media_type=obs.CONTENT_TYPE,
+                )
             return JSONResponse(payload, status_code=status)
 
         app.add_api_route(

@@ -31,6 +31,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..core.game import AuditGame
 from ..distributions.joint import JointCountModel
 from ..engine import AuditEngine
@@ -215,15 +216,63 @@ class AuditService:
         self._wake = asyncio.Event()
         self._resolve_lock = asyncio.Lock()
         self._worker_task: asyncio.Task | None = None
-        self._started_at = time.time()
-        # Counters surfaced by /status.
-        self.events_ingested = 0
-        self.score_requests = 0
-        self.rows_scored = 0
-        self.resolves_scheduled = 0
-        self.resolves_completed = 0
-        self.last_resolve_lag_seconds: float | None = None
-        self.last_drift = 0.0
+        # monotonic: uptime is a duration, immune to wall-clock steps.
+        self._started_at = time.monotonic()
+        # One service-local registry is the single source of truth for
+        # every counter/gauge/histogram the service reports: /status
+        # reads it through the properties below and /metrics renders it
+        # as Prometheus text, so the two views can never disagree.  It
+        # is always live (independent of the global REPRO_OBS toggle) —
+        # serve telemetry is part of the service contract, not optional
+        # debug output.
+        self.metrics = obs.MetricsRegistry()
+
+    # -- registry-backed counters (public read surface of /status) -----
+
+    @property
+    def events_ingested(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_events_ingested_total"
+        ))
+
+    @property
+    def score_requests(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_score_requests_total"
+        ))
+
+    @property
+    def rows_scored(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_rows_scored_total"
+        ))
+
+    @property
+    def resolves_scheduled(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_resolves_scheduled_total"
+        ))
+
+    @property
+    def resolves_completed(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_resolves_completed_total"
+        ))
+
+    @property
+    def last_resolve_lag_seconds(self) -> float | None:
+        return self.metrics.get_gauge(
+            "repro_serve_resolve_lag_seconds", default=None
+        )
+
+    @property
+    def last_drift(self) -> float:
+        return self.metrics.get_gauge("repro_serve_drift", default=0.0)
+
+    def score_latency_p95(self) -> float | None:
+        """Bucketed p95 of ``/score`` latency (None before any score)."""
+        hist = self.metrics.get_histogram("repro_serve_score_seconds")
+        return None if hist is None else hist.quantile(0.95)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -296,6 +345,7 @@ class AuditService:
         cannot tear a response: every row scores against one version,
         and the response names it.
         """
+        started = time.perf_counter()
         snapshot = self._active
         if snapshot is None:
             raise RuntimeError(
@@ -308,8 +358,13 @@ class AuditService:
                 f"{self.config.max_batch}"
             )
         scores: ScoreBatch = snapshot.scorer.score(batch)
-        self.score_requests += 1
-        self.rows_scored += scores.n_rows
+        self.metrics.counter("repro_serve_score_requests_total")
+        self.metrics.counter(
+            "repro_serve_rows_scored_total", scores.n_rows
+        )
+        self.metrics.observe(
+            "repro_serve_score_seconds", time.perf_counter() - started
+        )
         return {
             "policy_version": snapshot.published.version,
             "fingerprint": snapshot.published.fingerprint,
@@ -347,13 +402,20 @@ class AuditService:
             raise ValueError(
                 "alert counts must be finite and non-negative"
             )
+        started = time.perf_counter()
         rows = arr.astype(np.int64)
-        for row in rows:
-            self._estimator.observe(self.events_ingested, row)
-            self.events_ingested += 1
+        base = self.events_ingested
+        for i, row in enumerate(rows):
+            self._estimator.observe(base + i, row)
+        self.metrics.counter(
+            "repro_serve_events_ingested_total", len(rows)
+        )
         model = self._estimator.model()
         drift = self._drift(snapshot, model)
-        self.last_drift = drift
+        self.metrics.gauge("repro_serve_drift", drift)
+        self.metrics.observe(
+            "repro_serve_ingest_seconds", time.perf_counter() - started
+        )
         scheduled = False
         if (
             self.config.auto_resolve
@@ -370,10 +432,16 @@ class AuditService:
         }
 
     def status(self) -> dict[str, object]:
-        """JSON-ready service status (the ``/status`` payload)."""
+        """JSON-ready service status (the ``/status`` payload).
+
+        Every counter/gauge below reads the same
+        :class:`~repro.obs.metrics.MetricsRegistry` the ``/metrics``
+        route renders, so the two reports cannot drift apart.
+        """
         snapshot = self._active
         return {
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "score_latency_p95_seconds": self.score_latency_p95(),
             "events_ingested": self.events_ingested,
             "score_requests": self.score_requests,
             "rows_scored": self.rows_scored,
@@ -420,7 +488,9 @@ class AuditService:
             drift=drift,
             reason=reason,
         )
-        self.resolves_scheduled += 1
+        self.metrics.counter(
+            "repro_serve_resolves_scheduled_total", reason=reason
+        )
         self._wake.set()
         return True
 
@@ -433,7 +503,9 @@ class AuditService:
             drift=self.last_drift,
             reason="manual",
         )
-        self.resolves_scheduled += 1
+        self.metrics.counter(
+            "repro_serve_resolves_scheduled_total", reason="manual"
+        )
         return await self._resolve(request)
 
     async def _worker(self) -> None:
@@ -479,8 +551,8 @@ class AuditService:
                     dtype=np.float64,
                 ),
             )
-            self.resolves_completed += 1
-            self.last_resolve_lag_seconds = lag
+            self.metrics.counter("repro_serve_resolves_completed_total")
+            self.metrics.gauge("repro_serve_resolve_lag_seconds", lag)
             return published
 
     def _game_for(

@@ -39,6 +39,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..core.detection import audited_counts, pal_for_ordering
 from ..core.game import AuditGame
 from ..core.objective import REFRAIN, PolicyEvaluation
@@ -410,6 +411,9 @@ class AuditSimulator:
             model = estimator.model()
             refit = model is not previous_model
             previous_model = model
+            obs.counter("repro_sim_periods_total")
+            if refit:
+                obs.counter("repro_sim_refits_total")
 
             # 3. Re-solve through the (warm) engine.  An engine seen
             # before (same model, same budget) would reproduce its
@@ -417,16 +421,22 @@ class AuditSimulator:
             engine = self._engine_for(model, budget)
             hits_before = self._cache_hits()
             started = time.perf_counter()
-            memoized = self._solve_memo.get(id(engine))
-            if memoized is None:
-                result = engine.solve(
-                    cfg.solver, dict(cfg.solver_options)
-                )
-                evaluation = engine.evaluate(result.policy)
-                self._solve_memo[id(engine)] = (result, evaluation)
-            else:
-                result, evaluation = memoized
+            with obs.span("sim.period", period=period, refit=refit):
+                memoized = self._solve_memo.get(id(engine))
+                if memoized is None:
+                    result = engine.solve(
+                        cfg.solver, dict(cfg.solver_options)
+                    )
+                    evaluation = engine.evaluate(result.policy)
+                    self._solve_memo[id(engine)] = (result, evaluation)
+                else:
+                    result, evaluation = memoized
             solve_seconds = time.perf_counter() - started
+            obs.observe(
+                "repro_sim_solve_seconds",
+                solve_seconds,
+                memoized=memoized is not None,
+            )
 
             # 4. Deploy: sample one pure ordering from the mixed policy.
             ordering = result.policy.sample_ordering(rng)

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.game import AuditGame
 from ..core.policy import Ordering, random_ordering
 from ..distributions.joint import ScenarioSet
@@ -145,6 +146,13 @@ class CGGSSolver:
             columns_generated += 1
             fixed, lp_solution = master.solve()
         self._refresh_pool(fixed)
+        # Boundary telemetry: one batch of counters per CGGS solve, not
+        # per column-loop iteration.
+        obs.counter("repro_cggs_solves_total")
+        obs.counter("repro_cggs_columns_generated_total", columns_generated)
+        obs.counter(
+            "repro_cggs_converged_total", 1.0 if converged else 0.0
+        )
         return CGGSResult(
             policy=fixed.policy.pruned(),
             objective=fixed.objective,

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import obs
 from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 
 __all__ = ["SimplexSolver", "solve_with_simplex"]
@@ -255,6 +256,10 @@ class SimplexSolver:
                 f"refactor_every must be >= 1, got {refactor_every}"
             )
         self.refactor_every = refactor_every
+        # Refactorizations of the current solve, counted as a plain
+        # attribute in the pivot loop and emitted as telemetry only at
+        # the solve() boundary (RPL701: no obs calls in hot kernels).
+        self._refactorizations = 0
 
     # ------------------------------------------------------------------
 
@@ -269,6 +274,22 @@ class SimplexSolver:
         (possibly renamed by the caller after structural edits); a valid,
         primal-feasible warm basis skips phase 1 entirely.
         """
+        self._refactorizations = 0
+        solution = self._solve_impl(problem, warm_basis)
+        obs.counter("repro_simplex_solves_total", status=solution.status)
+        obs.counter(
+            "repro_simplex_iterations_total", solution.iterations
+        )
+        obs.counter(
+            "repro_simplex_refactorizations_total", self._refactorizations
+        )
+        return solution
+
+    def _solve_impl(
+        self,
+        problem: LinearProgram,
+        warm_basis: tuple[BasisTag, ...] | None = None,
+    ) -> LPSolution:
         std = _standardize(problem)
         m, n_std = std.a.shape
 
@@ -503,6 +524,7 @@ class SimplexSolver:
         xb: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fresh LU factorization of the basis, bounding eta-drift."""
+        self._refactorizations += 1
         basis_matrix = full[:, basis]
         try:
             fresh = np.linalg.inv(basis_matrix)

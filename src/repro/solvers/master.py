@@ -43,6 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.detection import (
     OrderingPricer,
     _check_batch_inputs,
@@ -657,7 +658,9 @@ class MasterProblem:
         )
         started = time.perf_counter()
         solution = solve_lp(lp, backend=self.backend).require_optimal()
-        self.lp_seconds += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.lp_seconds += elapsed
+        obs.observe("repro_master_lp_seconds", elapsed)
 
         x = np.zeros(n_q + self._n_e)
         x[kept_cols] = solution.x[:n_kept]
@@ -725,13 +728,17 @@ class MasterProblem:
             solution = solve_lp(
                 lp, backend=self.backend, warm_basis=warm
             ).require_optimal()
-            self.lp_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.lp_seconds += elapsed
+            obs.observe("repro_master_lp_seconds", elapsed)
             if warm is not None:
                 self.warm_solves += 1
+                obs.counter("repro_master_warm_solves_total")
             if self.warm_start and solution.basis is not None:
                 self._basis = solution.basis
                 self._basis_n_q = n_q
         self.lp_calls += 1
+        obs.counter("repro_master_lp_calls_total")
         probs = np.clip(solution.x[:n_q], 0.0, None)
         total = probs.sum()
         if total <= 0:

@@ -1,0 +1,26 @@
+"""Bad fixture: telemetry recorded inside kernel hot loops."""
+
+from ... import obs
+
+
+class Kernel:
+    def iterate(self, rows):
+        total = 0.0
+        for row in sorted(rows):
+            obs.counter("repro_simplex_pivots_total")
+            total += row
+        return total
+
+    def refactorize(self, deadline):
+        steps = 0
+        while steps < deadline:
+            self.metrics.observe("repro_refactor_seconds", 0.1)
+            steps += 1
+        return steps
+
+    def spanned(self, rows):
+        total = 0.0
+        for row in sorted(rows):
+            with obs.span("pivot", row=row):
+                total += row
+        return total

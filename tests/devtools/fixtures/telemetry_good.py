@@ -1,0 +1,34 @@
+"""Good fixture: plain-int counting in loops, telemetry at the boundary."""
+
+from ... import obs
+
+
+class Kernel:
+    def __init__(self):
+        self._pivots = 0
+
+    def solve(self, rows):
+        self._pivots = 0
+        total = self._iterate(rows)
+        obs.counter("repro_simplex_pivots_total", self._pivots)
+        obs.observe("repro_simplex_solve_seconds", 0.0)
+        return total
+
+    def _iterate(self, rows):
+        total = 0.0
+        for row in sorted(rows):
+            self._pivots += 1
+            total += row
+        return total
+
+
+def make_callbacks(specs):
+    # A def inside a loop is a barrier: its body runs per call, not per
+    # iteration, so boundary telemetry there is fine.
+    callbacks = []
+    for name in sorted(specs):
+        def emit(label=name):
+            obs.counter("repro_callback_total", source=label)
+
+        callbacks.append(emit)
+    return callbacks

@@ -26,9 +26,9 @@ REPO = Path(__file__).resolve().parents[2]
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         specs = available_rules()
-        assert len(specs) == 6
+        assert len(specs) == 7
         assert [s.code for s in specs] == [
             "RPL101",
             "RPL201",
@@ -36,6 +36,7 @@ class TestRegistry:
             "RPL401",
             "RPL501",
             "RPL601",
+            "RPL701",
         ]
 
     def test_specs_carry_docs(self):

@@ -24,6 +24,7 @@ RULE_FIXTURES = {
     "RPL401": ("reduction_bad.py", "reduction_good.py"),
     "RPL501": ("frozen_bad.py", "frozen_good.py"),
     "RPL601": ("registry_bad.py", "registry_good.py"),
+    "RPL701": ("telemetry_bad.py", "telemetry_good.py"),
 }
 
 

@@ -1,0 +1,29 @@
+"""Isolation for the global telemetry toggle and registry.
+
+Every test in this package runs with the module-level state saved and
+restored, so enabling telemetry in one test cannot leak into the
+tier-1 suite (which assumes the default-off fast path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs_state():
+    enabled = obs_metrics._enabled
+    registry = obs_metrics._registry
+    yield
+    obs_metrics._enabled = enabled
+    obs_metrics._registry = registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the enabled global one."""
+    reg = obs_metrics.MetricsRegistry()
+    obs_metrics.enable(reg)
+    return reg

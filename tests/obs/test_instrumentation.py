@@ -1,0 +1,100 @@
+"""Telemetry at the instrumented boundaries: counters fire, results don't move.
+
+The acceptance contract for the observability layer is two-sided:
+
+* with telemetry **on**, every instrumented boundary (engine solve,
+  batch pricing, simplex, CGGS, PalTable, the sim loop) records its
+  counters/histograms into the global registry;
+* with telemetry on or off, the numeric outputs are **bitwise
+  identical** — instruments observe, they never steer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import AuditEngine
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import SPAN_HISTOGRAM
+
+
+def test_engine_solve_emits_boundary_metrics(tiny_game, registry):
+    with AuditEngine(tiny_game) as engine:
+        result = engine.solve("ishm", step_size=0.4)
+    assert registry.get_counter(
+        "repro_engine_solves_total", method="ishm"
+    ) == 1.0
+    hist = registry.get_histogram(
+        "repro_engine_solve_seconds", method="ishm"
+    )
+    assert hist is not None and hist.count == 1
+    # The boundary histogram agrees with the result's own stamp.
+    assert result.solve_seconds is not None
+    assert hist.total == pytest.approx(result.solve_seconds, rel=0.5)
+    # Simplex-independent layers fired too.
+    assert registry.counter_total("repro_master_lp_calls_total") > 0
+    spans = registry.snapshot()["histograms"].get(SPAN_HISTOGRAM, {})
+    assert any(
+        dict(key)["span"] == "engine.solve" for key in spans
+    )
+
+
+def test_simplex_counters(tiny_game, registry):
+    with AuditEngine(tiny_game) as engine:
+        engine.solve("ishm", step_size=0.4, backend="simplex")
+    solves = registry.counter_total("repro_simplex_solves_total")
+    iters = registry.counter_total("repro_simplex_iterations_total")
+    assert solves > 0
+    assert iters >= solves  # at least one pivot per non-trivial solve
+
+
+def test_cggs_counters(tiny_game, registry):
+    with AuditEngine(tiny_game) as engine:
+        engine.solve("ishm", step_size=0.4, inner="cggs")
+    assert registry.counter_total("repro_cggs_solves_total") > 0
+    assert registry.counter_total("repro_pal_table_builds_total") >= 0
+
+
+def test_results_identical_with_telemetry_on_and_off(tiny_game):
+    obs_metrics.disable()
+    cold = AuditEngine(tiny_game).solve("ishm", step_size=0.4)
+    obs.enable(obs.MetricsRegistry())
+    hot = AuditEngine(tiny_game).solve("ishm", step_size=0.4)
+    assert hot.objective == cold.objective
+    assert np.array_equal(hot.thresholds, cold.thresholds)
+    assert hot.diagnostics["lp_calls"] == cold.diagnostics["lp_calls"]
+
+
+def test_parallel_pricing_identical_with_telemetry_on(tiny_game):
+    """workers>1 == workers=1 stays bitwise with spans propagating."""
+    obs.enable(obs.MetricsRegistry())
+    serial = AuditEngine(tiny_game).solve("ishm", step_size=0.4)
+    with AuditEngine(tiny_game, workers=2) as engine:
+        with obs.span("test.fanout"):
+            parallel = engine.solve("ishm", step_size=0.4)
+    assert parallel.objective == serial.objective
+    assert np.array_equal(parallel.thresholds, serial.thresholds)
+    assert (
+        parallel.diagnostics["lp_calls"] == serial.diagnostics["lp_calls"]
+    )
+
+
+def test_sim_counters_and_spans(tiny_game, registry):
+    from repro.sim import AuditSimulator, SimConfig
+
+    config = SimConfig(n_periods=2, solver="ishm",
+                       solver_options={"step_size": 0.5})
+    with AuditSimulator(tiny_game, config) as sim:
+        trajectory = sim.run()
+    assert trajectory.n_periods == 2
+    assert registry.counter_total("repro_sim_periods_total") == 2.0
+    hist = registry.get_histogram(
+        "repro_sim_solve_seconds", memoized=False
+    )
+    assert hist is not None and hist.count >= 1
+    spans = registry.snapshot()["histograms"].get(SPAN_HISTOGRAM, {})
+    paths = {dict(key)["span"] for key in spans}
+    # engine.solve nested under sim.period via the contextvar chain.
+    assert any(p.startswith("sim.period.") for p in paths)

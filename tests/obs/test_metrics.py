@@ -1,0 +1,175 @@
+"""MetricsRegistry semantics: instruments, labels, toggle, threads."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry, label_key
+
+
+class TestCounters:
+    def test_counts_and_defaults(self):
+        reg = MetricsRegistry()
+        reg.counter("hits")
+        reg.counter("hits", 2.5)
+        assert reg.get_counter("hits") == 3.5
+        assert reg.get_counter("missing") == 0.0
+
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        reg.counter("solves", method="ishm")
+        reg.counter("solves", 2, method="cggs")
+        assert reg.get_counter("solves", method="ishm") == 1.0
+        assert reg.get_counter("solves", method="cggs") == 2.0
+        assert reg.get_counter("solves") == 0.0  # unlabeled is its own series
+        assert reg.counter_total("solves") == 3.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            reg.counter("hits", -1)
+
+    def test_label_key_is_order_insensitive(self):
+        assert label_key({"b": 1, "a": "x"}) == label_key({"a": "x", "b": 1})
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("drift", 0.5)
+        reg.gauge("drift", 0.25)
+        assert reg.get_gauge("drift") == 0.25
+
+    def test_default_when_unset(self):
+        reg = MetricsRegistry()
+        assert reg.get_gauge("missing") == 0.0
+        assert reg.get_gauge("missing", default=None) is None
+
+
+class TestHistograms:
+    def test_bucket_assignment_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.3, buckets=(0.1, 1.0))
+        reg.observe("lat", 0.05)
+        reg.observe("lat", 5.0)  # overflow
+        snap = reg.get_histogram("lat")
+        assert snap.buckets == (0.1, 1.0)
+        assert snap.counts == (1, 1, 1)
+        assert snap.count == 3
+        assert snap.total == pytest.approx(5.35)
+
+    def test_first_observation_pins_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.3, buckets=(0.1, 1.0))
+        reg.observe("lat", 0.3, buckets=(7.0,))  # ignored
+        assert reg.get_histogram("lat").buckets == (0.1, 1.0)
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.3)
+        assert reg.get_histogram("lat").buckets == obs.DEFAULT_BUCKETS
+
+    def test_empty_bucket_list_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one bucket"):
+            reg.observe("lat", 0.3, buckets=())
+
+    def test_quantile(self):
+        reg = MetricsRegistry()
+        for v in (0.05, 0.05, 0.05, 0.5):
+            reg.observe("lat", v, buckets=(0.1, 1.0))
+        snap = reg.get_histogram("lat")
+        assert snap.quantile(0.5) == 0.1
+        assert snap.quantile(1.0) == 1.0
+        reg.observe("lat", 99.0)
+        assert reg.get_histogram("lat").quantile(1.0) == math.inf
+
+    def test_quantile_edge_cases(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.05, buckets=(0.1,))
+        snap = reg.get_histogram("lat")
+        with pytest.raises(ValueError):
+            snap.quantile(1.5)
+        empty = obs.HistogramSnapshot(
+            buckets=(0.1,), counts=(0, 0), total=0.0, count=0
+        )
+        assert math.isnan(empty.quantile(0.95))
+
+
+class TestRegistryLifecycle:
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 0.1)
+        reg.reset()
+        assert reg.get_counter("c") == 0.0
+        assert reg.get_gauge("g") == 0.0
+        assert reg.get_histogram("h") is None
+
+    def test_snapshot_is_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 1)
+        snap = reg.snapshot()
+        reg.counter("c", 1)
+        assert snap["counters"]["c"][()] == 1.0
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                reg.counter("c")
+                reg.observe("h", 0.01, buckets=(0.1,))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.get_counter("c") == 8000.0
+        assert reg.get_histogram("h").count == 8000
+
+
+class TestGlobalToggle:
+    def test_disabled_writers_are_noops(self):
+        obs_metrics.disable()
+        reg = MetricsRegistry()
+        obs_metrics.set_registry(reg)
+        obs.counter("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.1)
+        assert reg.get_counter("c") == 0.0
+        assert reg.get_gauge("g") == 0.0
+        assert reg.get_histogram("h") is None
+
+    def test_enable_routes_to_registry(self, registry):
+        obs.counter("c", 2)
+        obs.gauge("g", 1.5)
+        obs.observe("h", 0.1)
+        assert registry.get_counter("c") == 2.0
+        assert registry.get_gauge("g") == 1.5
+        assert registry.get_histogram("h").count == 1
+
+    def test_disable_keeps_registry(self, registry):
+        obs.counter("c")
+        obs.disable()
+        assert not obs.enabled()
+        obs.counter("c")  # dropped
+        assert obs.get_registry() is registry
+        assert registry.get_counter("c") == 1.0
+
+    def test_env_toggle(self, monkeypatch):
+        for raw, want in (
+            ("1", True), ("true", True), ("on", True),
+            ("0", False), ("", False), ("off", False), ("no", False),
+        ):
+            monkeypatch.setenv("REPRO_OBS", raw)
+            assert obs_metrics._env_enabled() is want, raw
+        monkeypatch.delenv("REPRO_OBS")
+        assert obs_metrics._env_enabled() is False

@@ -1,0 +1,69 @@
+"""Prometheus text renderer: format, escaping, cumulative buckets."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+def render(reg):
+    text = obs.render_prometheus(reg)
+    assert text.endswith("\n")
+    return text.splitlines()
+
+
+def test_counter_and_gauge_lines():
+    reg = MetricsRegistry()
+    reg.counter("repro_solves_total", 3, method="ishm")
+    reg.gauge("repro_drift", 0.25)
+    lines = render(reg)
+    assert "# TYPE repro_solves_total counter" in lines
+    assert 'repro_solves_total{method="ishm"} 3' in lines
+    assert "# TYPE repro_drift gauge" in lines
+    assert "repro_drift 0.25" in lines
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    for v in (0.05, 0.3, 0.3, 9.0):
+        reg.observe("repro_lat_seconds", v, buckets=(0.1, 1.0))
+    lines = render(reg)
+    assert "# TYPE repro_lat_seconds histogram" in lines
+    assert 'repro_lat_seconds_bucket{le="0.1"} 1' in lines
+    assert 'repro_lat_seconds_bucket{le="1"} 3' in lines
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 4' in lines
+    assert "repro_lat_seconds_count 4" in lines
+    (sum_line,) = [l for l in lines if l.startswith("repro_lat_seconds_sum")]
+    assert float(sum_line.split()[-1]) == 9.65
+
+
+def test_label_values_escaped_and_names_sanitized():
+    reg = MetricsRegistry()
+    reg.counter("weird.metric-name", **{"the label": 'va"l\nue\\'})
+    lines = render(reg)
+    assert "# TYPE weird_metric_name counter" in lines
+    assert (
+        'weird_metric_name{the_label="va\\"l\\nue\\\\"} 1' in lines
+    )
+
+
+def test_output_is_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b_total", method="z")
+        reg.counter("b_total", method="a")
+        reg.counter("a_total")
+        reg.gauge("g", 1)
+        reg.observe("h", 0.2)
+        return obs.render_prometheus(reg)
+
+    assert build() == build()
+
+
+def test_empty_registry_renders_to_newline():
+    assert obs.render_prometheus(MetricsRegistry()) == "\n"
+
+
+def test_content_type_declares_the_exposition_version():
+    assert obs.CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in obs.CONTENT_TYPE

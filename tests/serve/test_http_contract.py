@@ -324,6 +324,7 @@ def test_route_table_is_complete():
     assert patterns == {
         ("GET", "/healthz"),
         ("GET", "/status"),
+        ("GET", "/metrics"),
         ("GET", "/policy"),
         ("GET", "/policy/{version}"),
         ("POST", "/score"),
