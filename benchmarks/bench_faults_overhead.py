@@ -1,0 +1,130 @@
+"""Disabled-injection overhead bound for the :mod:`repro.faults` layer.
+
+The fault-injection PR's performance contract: with injection off (the
+default), every named fault point costs one module-global check — an
+engine-dispatched ISHM solve must stay within **2%** of its
+uninstrumented wall time.  Points sit at failure boundaries
+(solve/pool dispatch/LP backend), never inside kernel loops, so the
+bound follows from two measured quantities:
+
+* the per-call cost of a disabled ``faults.point`` (one
+  ``if not _enabled: return``, tens of nanoseconds);
+* the number of fault-point calls one engine-dispatched ISHM solve
+  actually makes (counted by wrapping ``faults.point``).
+
+``overhead_disabled_fraction = calls_per_solve * per_call_seconds /
+solve_seconds`` is asserted ``< 0.02`` in every mode.  The
+enabled-empty-plan ratio (armed plan, no matching rules — the chaos-CI
+configuration for untargeted points) is recorded alongside.
+
+Measured numbers land in ``BENCH_faults_overhead.json``.
+"""
+
+import statistics
+import time
+
+from conftest import emit, pick, write_bench_json
+
+from repro import faults
+from repro.datasets import syn_a
+from repro.engine import AuditEngine
+from repro.faults import FaultPlan
+from repro.faults import injection as faults_injection
+
+MICRO_CALLS = 200_000
+
+
+def _disabled_per_call_seconds() -> float:
+    """Per-call cost of a disabled ``faults.point`` (injection off)."""
+    assert not faults.enabled()
+    started = time.perf_counter()
+    for _ in range(MICRO_CALLS):
+        faults.point("bench_x")
+    return (time.perf_counter() - started) / MICRO_CALLS
+
+
+def _count_point_calls(game, solve) -> int:
+    """Fault-point calls one solve makes, via a wrapped entry point."""
+    calls = {"n": 0}
+    real_point = faults.point
+
+    def counting_point(name):
+        calls["n"] += 1
+        return real_point(name)
+
+    try:
+        faults.point = counting_point
+        solve(game)
+    finally:
+        faults.point = real_point
+    return calls["n"]
+
+
+def test_disabled_overhead_under_two_percent(benchmark):
+    reps = pick(smoke=1, fast=5, full=10)
+    game = syn_a(budget=6)
+
+    def solve(g):
+        return AuditEngine(g).solve("ishm", step_size=0.3)
+
+    record = {}
+
+    def sweep():
+        saved = (faults_injection._enabled, faults_injection._plan)
+        try:
+            faults.disable()
+            per_call = _disabled_per_call_seconds()
+            n_calls = _count_point_calls(game, solve)
+            off_times = []
+            for _ in range(reps):
+                started = time.perf_counter()
+                solve(game)
+                off_times.append(time.perf_counter() - started)
+            t_off = statistics.median(off_times)
+
+            # Armed-but-empty plan: every point pays the rule scan +
+            # call accounting, the chaos-CI cost for untargeted points.
+            faults.enable(FaultPlan())
+            on_times = []
+            for _ in range(reps):
+                started = time.perf_counter()
+                solve(game)
+                on_times.append(time.perf_counter() - started)
+            t_on = statistics.median(on_times)
+        finally:
+            faults_injection._enabled, faults_injection._plan = saved
+
+        disabled_fraction = n_calls * per_call / t_off
+        record.update(
+            per_call_ns=per_call * 1e9,
+            point_calls_per_solve=n_calls,
+            solve_seconds_disabled=t_off,
+            solve_seconds_enabled_empty_plan=t_on,
+            overhead_disabled_fraction=disabled_fraction,
+            overhead_enabled_empty_ratio=t_on / t_off,
+            reps=reps,
+        )
+        # The PR's contract, asserted in every mode: boundary-only
+        # fault points keep the disabled path under 2% of a solve.
+        assert disabled_fraction < 0.02, record
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit(
+        "faults overhead (disabled fast path)",
+        "\n".join(
+            [
+                f"fault-point calls per ISHM solve: "
+                f"{record['point_calls_per_solve']}",
+                f"per-call disabled cost: "
+                f"{record['per_call_ns']:.0f}ns",
+                f"solve wall (off/empty plan): "
+                f"{record['solve_seconds_disabled']:.3f}s / "
+                f"{record['solve_seconds_enabled_empty_plan']:.3f}s",
+                f"disabled overhead fraction: "
+                f"{record['overhead_disabled_fraction']:.2e} "
+                f"(bound 0.02)",
+            ]
+        ),
+    )
+    write_bench_json("faults_overhead", record)

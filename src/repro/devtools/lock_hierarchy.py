@@ -20,6 +20,7 @@ Current hierarchy, outermost first::
     rank 30   FixedSolveCache._lock        (solution memo + executor)
     rank 40   PolicyStore._lock            (published-policy map; leaf)
     rank 50   MetricsRegistry._lock        (telemetry instruments; leaf)
+    rank 60   FaultPlan._lock              (injection counters; leaf)
 
 So: the serve layer's engine map may create/evict engines (10 -> 20),
 an engine may reach into its caches (20 -> 30), and anyone may publish
@@ -27,7 +28,9 @@ into the store while holding any of the above (… -> 40) — but a cache
 must never call back up into an engine, and nothing may solve while
 holding the store.  Telemetry sits at the very bottom (rank 50):
 counters and spans may be recorded while holding anything, and the
-registry calls back into nothing.
+registry calls back into nothing.  Fault-injection points (rank 60)
+fire from inside every layer above, so the plan's counter lock is a
+strict leaf too.
 """
 
 from __future__ import annotations
@@ -105,6 +108,14 @@ LOCKS: tuple[LockSpec, ...] = (
         attr="_lock",
         kind="threading",
         guards="telemetry instruments of one registry (strict leaf)",
+    ),
+    LockSpec(
+        name="faults",
+        rank=60,
+        owner="FaultPlan",
+        attr="_lock",
+        kind="threading",
+        guards="per-point call counters + injection history (strict leaf)",
     ),
 )
 

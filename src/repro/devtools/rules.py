@@ -24,6 +24,11 @@ RPL701    telemetry-in-hot-loop   no :mod:`repro.obs` calls inside loops
                                   of the PalTable DP / simplex kernels —
                                   count with plain ints, emit at the
                                   solve()/build() boundary
+RPL801    swallowed-exception     broad ``except Exception`` handlers in
+                                  the engine/serve/solvers packages must
+                                  re-raise or count the failure on an
+                                  obs/metrics counter — degradation is
+                                  fine, *silent* degradation is not
 ========  ======================  =========================================
 
 Every rule reports through :meth:`LintContext.report`, so inline
@@ -46,6 +51,7 @@ __all__ = [
     "NondeterministicReductionRule",
     "RegistryContractRule",
     "RngDisciplineRule",
+    "SwallowedExceptionRule",
     "TelemetryInHotLoopRule",
     "BLOCKING_CALL_PATTERNS",
     "TELEMETRY_CALL_PATTERNS",
@@ -923,3 +929,87 @@ class TelemetryInHotLoopRule(Rule):
                     "emit at the solve()/build() boundary instead",
                 )
                 return
+
+
+# ----------------------------------------------------------------------
+# RPL801 — swallowed exceptions in the fault-tolerant packages
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """Broad handlers in engine/serve/solvers must re-raise or count.
+
+    The fault-tolerance layer (``repro.faults``) makes degradation a
+    deliberate, observable act: every fallback path increments an obs
+    counter so chaos runs and production dashboards can see it happen.
+    A broad ``except Exception`` that neither re-raises nor records
+    telemetry hides failures instead — under fault injection it would
+    make a dying subsystem look healthy.
+    """
+
+    code = "RPL801"
+    name = "swallowed-exception"
+    summary = (
+        "broad except handlers in repro.{engine,serve,solvers} must "
+        "re-raise or increment an obs/metrics counter"
+    )
+    invariant = (
+        "every degradation path is observable: chaos tests and the "
+        "serve dashboards can count injected failures because no broad "
+        "handler in the fault-tolerant packages swallows silently"
+    )
+    domains = frozenset({"src"})
+
+    #: Packages where broad handlers are policed — exactly the layers
+    #: the fault-injection points (repro.faults.KNOWN_POINTS) fire in.
+    POLICED_PREFIXES = ("repro.engine", "repro.serve", "repro.solvers")
+
+    #: Names accepted as "broad" in an ``except <type>`` clause.
+    BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+    def begin_file(self, ctx: LintContext) -> None:
+        self._policed = ctx.module is not None and ctx.module.startswith(
+            self.POLICED_PREFIXES
+        )
+
+    def _is_broad(self, type_expr: ast.AST | None) -> bool:
+        if type_expr is None:  # bare except:
+            return True
+        if isinstance(type_expr, ast.Tuple):
+            return any(self._is_broad(el) for el in type_expr.elts)
+        dotted = dotted_name(type_expr)
+        if dotted is None:
+            return False
+        return dotted.rsplit(".", 1)[-1] in self.BROAD_NAMES
+
+    def _is_telemetry_call(self, node: ast.Call) -> bool:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        target = normalized(dotted)
+        return any(
+            fnmatchcase(target, pattern)
+            for pattern in TELEMETRY_CALL_PATTERNS
+        )
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: LintContext
+    ) -> None:
+        if not self._policed or not self._is_broad(node.type):
+            return
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Raise):
+                    return
+                if isinstance(child, ast.Call) and self._is_telemetry_call(
+                    child
+                ):
+                    return
+        ctx.report(
+            self.code,
+            node,
+            "broad except handler swallows the failure; re-raise or "
+            "record it on an obs/metrics counter so degradation stays "
+            "observable",
+        )

@@ -37,11 +37,13 @@ of static blocks instead of being rebuilt per vector (see
 from __future__ import annotations
 
 import threading
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.game import AuditGame
 from ..distributions.joint import ScenarioSet
 from ..solvers.ishm import (
@@ -252,12 +254,8 @@ class FixedSolveCache:
                             len(stack), workers
                         )
                     )
-                    solutions = parallel.price_parallel(
-                        self._ensure_executor(workers),
-                        backend,
-                        options,
-                        stack,
-                        chunk,
+                    solutions = self._price_resilient(
+                        workers, backend, options, stack, chunk
                     )
                     for key, solution in zip(fresh, solutions, strict=True):
                         self._solutions[key] = solution
@@ -296,6 +294,72 @@ class FixedSolveCache:
                 f"{self.game.n_types}), got {arr.shape}"
             )
         return arr
+
+    def _price_resilient(
+        self,
+        workers: int,
+        backend: str,
+        options: tuple[tuple[str, object], ...],
+        stack: np.ndarray,
+        chunk: int,
+    ) -> list[FixedThresholdSolution]:
+        """Parallel pricing with pool-crash degradation (lock held).
+
+        A dead worker (OOM kill, segfault — or an injected
+        ``engine.parallel.pool`` fault) raises
+        :class:`~concurrent.futures.BrokenExecutor`.  First occurrence:
+        discard the pool, rebuild once, retry.  Second: fall back to
+        pricing serially through the same memoized enumeration solver
+        the ``workers=1`` path uses, so the answers stay bit-identical.
+        """
+        for rebuilds in range(2):
+            try:
+                return parallel.price_parallel(
+                    self._ensure_executor(workers),
+                    backend,
+                    options,
+                    stack,
+                    chunk,
+                )
+            except BrokenExecutor:
+                self._discard_executor()
+                if rebuilds == 0:
+                    obs.counter("repro_engine_pool_rebuilds_total")
+                else:
+                    obs.counter("repro_engine_pool_serial_fallbacks_total")
+        return self._price_serial(backend, options, stack)
+
+    def _price_serial(
+        self,
+        backend: str,
+        options: tuple[tuple[str, object], ...],
+        stack: np.ndarray,
+    ) -> list[FixedThresholdSolution]:
+        """Serial pricing through the shared enumeration solver.
+
+        Uses the same ``(method, backend, options)`` solver memo as
+        :meth:`solver`'s enumeration path, so fallback results are
+        exactly what ``workers=1`` would have produced.
+        """
+        solver_key = ("enumeration", backend, options)
+        base = self._solvers.get(solver_key)
+        if base is None:
+            base = make_fixed_solver(
+                self.game,
+                self.scenarios,
+                method="enumeration",
+                backend=backend,
+                **dict(options),
+            )
+            self._solvers[solver_key] = base
+        return [base(b) for b in stack]
+
+    def _discard_executor(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+                self._executor_workers = 0
 
     def _ensure_executor(self, workers: int):
         with self._lock:

@@ -32,7 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..core.game import AuditGame
 from ..core.objective import PolicyEvaluation
 from ..core.policy import AuditPolicy
@@ -207,6 +207,7 @@ class AuditEngine:
         are visible run over run without a benchmark harness.
         """
         started = time.perf_counter()
+        faults.point("engine.solve")
         spec = registry.get_solver(method)
         if config is None or isinstance(config, Mapping):
             merged = dict(config or {})

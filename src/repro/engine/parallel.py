@@ -24,7 +24,7 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..core.game import AuditGame
 from ..distributions.joint import ScenarioSet
 from ..solvers.enumeration import EnumerationSolver
@@ -48,6 +48,9 @@ def _price_chunk(
     vectors: np.ndarray,
     span_path: tuple[str, ...] | None = None,
 ) -> list[FixedThresholdSolution]:
+    # Worker-side injection point: under fork the plan/flag are
+    # inherited from the submitter, so chaos plans reach in here too.
+    faults.point("engine.parallel.worker")
     solvers = _WORKER_STATE["solvers"]
     key = (backend, options)
     solver = solvers.get(key)
@@ -106,7 +109,16 @@ def price_parallel(
     vectors: np.ndarray,
     chunk_size: int,
 ) -> list[FixedThresholdSolution]:
-    """Fan chunks of ``vectors`` out over the pool; gather in input order."""
+    """Fan chunks of ``vectors`` out over the pool; gather in input order.
+
+    A dead worker surfaces as :class:`BrokenProcessPool` out of
+    ``future.result()`` and propagates to the caller —
+    ``FixedSolveCache.price_batch`` owns the rebuild-then-serial
+    degradation, since only it can discard and remake the executor.
+    """
+    # Parent-side injection point, before any task is submitted: a
+    # BrokenProcessPool raised here models the pool dying deterministically.
+    faults.point("engine.parallel.pool")
     # Contextvars do not cross process boundaries: capture the span
     # chain once at submit time and ship it with every task so worker
     # spans keep the submitting solve as their parent (None when

@@ -1,0 +1,48 @@
+"""repro.faults — deterministic fault injection and fault tolerance.
+
+Three pieces, all dependency-free:
+
+- :mod:`repro.faults.injection` — named injection points at real
+  library boundaries plus a seeded :class:`FaultPlan`, a no-op
+  module-global check when disabled (``REPRO_FAULTS`` arms it).
+- :mod:`repro.faults.retry` — :class:`RetryPolicy` with deterministic
+  exponential backoff and per-attempt deadlines.
+- :mod:`repro.faults.breaker` — :class:`CircuitBreaker` used by the
+  serve layer to keep answering from the last published policy under
+  sustained re-solve failure.
+
+See the README "Fault tolerance" section for the injection-point table
+and the degradation matrix.
+"""
+
+from .breaker import BREAKER_STATE_CODES, CircuitBreaker
+from .injection import (
+    KNOWN_POINTS,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    disable,
+    enable,
+    enabled,
+    get_plan,
+    point,
+)
+from .retry import RetryPolicy, call_with_timeout
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "CircuitBreaker",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "KNOWN_POINTS",
+    "RetryPolicy",
+    "active_plan",
+    "call_with_timeout",
+    "disable",
+    "enable",
+    "enabled",
+    "get_plan",
+    "point",
+]

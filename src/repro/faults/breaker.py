@@ -1,0 +1,102 @@
+"""A minimal circuit breaker for the serving layer's re-solve loop.
+
+Closed → counts consecutive failures; at ``failure_threshold`` it
+opens.  Open → callers are refused (:meth:`CircuitBreaker.allow`
+returns ``False``) until ``reset_seconds`` elapse, at which point one
+probe is let through (half-open).  A half-open success re-closes, a
+half-open failure re-opens and restarts the cooldown.
+
+Deliberately unlocked: the only owner in this repo is the single
+``AuditService`` worker coroutine, so every transition happens on one
+task.  Share one across threads and you must add your own lock (and
+declare it in ``repro/devtools/lock_hierarchy.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["BREAKER_STATE_CODES", "CircuitBreaker"]
+
+#: Numeric encoding for gauges (``repro_serve_breaker_state``).
+BREAKER_STATE_CODES: dict[str, int] = {
+    "closed": 0,
+    "open": 1,
+    "half_open": 2,
+}
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover via a timed probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds < 0:
+            raise ValueError(
+                f"reset_seconds must be >= 0, got {reset_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def state_code(self) -> int:
+        return BREAKER_STATE_CODES[self._state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether the next protected call may proceed.
+
+        Transitions open → half-open when the cooldown has elapsed, so
+        calling this is what grants the recovery probe.
+        """
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            if self._clock() - self._opened_at >= self.reset_seconds:
+                self._state = self.HALF_OPEN
+                return True
+            return False
+        return True  # half-open: the probe is in flight or allowed
+
+    def record_success(self) -> None:
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; return ``True`` if this opened the breaker."""
+        self._consecutive_failures += 1
+        tripped = (
+            self._state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        )
+        if tripped and self._state != self.OPEN:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            return True
+        if tripped:
+            self._opened_at = self._clock()
+        return False

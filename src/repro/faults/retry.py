@@ -1,0 +1,138 @@
+"""Retry with deterministic exponential backoff, plus hard deadlines.
+
+:class:`RetryPolicy` is a frozen value object: the backoff for attempt
+``k`` is a pure function of ``(seed, k)`` — the jitter draw comes from
+``np.random.default_rng((seed, attempt))`` — so retry schedules are
+reproducible run-to-run, matching the determinism contract of the rest
+of the stack.  The serve layer applies it around background re-solves
+(async, via ``asyncio.wait_for``); :meth:`RetryPolicy.call` and
+:func:`call_with_timeout` cover synchronous callers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "call_with_timeout"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries, including the first (``1`` disables retrying).
+    backoff_base:
+        Sleep before the second attempt, in seconds.
+    backoff_factor:
+        Multiplier per further attempt (exponential).
+    backoff_max:
+        Cap on the un-jittered backoff.
+    jitter:
+        Fractional jitter: the sleep is scaled by a factor in
+        ``[1, 1 + jitter]`` drawn deterministically from
+        ``(seed, attempt)`` — spreads thundering herds without
+        sacrificing reproducibility.
+    timeout:
+        Optional per-attempt deadline in seconds; enforced by the
+        caller (``asyncio.wait_for`` in the serve layer,
+        :func:`call_with_timeout` synchronously).
+    seed:
+        Jitter seed.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                f"timeout must be positive or None, got {self.timeout}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep (seconds) after failed attempt ``attempt`` (0-based).
+
+        Deterministic: equal ``(policy, attempt)`` always yields the
+        same value, with no RNG state carried between calls.
+        """
+        base = min(
+            self.backoff_base * self.backoff_factor**attempt,
+            self.backoff_max,
+        )
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng((self.seed, attempt))
+        return base * (1.0 + self.jitter * rng.random())
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` synchronously under this policy.
+
+        Sleeps the deterministic backoff between attempts and re-raises
+        the final failure.  When :attr:`timeout` is set, each attempt
+        runs under :func:`call_with_timeout`.
+        """
+        last_exc: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                if self.timeout is not None:
+                    return call_with_timeout(fn, self.timeout)
+                return fn()
+            except Exception as exc:
+                last_exc = exc
+                if attempt + 1 >= self.max_attempts:
+                    raise
+            delay = self.backoff(attempt)
+            if delay > 0:
+                time.sleep(delay)
+        raise last_exc if last_exc is not None else RuntimeError(
+            "retry loop exited without result"
+        )
+
+
+def call_with_timeout(fn: Callable[[], T], timeout: float) -> T:
+    """Run ``fn`` with a hard deadline; raise :class:`TimeoutError`.
+
+    Runs ``fn`` on a single helper thread and abandons it on timeout
+    (``shutdown(wait=False)``) — the thread cannot be killed, so ``fn``
+    must be side-effect-tolerant under abandonment, which holds for the
+    pure solve paths this guards.
+    """
+    pool = ThreadPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(fn)
+        try:
+            return future.result(timeout=timeout)
+        except TimeoutError:
+            future.cancel()
+            raise TimeoutError(
+                f"call exceeded {timeout:g}s deadline"
+            ) from None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -39,11 +39,13 @@ from .metrics import (
 from .prometheus import CONTENT_TYPE, render_prometheus
 from .run_table import (
     RUN_TABLE_COLUMNS,
+    RunTableScan,
     RunTableWriter,
     config_hash,
     default_run_dir,
     maybe_writer,
     read_rows,
+    scan_rows,
 )
 from .spans import SPAN_HISTOGRAM, adopt_span_path, current_span_path, span
 
@@ -53,6 +55,7 @@ __all__ = [
     "HistogramSnapshot",
     "MetricsRegistry",
     "RUN_TABLE_COLUMNS",
+    "RunTableScan",
     "RunTableWriter",
     "SPAN_HISTOGRAM",
     "adopt_span_path",
@@ -69,6 +72,7 @@ __all__ = [
     "observe",
     "read_rows",
     "render_prometheus",
+    "scan_rows",
     "set_registry",
     "span",
 ]

@@ -35,6 +35,7 @@ import json
 import os
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -42,11 +43,13 @@ from . import metrics
 
 __all__ = [
     "RUN_TABLE_COLUMNS",
+    "RunTableScan",
     "RunTableWriter",
     "config_hash",
     "default_run_dir",
     "maybe_writer",
     "read_rows",
+    "scan_rows",
 ]
 
 #: The canonical column set, in order, with one-line explanations
@@ -169,6 +172,9 @@ class RunTableWriter:
         writer.writerow(row)
         csv_line = csv_buf.getvalue()
         json_line = json.dumps(row, sort_keys=True, default=repr) + "\n"
+        # flush + fsync before close: a crash (or OOM kill) right after
+        # append leaves at most one torn *final* line, which scan_rows
+        # tolerates — never silently dropped rows that looked written.
         with self._io_lock:
             new_table = not self.csv_path.exists()
             with self.csv_path.open("a", encoding="utf-8", newline="") as f:
@@ -179,27 +185,63 @@ class RunTableWriter:
                     ).writeheader()
                     f.write(header.getvalue())
                 f.write(csv_line)
+                f.flush()
+                os.fsync(f.fileno())
             with self.jsonl_path.open("a", encoding="utf-8") as f:
                 f.write(json_line)
+                f.flush()
+                os.fsync(f.fileno())
         return row
 
 
-def read_rows(root: str | Path) -> list[dict[str, Any]]:
-    """Parse a run directory's table back into row dicts (JSONL wins).
+@dataclass(frozen=True)
+class RunTableScan:
+    """Rows read back from a run directory, plus crash damage found."""
 
+    rows: list[dict[str, Any]]
+    torn_lines: int
+
+
+def scan_rows(root: str | Path) -> RunTableScan:
+    """Parse a run directory's table back (JSONL wins; crash-tolerant).
+
+    A process killed mid-append can leave one truncated *final* JSONL
+    line; it is skipped and counted in :attr:`RunTableScan.torn_lines`
+    instead of failing the whole read.  Corruption anywhere *before*
+    the last line is not a torn write and still raises — silently
+    skipping interior rows would misreport every later repetition.
     Falls back to the CSV when the JSONL is missing, so hand-trimmed
     artifacts stay readable.
     """
     root = Path(root)
     jsonl = root / "run_table.jsonl"
     if jsonl.exists():
-        return [
-            json.loads(line)
+        lines = [
+            line
             for line in jsonl.read_text(encoding="utf-8").splitlines()
             if line.strip()
         ]
+        rows: list[dict[str, Any]] = []
+        torn = 0
+        for i, line in enumerate(lines):
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    torn = 1
+                    break
+                raise ValueError(
+                    f"corrupt run_table.jsonl line {i + 1} of "
+                    f"{len(lines)} in {root} (not a torn final write)"
+                ) from exc
+        return RunTableScan(rows=rows, torn_lines=torn)
     table = root / "run_table.csv"
     if not table.exists():
-        return []
+        return RunTableScan(rows=[], torn_lines=0)
     with table.open(encoding="utf-8", newline="") as f:
-        return list(csv.DictReader(f))
+        return RunTableScan(rows=list(csv.DictReader(f)), torn_lines=0)
+
+
+def read_rows(root: str | Path) -> list[dict[str, Any]]:
+    """The rows of :func:`scan_rows` (compatibility wrapper)."""
+    return scan_rows(root).rows

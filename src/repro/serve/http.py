@@ -227,6 +227,11 @@ async def dispatch(
         try:
             return await route.handler(service, params, body)
         except Exception as exc:  # noqa: BLE001 - envelope, not a crash
+            service.metrics.counter(
+                "repro_serve_handler_errors_total",
+                route=route.pattern,
+                error=type(exc).__name__,
+            )
             return 500, {
                 "error": f"{type(exc).__name__}: {exc}",
             }
@@ -287,6 +292,11 @@ class StdlibApp:
         try:
             status, payload = await self._one_request(reader)
         except Exception as exc:  # noqa: BLE001 - keep the server alive
+            self.service.metrics.counter(
+                "repro_serve_handler_errors_total",
+                route="<parse>",
+                error=type(exc).__name__,
+            )
             status, payload = 500, {
                 "error": f"{type(exc).__name__}: {exc}"
             }

@@ -31,7 +31,7 @@ from typing import Mapping
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..core.game import AuditGame
 from ..distributions.joint import JointCountModel
 from ..engine import AuditEngine
@@ -69,6 +69,17 @@ class ServeConfig:
         Upper bound on rows accepted per ``/score`` / ``/alerts`` call.
     solver_seed, n_samples, backend, workers:
         Engine construction parameters (as in the simulator).
+    resolve_attempts, resolve_backoff_seconds, resolve_timeout_seconds:
+        Retry surface of every background re-solve: total attempts,
+        base of the deterministic exponential backoff between them, and
+        an optional per-attempt deadline (``asyncio.wait_for``; note
+        the abandoned solve thread runs to completion — the deadline
+        bounds *waiting*, not CPU).
+    breaker_threshold, breaker_reset_seconds:
+        Circuit breaker over re-solves: consecutive failed re-solves
+        (each already retried ``resolve_attempts`` times) that trip it,
+        and the cooldown before one probe re-solve is allowed.  While
+        open, the service keeps serving the last published policy.
     """
 
     solver: str = "ishm"
@@ -83,6 +94,11 @@ class ServeConfig:
     n_samples: int = 2000
     backend: str = "scipy"
     workers: int = 1
+    resolve_attempts: int = 3
+    resolve_backoff_seconds: float = 0.05
+    resolve_timeout_seconds: float | None = None
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.drift_threshold < 0:
@@ -92,6 +108,34 @@ class ServeConfig:
         if self.max_batch < 1:
             raise ValueError(
                 f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.resolve_attempts < 1:
+            raise ValueError(
+                f"resolve_attempts must be >= 1, "
+                f"got {self.resolve_attempts}"
+            )
+        if self.resolve_backoff_seconds < 0:
+            raise ValueError(
+                f"resolve_backoff_seconds must be >= 0, "
+                f"got {self.resolve_backoff_seconds}"
+            )
+        if (
+            self.resolve_timeout_seconds is not None
+            and self.resolve_timeout_seconds <= 0
+        ):
+            raise ValueError(
+                f"resolve_timeout_seconds must be positive or None, "
+                f"got {self.resolve_timeout_seconds}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_seconds < 0:
+            raise ValueError(
+                f"breaker_reset_seconds must be >= 0, "
+                f"got {self.breaker_reset_seconds}"
             )
 
     @classmethod
@@ -226,6 +270,22 @@ class AuditService:
         # serve telemetry is part of the service contract, not optional
         # debug output.
         self.metrics = obs.MetricsRegistry()
+        # Fault-tolerance surface of the background re-solve path: the
+        # retry policy wraps each re-solve attempt, the breaker counts
+        # whole failed re-solves.  Both are owned exclusively by the
+        # resolve path (serialized by _resolve_lock), so the breaker
+        # needs no lock of its own.
+        self._retry = faults.RetryPolicy(
+            max_attempts=config.resolve_attempts,
+            backoff_base=config.resolve_backoff_seconds,
+            timeout=config.resolve_timeout_seconds,
+            seed=config.solver_seed,
+        )
+        self._breaker = faults.CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            reset_seconds=config.breaker_reset_seconds,
+        )
+        self._publish_breaker_state()
 
     # -- registry-backed counters (public read surface of /status) -----
 
@@ -268,6 +328,23 @@ class AuditService:
     @property
     def last_drift(self) -> float:
         return self.metrics.get_gauge("repro_serve_drift", default=0.0)
+
+    @property
+    def resolve_retries(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_resolve_retries_total"
+        ))
+
+    @property
+    def resolve_failures(self) -> int:
+        return int(self.metrics.counter_total(
+            "repro_serve_resolve_failures_total"
+        ))
+
+    @property
+    def breaker_state(self) -> str:
+        """Circuit-breaker state of the re-solve path (``closed``/…)."""
+        return self._breaker.state
 
     def score_latency_p95(self) -> float | None:
         """Bucketed p95 of ``/score`` latency (None before any score)."""
@@ -450,6 +527,9 @@ class AuditService:
             "last_resolve_lag_seconds": self.last_resolve_lag_seconds,
             "drift": self.last_drift,
             "drift_threshold": self.config.drift_threshold,
+            "breaker_state": self.breaker_state,
+            "resolve_retries": self.resolve_retries,
+            "resolve_failures": self.resolve_failures,
             "resolve_pending": self._pending is not None
             or self._resolve_lock.locked(),
             "worker_running": self.worker_running,
@@ -516,20 +596,111 @@ class AuditService:
                 request, self._pending = self._pending, None
                 if request is None:
                     break
-                await self._resolve(request)
+                try:
+                    await self._resolve(request)
+                except Exception as exc:
+                    # _resolve already degraded as far as it could (the
+                    # breaker holds the last-good policy in service);
+                    # the worker itself must survive to try again on
+                    # the next drift trigger.
+                    self.metrics.counter(
+                        "repro_serve_worker_errors_total",
+                        error=type(exc).__name__,
+                    )
+
+    async def _solve_with_retry(
+        self, fingerprint: str, request: _ResolveRequest
+    ) -> SolveResult:
+        """One re-solve under the retry policy (off-loop, with deadline).
+
+        Retries transient failures with deterministic backoff; when
+        ``resolve_timeout_seconds`` is set each attempt runs under
+        ``asyncio.wait_for`` (the timed-out solve thread is abandoned,
+        not killed — acceptable for the pure solve path).  The final
+        failure propagates to :meth:`_resolve`, which owns degradation.
+        """
+        retry = self._retry
+        for attempt in range(retry.max_attempts):
+            try:
+                coro = asyncio.to_thread(
+                    self._solve_blocking,
+                    fingerprint,
+                    request.model,
+                    request.budget,
+                )
+                if retry.timeout is not None:
+                    return await asyncio.wait_for(coro, retry.timeout)
+                return await coro
+            except TimeoutError:
+                self.metrics.counter(
+                    "repro_serve_resolve_timeouts_total"
+                )
+                if attempt + 1 >= retry.max_attempts:
+                    raise
+            except Exception as exc:
+                self.metrics.counter(
+                    "repro_serve_resolve_errors_total",
+                    error=type(exc).__name__,
+                )
+                if attempt + 1 >= retry.max_attempts:
+                    raise
+            self.metrics.counter("repro_serve_resolve_retries_total")
+            delay = retry.backoff(attempt)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        raise RuntimeError("retry loop exited without result")
+
+    def _publish_breaker_state(self) -> None:
+        self.metrics.gauge(
+            "repro_serve_breaker_state", self._breaker.state_code
+        )
+
+    def _record_breaker_failure(self, exc: BaseException) -> None:
+        self.metrics.counter(
+            "repro_serve_resolve_failures_total",
+            error=type(exc).__name__,
+        )
+        if self._breaker.record_failure():
+            self.metrics.counter("repro_serve_breaker_opens_total")
+        self._publish_breaker_state()
 
     async def _resolve(
         self, request: _ResolveRequest
     ) -> PublishedPolicy:
-        """Solve off-loop, publish atomically, swap the serving snapshot."""
+        """Solve off-loop, publish atomically, swap the serving snapshot.
+
+        Degradation contract: while the circuit breaker is open, or
+        when a re-solve fails after all retries, the last published
+        policy keeps serving — the request is answered with the stale
+        (but valid) version instead of an error.  Only when there is no
+        published policy at all (initial solve) does failure propagate.
+        """
         async with self._resolve_lock:
+            snapshot = self._active
+            if not self._breaker.allow():
+                self.metrics.counter(
+                    "repro_serve_resolves_skipped_total",
+                    reason="breaker_open",
+                )
+                self._publish_breaker_state()
+                if snapshot is None:
+                    raise RuntimeError(
+                        "re-solve breaker is open and no policy has "
+                        "been published yet"
+                    )
+                return snapshot.published
             fingerprint = model_fingerprint(request.model)
-            result = await asyncio.to_thread(
-                self._solve_blocking,
-                fingerprint,
-                request.model,
-                request.budget,
-            )
+            try:
+                result = await self._solve_with_retry(
+                    fingerprint, request
+                )
+            except Exception as exc:
+                self._record_breaker_failure(exc)
+                if snapshot is None:
+                    raise
+                return snapshot.published
+            self._breaker.record_success()
+            self._publish_breaker_state()
             lag = time.monotonic() - request.triggered_at
             published = self.store.publish(
                 fingerprint,
@@ -576,6 +747,9 @@ class AuditService:
         replays that engine's caches — and an unchanged model replays
         the memoized result outright (determinism makes both lossless).
         """
+        # First line, ahead of the memo lookup: a 100%-failure chaos
+        # plan must fail even re-solves of already-solved fingerprints.
+        faults.point("serve.resolve")
         cfg = self.config
         key = (fingerprint, float(budget))
         with self._engines_lock:

@@ -39,7 +39,7 @@ from typing import Mapping
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..core.detection import audited_counts, pal_for_ordering
 from ..core.game import AuditGame
 from ..core.objective import REFRAIN, PolicyEvaluation
@@ -394,6 +394,11 @@ class AuditSimulator:
         # Until the first refit the defender plays the game's prior model.
         previous_model: JointCountModel = self.game.counts
         records: list[PeriodRecord] = []
+        # Last successfully served (result, evaluation): the online
+        # degradation of the drift loop — when a period's re-solve
+        # fails transiently the defender keeps acting on the previous
+        # period's policy instead of aborting the run.
+        last_served: tuple | None = None
 
         for period in range(cfg.n_periods):
             # 1. The world produces this period's benign alert stream.
@@ -424,13 +429,26 @@ class AuditSimulator:
             with obs.span("sim.period", period=period, refit=refit):
                 memoized = self._solve_memo.get(id(engine))
                 if memoized is None:
-                    result = engine.solve(
-                        cfg.solver, dict(cfg.solver_options)
-                    )
-                    evaluation = engine.evaluate(result.policy)
-                    self._solve_memo[id(engine)] = (result, evaluation)
+                    try:
+                        faults.point("sim.solve")
+                        result = engine.solve(
+                            cfg.solver, dict(cfg.solver_options)
+                        )
+                        evaluation = engine.evaluate(result.policy)
+                        self._solve_memo[id(engine)] = (
+                            result,
+                            evaluation,
+                        )
+                    except Exception:
+                        # No policy served yet: nothing to fall back
+                        # to, so the first-period failure still aborts.
+                        if last_served is None:
+                            raise
+                        obs.counter("repro_sim_solve_failures_total")
+                        result, evaluation = last_served
                 else:
                     result, evaluation = memoized
+            last_served = (result, evaluation)
             solve_seconds = time.perf_counter() - started
             obs.observe(
                 "repro_sim_solve_seconds",

@@ -14,13 +14,20 @@ Warm starts are dispatched best-effort: :func:`solve_lp` forwards
 cold-solve, so callers can pass a basis unconditionally and let the
 backend decide (the :class:`~repro.solvers.master.MasterProblem`
 contract).
+
+The scipy path degrades gracefully: when HiGHS raises or reports
+``NUMERICAL_ERROR``, the same problem is re-solved with the in-repo
+simplex backend (counted on ``repro_lp_backend_fallbacks_total``), so
+one flaky native solve cannot take a sweep down.  INFEASIBLE and
+UNBOUNDED are legitimate answers and are returned as-is.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from .problem import BasisTag, LinearProgram, LPSolution
+from ... import obs
+from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 from .scipy_backend import solve_with_scipy
 from .simplex import solve_with_simplex
 
@@ -79,4 +86,29 @@ def solve_lp(
         ) from None
     if warm_basis is not None and backend in _WARM_BACKENDS:
         return engine(problem, warm_basis=warm_basis)
+    if backend == "scipy":
+        return _solve_scipy_with_fallback(problem)
     return engine(problem)
+
+
+def _solve_scipy_with_fallback(problem: LinearProgram) -> LPSolution:
+    """HiGHS with simplex degradation on crash or numerical failure."""
+    try:
+        solution = solve_with_scipy(problem)
+    except Exception as exc:
+        obs.counter(
+            "repro_lp_backend_fallbacks_total",
+            from_backend="scipy",
+            to_backend="simplex",
+            error=type(exc).__name__,
+        )
+        return solve_with_simplex(problem)
+    if solution.status == LPStatus.NUMERICAL_ERROR:
+        obs.counter(
+            "repro_lp_backend_fallbacks_total",
+            from_backend="scipy",
+            to_backend="simplex",
+            error="numerical",
+        )
+        return solve_with_simplex(problem)
+    return solution

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
+from ... import faults
 from .problem import LinearProgram, LPSolution, LPStatus
 
 __all__ = ["solve_with_scipy"]
@@ -31,6 +32,9 @@ _STATUS_MAP = {
 
 def solve_with_scipy(problem: LinearProgram) -> LPSolution:
     """Solve with HiGHS; returns primal, objective, and dual marginals."""
+    # An injected failure here exercises the scipy -> simplex fallback
+    # in repro.solvers.lp.backend.
+    faults.point("solvers.lp.scipy")
     result = linprog(
         c=problem.objective,
         A_ub=problem.a_ub,

@@ -43,7 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..core.detection import (
     OrderingPricer,
     _check_batch_inputs,
@@ -725,15 +725,39 @@ class MasterProblem:
                     self._basis, self._basis_n_q, n_q
                 )
             started = time.perf_counter()
-            solution = solve_lp(
-                lp, backend=self.backend, warm_basis=warm
-            ).require_optimal()
+            solution = None
+            if warm is not None:
+                # Warm re-entry can fail numerically (a stale or
+                # renamed basis the simplex cannot refactorize, or an
+                # injected "solvers.master.warm" fault); degrade to a
+                # cold solve instead of failing the whole master.
+                try:
+                    faults.point("solvers.master.warm")
+                    candidate = solve_lp(
+                        lp, backend=self.backend, warm_basis=warm
+                    )
+                except Exception:
+                    obs.counter("repro_master_warm_failures_total")
+                    candidate = None
+                if (
+                    candidate is not None
+                    and candidate.status != LPStatus.OPTIMAL
+                ):
+                    obs.counter("repro_master_warm_failures_total")
+                    candidate = None
+                if candidate is None:
+                    self._basis = None
+                    obs.counter("repro_master_cold_fallbacks_total")
+                else:
+                    self.warm_solves += 1
+                    obs.counter("repro_master_warm_solves_total")
+                solution = candidate
+            if solution is None:
+                solution = solve_lp(lp, backend=self.backend)
+            solution = solution.require_optimal()
             elapsed = time.perf_counter() - started
             self.lp_seconds += elapsed
             obs.observe("repro_master_lp_seconds", elapsed)
-            if warm is not None:
-                self.warm_solves += 1
-                obs.counter("repro_master_warm_solves_total")
             if self.warm_start and solution.basis is not None:
                 self._basis = solution.basis
                 self._basis_n_q = n_q

@@ -1,0 +1,25 @@
+"""Bad fixture: broad handlers that swallow failures silently."""
+
+
+class Resolver:
+    def resolve(self, request):
+        try:
+            return self.solve_blocking(request)
+        except Exception:
+            return None
+
+    def drain(self, queue):
+        handled = 0
+        for item in queue:
+            try:
+                self.handle(item)
+                handled += 1
+            except:  # noqa: E722
+                pass
+        return handled
+
+    def close(self, pool):
+        try:
+            pool.shutdown()
+        except (OSError, Exception) as exc:
+            self.last_error = exc

@@ -1,0 +1,43 @@
+"""Good fixture: broad handlers that re-raise or count the failure."""
+
+from ... import obs
+
+
+class Resolver:
+    def resolve(self, request):
+        try:
+            return self.solve_blocking(request)
+        except Exception as exc:
+            obs.counter(
+                "repro_serve_resolve_errors_total",
+                error=type(exc).__name__,
+            )
+            return None
+
+    def drain(self, queue):
+        handled = 0
+        for item in queue:
+            try:
+                self.handle(item)
+                handled += 1
+            except Exception as exc:
+                self.metrics.counter(
+                    "repro_serve_worker_errors_total",
+                    error=type(exc).__name__,
+                )
+        return handled
+
+    def close(self, pool):
+        try:
+            pool.shutdown()
+        except Exception:
+            self.cleanup()
+            raise
+
+    def parse(self, payload):
+        # Narrow handlers are never policed: the rule is about broad
+        # catch-alls, not deliberate per-type handling.
+        try:
+            return int(payload)
+        except ValueError:
+            return 0

@@ -26,9 +26,9 @@ REPO = Path(__file__).resolve().parents[2]
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_eight_rules_registered(self):
         specs = available_rules()
-        assert len(specs) == 7
+        assert len(specs) == 8
         assert [s.code for s in specs] == [
             "RPL101",
             "RPL201",
@@ -37,6 +37,7 @@ class TestRegistry:
             "RPL501",
             "RPL601",
             "RPL701",
+            "RPL801",
         ]
 
     def test_specs_carry_docs(self):

@@ -25,6 +25,7 @@ RULE_FIXTURES = {
     "RPL501": ("frozen_bad.py", "frozen_good.py"),
     "RPL601": ("registry_bad.py", "registry_good.py"),
     "RPL701": ("telemetry_bad.py", "telemetry_good.py"),
+    "RPL801": ("swallow_bad.py", "swallow_good.py"),
 }
 
 

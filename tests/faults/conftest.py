@@ -1,0 +1,28 @@
+"""Shared fault-injection fixtures.
+
+Every test runs under an autouse guard that snapshots and restores the
+module-global injection state, so an assertion failure mid-test can
+never leak an armed plan into the rest of the suite.  The chaos seed
+comes from ``REPRO_CHAOS_SEED`` (the dedicated CI job pins it), so the
+whole suite replays one deterministic failure schedule.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import injection
+
+
+@pytest.fixture(autouse=True)
+def _restore_fault_state():
+    saved = (injection._enabled, injection._plan)
+    yield
+    injection._enabled, injection._plan = saved
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return int(os.environ.get("REPRO_CHAOS_SEED", "20240808"))

@@ -1,0 +1,199 @@
+"""Degradation paths under injected faults, with determinism preserved.
+
+The acceptance contract: every fallback (pool rebuild -> serial, scipy
+-> simplex, warm -> cold, solve -> previous policy) produces answers
+the healthy path would also have produced, and chaos runs replay
+bit-for-bit under an equal-seed plan.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.engine import AuditEngine, FixedSolveCache
+from repro.faults import FaultInjected, FaultPlan, FaultRule
+from repro.sim import simulate
+from repro.solvers.lp import LinearProgram, LPStatus, solve_lp
+from repro.solvers.lp.simplex import solve_with_simplex
+from tests.conftest import make_tiny_game
+
+FAST = {"step_size": 0.5}
+
+
+def _solutions_equal(a, b) -> bool:
+    return (
+        a.objective == b.objective
+        and tuple(map(tuple, a.policy.orderings))
+        == tuple(map(tuple, b.policy.orderings))
+        and np.array_equal(a.policy.probabilities, b.policy.probabilities)
+        and np.array_equal(a.policy.thresholds, b.policy.thresholds)
+    )
+
+
+@pytest.fixture()
+def batch(tiny_game):
+    rng = np.random.default_rng(7)
+    upper = np.ceil(tiny_game.threshold_upper_bounds())
+    return rng.integers(
+        0, upper + 1, size=(6, tiny_game.n_types)
+    ).astype(np.float64)
+
+
+class TestPoolDegradation:
+    def test_broken_pool_falls_back_serial_bitwise(
+        self, tiny_game, tiny_scenarios, batch
+    ):
+        reference = FixedSolveCache(tiny_game, tiny_scenarios).price_batch(
+            batch, method="enumeration", workers=1
+        )
+        # Every parallel attempt dies (rebuild included): the cache must
+        # finish the batch serially and match workers=1 exactly.
+        plan = FaultPlan(
+            [FaultRule("engine.parallel.pool", raises=BrokenProcessPool)]
+        )
+        with faults.active_plan(plan):
+            with FixedSolveCache(tiny_game, tiny_scenarios) as cache:
+                degraded = cache.price_batch(
+                    batch, method="enumeration", workers=2
+                )
+        assert plan.calls("engine.parallel.pool") == 2  # initial + rebuild
+        assert len(degraded) == len(reference)
+        for got, want in zip(degraded, reference, strict=True):
+            assert _solutions_equal(got, want)
+
+    def test_single_crash_recovers_via_rebuild(
+        self, tiny_game, tiny_scenarios, batch
+    ):
+        reference = FixedSolveCache(tiny_game, tiny_scenarios).price_batch(
+            batch, method="enumeration", workers=1
+        )
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "engine.parallel.pool",
+                    raises=BrokenProcessPool,
+                    nth=1,
+                )
+            ]
+        )
+        with faults.active_plan(plan):
+            with FixedSolveCache(tiny_game, tiny_scenarios) as cache:
+                recovered = cache.price_batch(
+                    batch, method="enumeration", workers=2
+                )
+        assert plan.calls("engine.parallel.pool") == 2
+        for got, want in zip(recovered, reference, strict=True):
+            assert _solutions_equal(got, want)
+
+
+class TestLpBackendDegradation:
+    #: min x0 + x1  s.t.  x0 + x1 >= 1, x0 - x1 <= 0.25, x >= 0
+    LP = LinearProgram(
+        objective=np.array([1.0, 1.0]),
+        a_ub=np.array([[-1.0, -1.0], [1.0, -1.0]]),
+        b_ub=np.array([-1.0, 0.25]),
+        bounds=((0.0, None), (0.0, None)),
+    )
+
+    def test_scipy_crash_falls_back_to_simplex(self):
+        reference = solve_with_simplex(self.LP)
+        plan = FaultPlan([FaultRule("solvers.lp.scipy")])
+        with faults.active_plan(plan):
+            degraded = solve_lp(self.LP, backend="scipy")
+        assert plan.calls("solvers.lp.scipy") == 1
+        assert degraded.status == LPStatus.OPTIMAL
+        assert degraded.objective_value == reference.objective_value
+        assert np.array_equal(degraded.x, reference.x)
+
+    def test_healthy_scipy_still_used(self):
+        solution = solve_lp(self.LP, backend="scipy")
+        assert solution.status == LPStatus.OPTIMAL
+        assert np.isclose(solution.objective_value, 1.0)
+
+
+class TestMasterWarmDegradation:
+    def test_warm_failure_falls_back_cold(self, tiny_game):
+        with AuditEngine(tiny_game, backend="simplex") as engine:
+            clean = engine.solve("cggs")
+        plan = FaultPlan([FaultRule("solvers.master.warm")])
+        with faults.active_plan(plan):
+            with AuditEngine(tiny_game, backend="simplex") as engine:
+                degraded = engine.solve("cggs")
+        # The warm path was genuinely exercised and failed every time...
+        assert plan.calls("solvers.master.warm") > 0
+        assert len(plan.history) == plan.calls("solvers.master.warm")
+        # ...and cold re-solves landed on the same optimum (cold paths
+        # round differently at machine precision, hence isclose — the
+        # existing warm-equivalence sim tests use the same tolerance).
+        assert np.isclose(degraded.objective, clean.objective)
+        assert np.allclose(
+            degraded.policy.probabilities, clean.policy.probabilities
+        )
+
+
+class TestSimDegradation:
+    def test_failed_period_replays_previous_policy(self):
+        clean = simulate(
+            make_tiny_game(budget=3.0),
+            n_periods=4,
+            warm_start=False,
+            solver_options=FAST,
+        )
+        plan = FaultPlan([FaultRule("sim.solve", nth=3)])
+        with faults.active_plan(plan):
+            degraded = simulate(
+                make_tiny_game(budget=3.0),
+                n_periods=4,
+                warm_start=False,
+                solver_options=FAST,
+            )
+        assert plan.history == (("sim.solve", 3, "raise=FaultInjected"),)
+        assert degraded.n_periods == clean.n_periods == 4
+        # The stationary world re-solves to the same policy each period,
+        # so serving period 2's policy in period 3 changes nothing: the
+        # degraded trajectory still matches the clean one bit-for-bit.
+        assert degraded.records == clean.records
+
+    def test_first_period_failure_still_raises(self):
+        plan = FaultPlan([FaultRule("sim.solve", nth=1)])
+        with faults.active_plan(plan):
+            with pytest.raises(FaultInjected):
+                simulate(
+                    make_tiny_game(budget=3.0),
+                    n_periods=2,
+                    warm_start=False,
+                    solver_options=FAST,
+                )
+
+
+class TestChaosDeterminism:
+    def test_equal_plans_replay_bit_for_bit(self, chaos_seed):
+        # Probabilistic scipy faults over a real ISHM solve: the same
+        # plan seed must inject the same failures at the same call
+        # indices and land on the same final result, twice.
+        def run(plan: FaultPlan):
+            with faults.active_plan(plan):
+                with AuditEngine(make_tiny_game(budget=3.0)) as engine:
+                    return engine.solve("ishm", step_size=0.5)
+
+        plan = FaultPlan(
+            [FaultRule("solvers.lp.scipy", probability=0.3)],
+            seed=chaos_seed,
+        )
+        first = run(plan)
+        first_history = plan.history
+        assert first_history  # chaos actually happened
+        plan.reset()
+        second = run(plan)
+        assert plan.history == first_history
+        assert first.objective == second.objective
+        assert np.array_equal(
+            first.policy.probabilities, second.policy.probabilities
+        )
+        assert np.array_equal(
+            first.policy.thresholds, second.policy.thresholds
+        )

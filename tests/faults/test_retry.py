@@ -1,0 +1,168 @@
+"""RetryPolicy backoff determinism, retry semantics, and the breaker."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import CircuitBreaker, RetryPolicy, call_with_timeout
+from repro.faults.breaker import BREAKER_STATE_CODES
+
+
+class TestBackoff:
+    def test_deterministic_per_attempt(self):
+        policy = RetryPolicy(seed=11)
+        first = [policy.backoff(i) for i in range(5)]
+        second = [policy.backoff(i) for i in range(5)]
+        assert first == second
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_max=0.5,
+            jitter=0.0,
+        )
+        values = [policy.backoff(i) for i in range(6)]
+        assert values[:3] == [0.1, 0.2, 0.4]
+        assert all(v == 0.5 for v in values[3:])
+
+    def test_jitter_is_bounded_and_seed_dependent(self):
+        jittered = RetryPolicy(backoff_base=1.0, backoff_max=10.0,
+                               jitter=0.25, seed=1)
+        base = RetryPolicy(backoff_base=1.0, backoff_max=10.0, jitter=0.0)
+        for attempt in range(4):
+            lo = base.backoff(attempt)
+            assert lo <= jittered.backoff(attempt) <= lo * 1.25
+        other = RetryPolicy(backoff_base=1.0, backoff_max=10.0,
+                            jitter=0.25, seed=2)
+        assert [jittered.backoff(i) for i in range(4)] != [
+            other.backoff(i) for i in range(4)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestCall:
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        assert policy.call(flaky) == "done"
+        assert calls["n"] == 3
+
+    def test_reraises_after_max_attempts(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        with pytest.raises(ValueError, match="permanent"):
+            policy.call(always_fails)
+        assert calls["n"] == 2
+
+    def test_single_attempt_policy_never_retries(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            RetryPolicy(max_attempts=1).call(fails)
+        assert calls["n"] == 1
+
+
+class TestCallWithTimeout:
+    def test_fast_call_returns(self):
+        assert call_with_timeout(lambda: 42, timeout=5.0) == 42
+
+    def test_slow_call_times_out(self):
+        def slow():
+            time.sleep(5.0)
+
+        started = time.perf_counter()
+        with pytest.raises(TimeoutError, match="deadline"):
+            call_with_timeout(slow, timeout=0.05)
+        # The wait is bounded by the deadline, not the workload.
+        assert time.perf_counter() - started < 1.0
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError, match="inner"):
+            call_with_timeout(boom, timeout=5.0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_seconds=reset,
+            clock=lambda: clock["now"],
+        )
+        return breaker, clock
+
+    def test_opens_at_threshold(self):
+        breaker, _ = self.make(threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == "closed" and breaker.allow()
+        assert breaker.record_failure() is True  # the opening transition
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_cooldown_grants_probe_then_success_closes(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 10.0
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_failure_reopens_and_restamps(self):
+        breaker, clock = self.make(threshold=2, reset=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 10.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # single probe failure
+        assert breaker.state == "open"
+        clock["now"] = 15.0  # cooldown restarted at t=10
+        assert not breaker.allow()
+        clock["now"] = 20.0
+        assert breaker.allow()
+
+    def test_state_codes_cover_all_states(self):
+        breaker, _ = self.make()
+        assert BREAKER_STATE_CODES[breaker.state] == 0
+        assert set(BREAKER_STATE_CODES) == {"closed", "open", "half_open"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_seconds=-1.0)

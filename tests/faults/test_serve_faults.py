@@ -1,0 +1,197 @@
+"""Drift-while-serving under injected re-solve failure.
+
+The acceptance scenario: with the ``serve.resolve`` point failing 100%
+of the time, the service keeps answering ``/score`` from the last
+published policy, the circuit breaker opens (visible in ``/status``
+and ``/metrics``), and once the faults clear a half-open probe
+re-solve publishes a fresh version and re-closes the breaker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.datasets import syn_a
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import AuditService, StdlibApp
+
+#: Cheap-but-real solver settings (mirrors the serve-layer suite).
+FAST = {
+    "solver": "ishm",
+    "solver_options": {"step_size": 0.5},
+    "estimator": "rolling-empirical",
+    "estimator_options": {"window": 8, "min_periods": 2},
+}
+
+#: An alert stream far from Syn A's published model (drift >= 0.2).
+DRIFTED = [[40, 12, 48, 12]] * 4
+
+
+@pytest.fixture(scope="session")
+def serve_game():
+    return syn_a(budget=2)
+
+
+@pytest.fixture()
+def make_service(serve_game):
+    def factory(**overrides) -> AuditService:
+        return AuditService(serve_game, **{**FAST, **overrides})
+
+    return factory
+
+
+async def _wait_until(predicate, timeout: float = 30.0) -> None:
+    async with asyncio.timeout(timeout):
+        while not predicate():
+            await asyncio.sleep(0.01)
+
+
+class TestDriftWhileServing:
+    def test_sustained_failure_serves_stale_policy(self, make_service):
+        """100% re-solve failure: /score stays on the last-good policy."""
+
+        async def main():
+            service = make_service(
+                drift_threshold=0.2,
+                resolve_attempts=1,
+                breaker_threshold=1,
+                breaker_reset_seconds=60.0,
+            )
+            async with service:
+                old = service.active()
+                plan = FaultPlan([FaultRule("serve.resolve")])
+                with faults.active_plan(plan):
+                    payload = service.ingest(DRIFTED)
+                    assert payload["resolve_scheduled"] is True
+                    # The worker picks the request up, every attempt
+                    # dies at the injection point, the breaker records
+                    # the failure — and the worker itself survives.
+                    await _wait_until(
+                        lambda: service.resolve_failures >= 1
+                    )
+                    assert plan.calls("serve.resolve") >= 1
+
+                    # Stale-but-valid serving: same version as before.
+                    scored = service.score([[3, 1, 4, 1]])
+                    assert scored["policy_version"] == old.version
+                    assert scored["fingerprint"] == old.fingerprint
+
+                    # The breaker is open and both reports agree.
+                    assert service.breaker_state == "open"
+                    assert service.status()["breaker_state"] == "open"
+                    status, body = await StdlibApp(service).handle(
+                        "GET", "/metrics"
+                    )
+                    assert status == 200
+                    assert "repro_serve_breaker_state 1" in body
+                    assert "repro_serve_breaker_opens_total 1" in body
+
+                    # While open, even a manual re-solve is skipped and
+                    # answered with the stale policy instead of erroring.
+                    calls_before = plan.calls("serve.resolve")
+                    stale = await service.resolve_now()
+                    assert stale.version == old.version
+                    assert plan.calls("serve.resolve") == calls_before
+                    assert (
+                        service.metrics.counter_total(
+                            "repro_serve_resolves_skipped_total"
+                        )
+                        >= 1
+                    )
+
+        asyncio.run(main())
+
+    def test_recovery_recloses_breaker_and_publishes(self, make_service):
+        """After faults clear, the half-open probe republishes."""
+
+        async def main():
+            service = make_service(
+                drift_threshold=0.2,
+                auto_resolve=False,
+                resolve_attempts=1,
+                breaker_threshold=1,
+                breaker_reset_seconds=0.0,
+            )
+            async with service:
+                old = service.active()
+                service.ingest(DRIFTED)  # drifted estimator, no worker
+                with faults.active_plan(
+                    FaultPlan([FaultRule("serve.resolve")])
+                ):
+                    stale = await service.resolve_now()
+                    assert stale.version == old.version
+                    assert service.breaker_state == "open"
+                # Faults cleared + zero cooldown: the next re-solve is
+                # the half-open probe, succeeds, and closes the breaker.
+                recovered = await service.resolve_now()
+                assert service.breaker_state == "closed"
+                assert (
+                    service.metrics.get_gauge("repro_serve_breaker_state")
+                    == 0
+                )
+                # Versions count per fingerprint, so the proof of the
+                # republish is the new model fingerprint now serving.
+                assert recovered.fingerprint != old.fingerprint
+                scored = service.score([[3, 1, 4, 1]])
+                assert scored["fingerprint"] == recovered.fingerprint
+
+        asyncio.run(main())
+
+    def test_transient_failure_retries_then_publishes(self, make_service):
+        """A one-off failure is absorbed by the retry policy."""
+
+        async def main():
+            service = make_service(
+                auto_resolve=False,
+                resolve_attempts=3,
+                resolve_backoff_seconds=0.0,
+            )
+            async with service:
+                old = service.active()
+                service.ingest(DRIFTED)
+                # Point call 1 (initial solve) ran before the plan was
+                # armed, so nth=1 hits exactly the first retry attempt.
+                plan = FaultPlan([FaultRule("serve.resolve", nth=1)])
+                with faults.active_plan(plan):
+                    published = await service.resolve_now()
+                assert plan.calls("serve.resolve") == 2
+                assert published.fingerprint != old.fingerprint
+                assert service.resolve_retries == 1
+                assert service.resolve_failures == 0
+                assert service.breaker_state == "closed"
+
+        asyncio.run(main())
+
+    def test_slow_resolve_hits_deadline_and_degrades(self, make_service):
+        """Per-attempt deadline: a hung solve degrades to stale serving."""
+
+        async def main():
+            # The deadline also governs the initial solve (~0.2s), so
+            # it is set well above that and well below the fault lag.
+            service = make_service(
+                auto_resolve=False,
+                resolve_attempts=1,
+                resolve_timeout_seconds=1.0,
+                breaker_threshold=1,
+            )
+            async with service:
+                old = service.active()
+                service.ingest(DRIFTED)
+                plan = FaultPlan(
+                    [FaultRule("serve.resolve", raises=None, latency=2.0)]
+                )
+                with faults.active_plan(plan):
+                    stale = await service.resolve_now()
+                assert stale.version == old.version
+                assert (
+                    service.metrics.counter_total(
+                        "repro_serve_resolve_timeouts_total"
+                    )
+                    == 1
+                )
+                assert service.breaker_state == "open"
+
+        asyncio.run(main())

@@ -6,6 +6,8 @@ import csv
 import json
 import threading
 
+import pytest
+
 from repro import obs
 from repro.obs import metrics as obs_metrics
 from repro.obs.run_table import _COLUMN_NAMES
@@ -116,3 +118,37 @@ def test_config_hash_stable_and_order_insensitive():
 
 def test_read_rows_missing_dir_is_empty(tmp_path):
     assert obs.read_rows(tmp_path / "nope") == []
+
+
+class TestTornWrites:
+    def _write_rows(self, tmp_path, n=3):
+        writer = obs.RunTableWriter(tmp_path)
+        for i in range(n):
+            writer.append(run_id=f"run-{i}", kind="bench")
+        return tmp_path / "run_table.jsonl"
+
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        jsonl = self._write_rows(tmp_path)
+        # Simulate a crash mid-append: chop the last line in half.
+        text = jsonl.read_text()
+        lines = text.splitlines(keepends=True)
+        jsonl.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        scan = obs.scan_rows(tmp_path)
+        assert scan.torn_lines == 1
+        assert [r["run_id"] for r in scan.rows] == ["run-0", "run-1"]
+        # read_rows keeps working (the convenience wrapper).
+        assert len(obs.read_rows(tmp_path)) == 2
+
+    def test_clean_file_reports_zero_torn_lines(self, tmp_path):
+        self._write_rows(tmp_path)
+        scan = obs.scan_rows(tmp_path)
+        assert scan.torn_lines == 0
+        assert len(scan.rows) == 3
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        jsonl = self._write_rows(tmp_path)
+        lines = jsonl.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + "\n"  # not the final line: real damage
+        jsonl.write_text("".join(lines))
+        with pytest.raises(ValueError, match="not a torn final write"):
+            obs.scan_rows(tmp_path)
