@@ -27,6 +27,14 @@ versus ordering order), so table rows match the legacy kernel to within
 float accumulation roundoff — ``max |delta Pal| <= 1e-9`` in practice and
 *bit-for-bit* on integer-valued games, where the partial sums are exact.
 
+The elementwise pipelines themselves live in
+:mod:`repro.core.kernels` behind the ``kernel_backend`` knob
+(``auto|numba|numpy``): with numba installed they run as
+``@njit(cache=True)`` machine code, otherwise as the vectorized numpy
+fallback — bitwise-equal either way, because every backend reduces its
+product buffers through the one shared pairwise reduction
+(:func:`~repro.core.kernels.expectation_reduce`).
+
 The legacy walk remains the reference implementation and the better
 choice when few orderings share one ``(b, Z)`` — CGGS column generation
 (a handful of columns, many *partial* prefixes, large ``T``) and policy
@@ -42,6 +50,7 @@ import numpy as np
 
 from .. import obs
 from ..distributions.joint import ScenarioSet
+from . import kernels
 from .detection import OrderingPricer
 from .policy import Ordering
 
@@ -80,6 +89,17 @@ def subset_table_pays(
     return n_orderings > (1 << (n_types - 1))
 
 
+def _mask_recursion(n_masks: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(prev, bit)`` of the lowest-set-bit DP, one entry per mask."""
+    prev = np.zeros(n_masks, dtype=np.int64)
+    bit = np.zeros(n_masks, dtype=np.int64)
+    for mask in range(1, n_masks):
+        low = mask & -mask
+        prev[mask] = mask ^ low
+        bit[mask] = low.bit_length() - 1
+    return prev, bit
+
+
 class PalTable:
     """``Pal(o, b, t)`` for *every* ordering, from one subset table.
 
@@ -89,9 +109,14 @@ class PalTable:
     ``E_Z[n_t / Z_t]`` given that exactly the types in ``mask`` were
     audited before ``t``; entries with ``t`` in ``mask`` are unused
     (an ordering never revisits a type).
+
+    ``kernel_backend`` selects the compiled-kernel implementation
+    (``"auto"`` | ``"numba"`` | ``"numpy"``, see
+    :mod:`repro.core.kernels`); all choices build bitwise-identical
+    tables.
     """
 
-    __slots__ = ("_pricer", "_table")
+    __slots__ = ("_pricer", "_table", "_kernel_backend")
 
     def __init__(
         self,
@@ -102,9 +127,13 @@ class PalTable:
         zero_count_rule: str = "unit",
         *,
         scenario_chunk: int | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         self._pricer = OrderingPricer(
             thresholds, scenarios, costs, budget, zero_count_rule
+        )
+        self._kernel_backend = kernels.resolve_kernel_backend(
+            kernel_backend
         )
         self._build(scenario_chunk)
 
@@ -113,16 +142,25 @@ class PalTable:
         cls,
         pricer: OrderingPricer,
         scenario_chunk: int | None = None,
+        kernel_backend: str = "auto",
     ) -> "PalTable":
         """Build from an already-validated :class:`OrderingPricer`."""
         table = object.__new__(cls)
         table._pricer = pricer
+        table._kernel_backend = kernels.resolve_kernel_backend(
+            kernel_backend
+        )
         table._build(scenario_chunk)
         return table
 
     @property
     def n_types(self) -> int:
         return self._pricer.n_types
+
+    @property
+    def kernel_backend(self) -> str:
+        """The resolved kernel backend this table was built with."""
+        return self._kernel_backend
 
     @property
     def table(self) -> np.ndarray:
@@ -141,13 +179,21 @@ class PalTable:
                 "per-ordering kernel instead"
             )
         # Telemetry at the build boundary only — the DP loops below stay
-        # obs-free (RPL701).
+        # obs-free (RPL701).  The span covers the (first-call) JIT
+        # compile too, so kernel-build time is observable per backend.
+        obs.counter(
+            "repro_kernel_builds_total", backend=self._kernel_backend
+        )
         obs.counter("repro_pal_table_builds_total")
-        with obs.span("pal_table.build", types=n_types):
+        with obs.span(
+            "pal_table.build", types=n_types,
+            backend=self._kernel_backend,
+        ):
             self._build_table(scenario_chunk, n_types)
 
     def _build_table(self, scenario_chunk: int | None, n_types: int) -> None:
         p = self._pricer
+        impl = kernels.get_implementation(self._kernel_backend)
         n_masks = 1 << n_types
         n_scenarios = p.counts.shape[0]
         if scenario_chunk is None:
@@ -160,34 +206,51 @@ class PalTable:
         rows_without = [
             masks[(masks >> t) & 1 == 0] for t in range(n_types)
         ]
+        prev, bit = _mask_recursion(n_masks)
+        n_rows = rows_without[0].shape[0]
         table = np.zeros((n_types, n_masks))
+        # Working buffers are allocated once per distinct chunk width (at
+        # most two: the full width and the final remainder) instead of
+        # fresh temporaries per mask and per type — the allocation churn
+        # dominated the numpy path at T=8.  Exact-width buffers keep the
+        # closing reduction on contiguous rows, i.e. on the same numpy
+        # pairwise path as before.
+        consumed_bufs: dict[int, np.ndarray] = {}
+        work_bufs: dict[int, np.ndarray] = {}
         # Chunking the scenario axis bounds the DP working set; the
         # per-chunk partial expectations accumulate deterministically in
         # scenario order, and the common case (everything in one chunk)
         # adds each full row sum to an exact 0.0 — bitwise a no-op.
         for start in range(0, n_scenarios, scenario_chunk):
-            chunk = slice(start, start + scenario_chunk)
-            contrib = p.contrib[chunk]
+            chunk = slice(start, min(start + scenario_chunk, n_scenarios))
+            contrib = np.ascontiguousarray(p.contrib[chunk])
             weights = p.weights[chunk]
-            consumed = np.empty((n_masks, contrib.shape[0]))
-            consumed[0] = 0.0
-            for mask in range(1, n_masks):
-                low = mask & -mask
-                consumed[mask] = (
-                    consumed[mask ^ low] + contrib[:, low.bit_length() - 1]
+            width = contrib.shape[0]
+            consumed = consumed_bufs.get(width)
+            if consumed is None:
+                consumed = consumed_bufs.setdefault(
+                    width, np.empty((n_masks, width))
                 )
+            work = work_bufs.get(width)
+            if work is None:
+                work = work_bufs.setdefault(
+                    width, np.empty((n_rows, width))
+                )
+            impl.dp_consumed(contrib, prev, bit, consumed)
             for t in range(n_types):
                 rows = rows_without[t]
-                capacity = np.floor(
-                    (p.budget - consumed[rows]) / p.costs[t]
+                impl.type_products(
+                    consumed,
+                    rows,
+                    float(p.costs[t]),
+                    float(p.quota[t]),
+                    np.ascontiguousarray(p.effective[chunk, t]),
+                    np.ascontiguousarray(p.zsafe[chunk, t]),
+                    weights,
+                    float(p.budget),
+                    work,
                 )
-                np.maximum(capacity, 0.0, out=capacity)
-                audited = np.minimum(
-                    np.minimum(capacity, p.quota[t]),
-                    p.effective[chunk, t],
-                )
-                ratio = audited / p.zsafe[chunk, t]
-                table[t, rows] += (ratio * weights).sum(axis=1)
+                table[t, rows] += kernels.expectation_reduce(work)
         self._table = table
 
     def pal(self, ordering: Ordering | Sequence[int]) -> np.ndarray:
@@ -242,12 +305,15 @@ class LazyPalTable:
     Every elementwise operation and the closing pairwise expectation
     reduction mirror :meth:`PalTable._build` entry for entry, so lazy
     and eager tables agree bitwise; only the set of *computed* entries
-    differs.  Because no ``2^T`` array is ever allocated, this variant
-    has no :data:`SUBSET_TABLE_TYPE_LIMIT` — memory scales with the
-    masks actually visited.
+    differs.  The per-mask fills ride the same compiled primitives as
+    the eager build (:mod:`repro.core.kernels`, selected by the same
+    ``kernel_backend`` knob).  Because no ``2^T`` array is ever
+    allocated, this variant has no :data:`SUBSET_TABLE_TYPE_LIMIT` —
+    memory scales with the masks actually visited.
     """
 
-    __slots__ = ("_pricer", "_consumed", "_rows", "_entries")
+    __slots__ = ("_pricer", "_consumed", "_rows", "_entries",
+                 "_kernel_backend")
 
     def __init__(
         self,
@@ -256,17 +322,29 @@ class LazyPalTable:
         costs: np.ndarray,
         budget: float,
         zero_count_rule: str = "unit",
+        *,
+        kernel_backend: str = "auto",
     ) -> None:
         self._pricer = OrderingPricer(
             thresholds, scenarios, costs, budget, zero_count_rule
         )
+        self._kernel_backend = kernels.resolve_kernel_backend(
+            kernel_backend
+        )
         self._init_caches()
 
     @classmethod
-    def from_pricer(cls, pricer: OrderingPricer) -> "LazyPalTable":
+    def from_pricer(
+        cls,
+        pricer: OrderingPricer,
+        kernel_backend: str = "auto",
+    ) -> "LazyPalTable":
         """Build from an already-validated :class:`OrderingPricer`."""
         table = object.__new__(cls)
         table._pricer = pricer
+        table._kernel_backend = kernels.resolve_kernel_backend(
+            kernel_backend
+        )
         table._init_caches()
         return table
 
@@ -278,6 +356,11 @@ class LazyPalTable:
     @property
     def n_types(self) -> int:
         return self._pricer.n_types
+
+    @property
+    def kernel_backend(self) -> str:
+        """The resolved kernel backend used for sweep fills."""
+        return self._kernel_backend
 
     def _consumed_for(self, mask: int) -> np.ndarray:
         """Per-scenario budget consumed by the types in ``mask``.
@@ -291,10 +374,16 @@ class LazyPalTable:
             if mask == 0:
                 cached = np.zeros(self._pricer.counts.shape[0])
             else:
+                impl = kernels.get_implementation(self._kernel_backend)
                 low = mask & -mask
-                cached = (
-                    self._consumed_for(mask ^ low)
-                    + self._pricer.contrib[:, low.bit_length() - 1]
+                prev = self._consumed_for(mask ^ low)
+                cached = np.empty_like(prev)
+                impl.consumed_step(
+                    prev,
+                    np.ascontiguousarray(
+                        self._pricer.contrib[:, low.bit_length() - 1]
+                    ),
+                    cached,
                 )
             self._consumed[mask] = cached
         return cached
@@ -316,24 +405,25 @@ class LazyPalTable:
         row = self._rows.get(mask)
         if row is None:
             p = self._pricer
+            impl = kernels.get_implementation(self._kernel_backend)
             free = [
                 t for t in range(p.n_types) if not (mask >> t) & 1
             ]
+            free_idx = np.asarray(free, dtype=np.int64)
             consumed = self._consumed_for(mask)
-            capacity = np.floor(
-                (p.budget - consumed)[None, :]
-                / p.costs[np.asarray(free)][:, None]
+            products = np.empty((len(free), consumed.shape[0]))
+            impl.extension_products(
+                consumed,
+                np.ascontiguousarray(p.costs[free_idx]),
+                np.ascontiguousarray(p.quota[free_idx]),
+                np.ascontiguousarray(p.effective[:, free_idx].T),
+                np.ascontiguousarray(p.zsafe[:, free_idx].T),
+                p.weights,
+                float(p.budget),
+                products,
             )
-            np.maximum(capacity, 0.0, out=capacity)
-            audited = np.minimum(
-                np.minimum(
-                    capacity, p.quota[np.asarray(free)][:, None]
-                ),
-                p.effective[:, free].T,
-            )
-            ratio = audited / p.zsafe[:, free].T
             row = np.zeros(p.n_types)
-            row[free] = (ratio * p.weights).sum(axis=1)
+            row[free] = kernels.expectation_reduce(products)
             self._rows[mask] = row
         return row
 

@@ -872,7 +872,11 @@ class TelemetryInHotLoopRule(Rule):
     domains = frozenset({"src"})
 
     #: Modules whose loops are the measured hot paths.
-    HOT_MODULES = ("repro.core.pal_table", "repro.solvers.lp.simplex")
+    HOT_MODULES = (
+        "repro.core.kernels",
+        "repro.core.pal_table",
+        "repro.solvers.lp.simplex",
+    )
 
     def begin_file(self, ctx: LintContext) -> None:
         self._hot = ctx.module in self.HOT_MODULES

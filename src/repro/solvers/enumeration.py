@@ -30,6 +30,7 @@ import math
 import numpy as np
 
 from ..core.game import AuditGame
+from ..core.kernels import resolve_kernel_backend
 from ..core.pal_table import subset_table_pays
 from ..core.policy import all_orderings
 from ..distributions.joint import ScenarioSet
@@ -58,6 +59,11 @@ class EnumerationSolver:
         it whenever the table amortizes (every ``|T| >= 3`` game here,
         since the full ``|T|!`` set is always priced); the legacy walk
         remains available via ``False`` as the bitwise reference.
+    kernel_backend:
+        Compiled-kernel selection for the subset tables
+        (``"auto"`` | ``"numba"`` | ``"numpy"``, see
+        :mod:`repro.core.kernels`); all choices price bitwise
+        identically.
     compress:
         Deduplicate identical scenario rows (weight-aggregating) once at
         construction.  Exactly-enumerated sets are duplicate-free and
@@ -77,6 +83,7 @@ class EnumerationSolver:
         backend: str = "scipy",
         max_orderings: int = DEFAULT_MAX_ORDERINGS,
         subset_table: bool | None = None,
+        kernel_backend: str = "auto",
         compress: bool = True,
         prune: bool = False,
     ) -> None:
@@ -93,6 +100,7 @@ class EnumerationSolver:
         if subset_table is None:
             subset_table = subset_table_pays(n_orderings, game.n_types)
         self.subset_table = bool(subset_table)
+        self.kernel_backend = resolve_kernel_backend(kernel_backend)
         self.prune = bool(prune)
         # Shared across every solve of this instance: the deduplicated
         # LP rows depend only on the game, the skeleton additionally on
@@ -110,6 +118,7 @@ class EnumerationSolver:
                 self.scenarios,
                 thresholds,
                 subset_table=self.subset_table,
+                kernel_backend=self.kernel_backend,
                 representative_rows=self._rep_rows,
             )
         )
@@ -140,6 +149,7 @@ class EnumerationSolver:
             arr,
             self._orderings,
             subset_table=self.subset_table,
+            kernel_backend=self.kernel_backend,
             representative_rows=self._rep_rows,
         )
         return [self._solve_context(context) for context in contexts]

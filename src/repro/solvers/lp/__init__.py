@@ -9,11 +9,12 @@ from .backend import (
 )
 from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 from .scipy_backend import solve_with_scipy
-from .simplex import SimplexSolver, solve_with_simplex
+from .simplex import FACTORIZATIONS, SimplexSolver, solve_with_simplex
 
 __all__ = [
     "BasisTag",
     "DEFAULT_BACKEND",
+    "FACTORIZATIONS",
     "LPSolution",
     "LPStatus",
     "LinearProgram",

@@ -70,12 +70,16 @@ def solve_lp(
     problem: LinearProgram,
     backend: str = DEFAULT_BACKEND,
     warm_basis: tuple[BasisTag, ...] | None = None,
+    factorization: str = "auto",
 ) -> LPSolution:
     """Solve ``problem`` with the chosen backend.
 
     ``warm_basis`` is forwarded to backends that support basis re-entry
     and silently ignored by the rest (they cold-solve), so callers never
-    need to special-case the backend themselves.
+    need to special-case the backend themselves.  ``factorization``
+    (``"auto" | "dense" | "sparse"``) selects the simplex backend's
+    basis-factorization engine and is likewise ignored by backends that
+    manage their own linear algebra (HiGHS).
     """
     try:
         engine = _BACKENDS[backend]
@@ -84,8 +88,14 @@ def solve_lp(
             f"unknown LP backend {backend!r}; "
             f"choose from {available_backends()}"
         ) from None
-    if warm_basis is not None and backend in _WARM_BACKENDS:
-        return engine(problem, warm_basis=warm_basis)
+    if backend == "simplex":
+        if warm_basis is not None:
+            return engine(
+                problem,
+                warm_basis=warm_basis,
+                factorization=factorization,
+            )
+        return engine(problem, factorization=factorization)
     if backend == "scipy":
         return _solve_scipy_with_fallback(problem)
     return engine(problem)

@@ -13,13 +13,19 @@ Implementation notes
   ``min c'x, Ax = b, x >= 0, b >= 0``: finite lower bounds are shifted out,
   free variables are split into positive/negative parts, finite upper
   bounds become extra ``<=`` rows, and ``<=`` rows receive slack variables.
-* The core is a *revised* simplex: instead of carrying the full dense
-  tableau, it maintains the basis inverse ``B^{-1}`` and updates it with
-  the product-form (eta) rank-1 elimination on every pivot, refactorizing
-  from scratch (LU via ``numpy.linalg``) every ``refactor_every`` pivots
-  to bound drift.  Per iteration this prices all columns against the
-  dual vector ``y = c_B' B^{-1}`` — the classic trade that makes re-solves
-  of column-generation masters cheap.
+* The core is a *revised* simplex over a pluggable **factorization
+  engine**.  The historical dense engine maintains the basis inverse
+  ``B^{-1}`` explicitly and updates it with the product-form (eta) rank-1
+  elimination on every pivot.  The sparse engine never materializes
+  ``B^{-1}`` at all: it holds a sparse LU factorization of the basis
+  (``scipy.sparse.linalg.splu``) plus the eta vectors of the pivots since
+  the last refactorization, and answers BTRAN/FTRAN with triangular
+  solves through that product form.  Either engine refactorizes from
+  scratch every ``refactor_every`` pivots to bound drift.  Selection is
+  by the ``factorization`` knob (``"auto" | "dense" | "sparse"``);
+  ``"auto"`` picks sparse only for large, sparse standardized matrices —
+  exactly the restricted-master regime with 10^4+ scenario rows, where
+  dense ``B^{-1}`` costs O(m^2) memory and O(m^3) refactorizations.
 * **Warm starts**: :meth:`SimplexSolver.solve` accepts a starting basis in
   semantic :data:`~repro.solvers.lp.problem.BasisTag` form (as exposed by
   a previous solve's :attr:`LPSolution.basis`).  When the named columns
@@ -29,17 +35,22 @@ Implementation notes
   feasibility of the old optimal basis.  Any defect (missing tag,
   singular basis, infeasible point) silently falls back to the cold
   two-phase path, so warm solves can never fail where cold ones succeed.
+  Both engines implement the identical warm-start contract.
 * Phase 1 minimizes the sum of artificial variables from the
   all-artificial basis; phase 2 re-prices with the true objective.
 * Pivoting uses Dantzig's rule with a Bland fallback after a degeneracy
-  streak, guaranteeing termination.
+  streak, guaranteeing termination.  The pivot rules read only reduced
+  costs and ratio tests, so they are engine-independent.
 * **Path-independent extraction**: once a phase-2 run reports optimality,
   the primal point, objective and duals are recomputed from a *fresh*
   factorization of the final basis — the outputs depend only on
-  ``(A, b, c, basis)``, never on the pivot path taken to reach it.  Warm
-  and cold solves that terminate in the same basis therefore return
-  bit-for-bit identical results; this is the property the master-problem
-  warm-start equivalence tests pin down.
+  ``(A, b, c, basis)``, never on the pivot path taken to reach it.  The
+  extraction scheme is chosen by **problem size alone** (sparse LU above
+  :data:`_SPARSE_MIN_ROWS` rows, dense LAPACK below), never by which
+  engine ran the pivots; dense and sparse runs that terminate in the
+  same basis therefore return bit-for-bit identical objective, primal
+  and duals — the property the factorization-parity tests pin down, and
+  the same property that makes warm and cold solves comparable.
 * Duals are recovered as ``y = c_B' B^{-1}`` on the standard-form rows and
   mapped back through the row bookkeeping (sign flips from rhs negation).
 """
@@ -49,11 +60,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse as _sp
+from scipy.sparse.linalg import splu as _splu
 
 from ... import obs
 from .problem import BasisTag, LinearProgram, LPSolution, LPStatus
 
-__all__ = ["SimplexSolver", "solve_with_simplex"]
+__all__ = ["SimplexSolver", "solve_with_simplex", "FACTORIZATIONS"]
 
 _EPS = 1e-9
 _DEGENERACY_STREAK = 12
@@ -61,6 +74,19 @@ _REFACTOR_EVERY = 64
 #: A warm basis whose point violates ``x_B >= 0`` by more than this is
 #: rejected (fall back to cold phase 1) rather than repaired.
 _WARM_FEAS_TOL = 1e-7
+
+#: Accepted values of the ``factorization`` knob.
+FACTORIZATIONS = ("auto", "dense", "sparse")
+
+#: ``factorization="auto"`` considers the sparse engine only at or above
+#: this many standard-form rows (below it, dense ``B^{-1}`` wins on
+#: constant factors), and the size-keyed extraction switches to sparse LU
+#: at the same threshold.
+_SPARSE_MIN_ROWS = 512
+
+#: ``factorization="auto"`` requires the standardized constraint matrix
+#: to be at most this dense before picking the sparse engine.
+_SPARSE_MAX_DENSITY = 0.25
 
 
 @dataclass
@@ -240,14 +266,229 @@ def _decode_basis(
     return np.asarray(cols, dtype=np.int64)
 
 
+# ----------------------------------------------------------------------
+# Factorization engines
+# ----------------------------------------------------------------------
+#
+# An engine owns the factorization of the current basis of the working
+# matrix ``[A | I]`` and answers the four kernel queries of the revised
+# simplex: BTRAN (``y = c_B' B^{-1}``), pricing (``y' A``), FTRAN
+# (``B^{-1} a_j``) and the per-pivot update.  ``xb`` stays with the
+# caller; engines update it alongside their internal state so both
+# engines apply the exact same arithmetic to the iterate.
+
+
+class _DenseEngine:
+    """Historical scheme: explicit ``B^{-1}`` with eta rank-1 updates.
+
+    Every operation reproduces the original implementation verbatim, so
+    the dense path is bit-for-bit the solver this module always was.
+    """
+
+    kind = "dense"
+
+    def __init__(self, std: _StandardForm) -> None:
+        m = std.a.shape[0]
+        self.m = m
+        # Structural columns followed by one artificial per row.
+        self.full = np.hstack([std.a, np.eye(m)])
+        self.n_cols = self.full.shape[1]
+        self.binv: np.ndarray | None = None
+
+    def start_identity(self) -> None:
+        """Factorize the all-artificial (identity) basis."""
+        self.binv = np.eye(self.m)
+
+    def start_basis(self, basis: np.ndarray) -> None:
+        """Factorize an arbitrary basis; raises ``LinAlgError`` if singular."""
+        self.binv = np.linalg.inv(self.full[:, basis])
+
+    def solve_b(self, b: np.ndarray) -> np.ndarray:
+        return self.binv @ b
+
+    def btran_cost(self, cost_basis: np.ndarray) -> np.ndarray:
+        return cost_basis @ self.binv
+
+    def price(self, y: np.ndarray, lim: int) -> np.ndarray:
+        return y @ self.full[:, :lim]
+
+    def ftran(self, j: int) -> np.ndarray:
+        return self.binv @ self.full[:, j]
+
+    def pilot_row(self, r: int, lim: int) -> np.ndarray:
+        return self.binv[r] @ self.full[:, :lim]
+
+    def pivot(
+        self, direction: np.ndarray, row: int, xb: np.ndarray
+    ) -> None:
+        """Product-form (eta) update of ``B^{-1}`` and ``x_B``."""
+        binv = self.binv
+        pivot = direction[row]
+        binv[row] /= pivot
+        xb[row] /= pivot
+        factors = direction.copy()
+        factors[row] = 0.0
+        binv -= np.outer(factors, binv[row])
+        xb -= factors * xb[row]
+
+    def refactorize(
+        self, basis: np.ndarray, b: np.ndarray, xb: np.ndarray
+    ) -> np.ndarray:
+        """Fresh factorization of the basis, bounding eta-drift."""
+        basis_matrix = self.full[:, basis]
+        try:
+            fresh = np.linalg.inv(basis_matrix)
+        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
+            return xb  # keep the eta product; better than nothing
+        fresh_xb = fresh @ b
+        # A refactorized point can pick up tiny negative components the
+        # eta chain had kept at exactly 0; clamp round-off only.
+        if fresh_xb.min() < -_WARM_FEAS_TOL:  # pragma: no cover - guard
+            return xb
+        np.clip(fresh_xb, 0.0, None, out=fresh_xb)
+        self.binv = fresh
+        return fresh_xb
+
+    def basis_dense(self, basis: np.ndarray) -> np.ndarray:
+        return self.full[:, basis]
+
+    def basis_csc(self, basis: np.ndarray) -> _sp.csc_matrix:
+        return _sp.csc_matrix(self.full[:, basis])
+
+
+class _SparseEngine:
+    """Sparse LU basis with product-form updates; ``B^{-1}`` never exists.
+
+    The basis is held as ``splu(B)`` plus the eta vectors of the pivots
+    since the last refactorization: with ``B^{-1} = E_k ... E_1 B_0^{-1}``,
+    FTRAN solves through ``B_0`` (two triangular solves) and applies the
+    etas forward; BTRAN applies the transposed etas in reverse and solves
+    ``B_0'`` — O(nnz + k*m) per query instead of the dense engine's
+    O(m^2), with O(nnz) memory instead of O(m^2).
+    """
+
+    kind = "sparse"
+
+    def __init__(self, std: _StandardForm) -> None:
+        m, n_std = std.a.shape
+        self.m = m
+        self.n_std = n_std
+        self.n_cols = n_std + m
+        # The standardized matrix is the dense path's single source of
+        # truth; converting it keeps every coefficient bit-identical.
+        a_csc = _sp.csc_matrix(std.a)
+        self.full_csc = _sp.hstack(
+            [a_csc, _sp.identity(m, format="csc", dtype=np.float64)],
+            format="csc",
+        )
+        # Pricing wants y' A for all structural columns at once: one CSR
+        # matvec of the transpose.  Artificial columns are unit vectors,
+        # so their prices are just y itself (see :meth:`price`).
+        self.struct_t = a_csc.T.tocsr()
+        self.lu = None
+        self.etas: list[tuple[int, np.ndarray]] = []
+
+    def start_identity(self) -> None:
+        self.lu = _splu(
+            _sp.identity(self.m, format="csc", dtype=np.float64)
+        )
+        self.etas.clear()
+
+    def start_basis(self, basis: np.ndarray) -> None:
+        try:
+            self.lu = _splu(self.basis_csc(basis))
+        except RuntimeError as exc:
+            # splu signals a singular basis with RuntimeError; normalize
+            # to the exception the warm-start fallback logic catches.
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        self.etas.clear()
+
+    def _apply_etas(self, x: np.ndarray) -> np.ndarray:
+        """``x <- E_k ... E_1 x`` (forward FTRAN sweep, in place)."""
+        for r, d in self.etas:
+            piv = x[r] / d[r]
+            x -= d * piv
+            x[r] = piv
+        return x
+
+    def _btran(self, y: np.ndarray) -> np.ndarray:
+        """``y' <- y' E_k ... E_1 B_0^{-1}`` (mutates its argument)."""
+        for r, d in reversed(self.etas):
+            # y' E for eta (r, d) changes only component r:
+            # y_r <- y_r + (y_r - y.d) / d_r.
+            y[r] = y[r] + (y[r] - y @ d) / d[r]
+        return self.lu.solve(y, trans="T")
+
+    def solve_b(self, b: np.ndarray) -> np.ndarray:
+        return self._apply_etas(self.lu.solve(b))
+
+    def btran_cost(self, cost_basis: np.ndarray) -> np.ndarray:
+        return self._btran(np.array(cost_basis, dtype=np.float64))
+
+    def price(self, y: np.ndarray, lim: int) -> np.ndarray:
+        values = self.struct_t @ y
+        if lim <= self.n_std:
+            return values[:lim]
+        return np.concatenate([values, y[: lim - self.n_std]])
+
+    def column(self, j: int) -> np.ndarray:
+        col = np.zeros(self.m)
+        if j < self.n_std:
+            csc = self.full_csc
+            lo, hi = csc.indptr[j], csc.indptr[j + 1]
+            col[csc.indices[lo:hi]] = csc.data[lo:hi]
+        else:
+            col[j - self.n_std] = 1.0
+        return col
+
+    def ftran(self, j: int) -> np.ndarray:
+        return self._apply_etas(self.lu.solve(self.column(j)))
+
+    def pilot_row(self, r: int, lim: int) -> np.ndarray:
+        e = np.zeros(self.m)
+        e[r] = 1.0
+        return self.price(self._btran(e), lim)
+
+    def pivot(
+        self, direction: np.ndarray, row: int, xb: np.ndarray
+    ) -> None:
+        d = direction.copy()
+        piv = xb[row] / d[row]
+        xb -= d * piv
+        xb[row] = piv
+        self.etas.append((row, d))
+
+    def refactorize(
+        self, basis: np.ndarray, b: np.ndarray, xb: np.ndarray
+    ) -> np.ndarray:
+        try:
+            lu = _splu(self.basis_csc(basis))
+        except RuntimeError:  # pragma: no cover - drift guard
+            return xb  # keep the eta product; better than nothing
+        fresh_xb = lu.solve(b)
+        if fresh_xb.min() < -_WARM_FEAS_TOL:  # pragma: no cover - guard
+            return xb
+        np.clip(fresh_xb, 0.0, None, out=fresh_xb)
+        self.lu = lu
+        self.etas.clear()
+        return fresh_xb
+
+    def basis_dense(self, basis: np.ndarray) -> np.ndarray:
+        return self.full_csc[:, basis].toarray()
+
+    def basis_csc(self, basis: np.ndarray) -> _sp.csc_matrix:
+        return self.full_csc[:, basis].tocsc()
+
+
 class SimplexSolver:
-    """Revised two-phase simplex for small/medium dense LPs."""
+    """Revised two-phase simplex over pluggable basis factorizations."""
 
     def __init__(
         self,
         max_iterations: int = 20_000,
         tolerance: float = _EPS,
         refactor_every: int = _REFACTOR_EVERY,
+        factorization: str = "auto",
     ) -> None:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
@@ -256,10 +497,19 @@ class SimplexSolver:
                 f"refactor_every must be >= 1, got {refactor_every}"
             )
         self.refactor_every = refactor_every
+        if factorization not in FACTORIZATIONS:
+            raise ValueError(
+                f"unknown factorization {factorization!r}; "
+                f"choose from {FACTORIZATIONS}"
+            )
+        self.factorization = factorization
         # Refactorizations of the current solve, counted as a plain
         # attribute in the pivot loop and emitted as telemetry only at
         # the solve() boundary (RPL701: no obs calls in hot kernels).
         self._refactorizations = 0
+        # Engine kind the last solve actually ran on (None for the
+        # unconstrained short-circuit, which factorizes nothing).
+        self._factorization_used: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -275,6 +525,7 @@ class SimplexSolver:
         primal-feasible warm basis skips phase 1 entirely.
         """
         self._refactorizations = 0
+        self._factorization_used = None
         solution = self._solve_impl(problem, warm_basis)
         obs.counter("repro_simplex_solves_total", status=solution.status)
         obs.counter(
@@ -283,7 +534,36 @@ class SimplexSolver:
         obs.counter(
             "repro_simplex_refactorizations_total", self._refactorizations
         )
+        if self._factorization_used is not None:
+            obs.counter(
+                "repro_simplex_factorization_total",
+                kind=self._factorization_used,
+            )
         return solution
+
+    def _make_engine(
+        self, std: _StandardForm
+    ) -> _DenseEngine | _SparseEngine:
+        """Pick the basis-factorization engine for this problem.
+
+        ``"auto"`` goes sparse only when the standardized matrix is both
+        large (``m >= _SPARSE_MIN_ROWS``) and sparse (density at most
+        ``_SPARSE_MAX_DENSITY``) — the restricted-master regime where
+        slack/structure columns dominate.  Small or dense problems keep
+        the historical dense engine, whose per-pivot constant factors
+        win there.
+        """
+        mode = self.factorization
+        if mode == "auto":
+            m = std.a.shape[0]
+            if m >= _SPARSE_MIN_ROWS and std.a.size:
+                density = np.count_nonzero(std.a) / std.a.size
+                mode = (
+                    "sparse" if density <= _SPARSE_MAX_DENSITY else "dense"
+                )
+            else:
+                mode = "dense"
+        return _SparseEngine(std) if mode == "sparse" else _DenseEngine(std)
 
     def _solve_impl(
         self,
@@ -296,22 +576,21 @@ class SimplexSolver:
         if m == 0:
             return self._solve_unconstrained(problem, std)
 
-        # Structural columns followed by one artificial per row.
-        full = np.hstack([std.a, np.eye(m)])
+        engine = self._make_engine(std)
+        self._factorization_used = engine.kind
 
         basis: np.ndarray | None = None
-        binv: np.ndarray | None = None
         xb: np.ndarray | None = None
         iters1 = 0
         if warm_basis is not None:
             basis = _decode_basis(std, tuple(warm_basis))
             if basis is not None:
                 try:
-                    binv = np.linalg.inv(full[:, basis])
+                    engine.start_basis(basis)
                 except np.linalg.LinAlgError:
                     basis = None
                 else:
-                    xb = binv @ std.b
+                    xb = engine.solve_b(std.b)
                     artificial = basis >= n_std
                     if xb.min() < -_WARM_FEAS_TOL:
                         basis = None  # infeasible start: cold-solve
@@ -334,12 +613,12 @@ class SimplexSolver:
         if basis is None:
             # Phase 1: artificial variables with identity basis.
             basis = np.arange(n_std, n_std + m, dtype=np.int64)
-            binv = np.eye(m)
+            engine.start_identity()
             xb = std.b.copy()
             phase1_cost = np.zeros(n_std + m)
             phase1_cost[n_std:] = 1.0
-            status, iters1, binv, xb = self._iterate(
-                full, std.b, basis, binv, xb, phase1_cost, limit=None
+            status, iters1, xb = self._iterate(
+                engine, std.b, basis, xb, phase1_cost, limit=None
             )
             if status != LPStatus.OPTIMAL:
                 return LPSolution(status=status, message="phase 1 failed")
@@ -352,13 +631,13 @@ class SimplexSolver:
                     iterations=iters1,
                     message=f"phase-1 objective {infeasibility:.3e}",
                 )
-            self._drive_out_artificials(full, basis, binv, xb, n_std)
+            self._drive_out_artificials(engine, basis, xb, n_std)
 
         # Phase 2 on the original columns only.
         phase2_cost = np.zeros(n_std + m)
         phase2_cost[:n_std] = std.c
-        status, iters2, binv, xb = self._iterate(
-            full, std.b, basis, binv, xb, phase2_cost, limit=n_std
+        status, iters2, xb = self._iterate(
+            engine, std.b, basis, xb, phase2_cost, limit=n_std
         )
         if status != LPStatus.OPTIMAL:
             return LPSolution(
@@ -368,17 +647,9 @@ class SimplexSolver:
             )
 
         # Path-independent extraction: everything below depends only on
-        # the final basis, so warm and cold runs that agree on it return
-        # bitwise-identical solutions.
-        basis_matrix = full[:, basis]
-        try:
-            xb = np.linalg.solve(basis_matrix, std.b)
-            y = np.linalg.solve(basis_matrix.T, phase2_cost[basis])
-        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
-            xb = np.linalg.lstsq(basis_matrix, std.b, rcond=None)[0]
-            y = np.linalg.lstsq(
-                basis_matrix.T, phase2_cost[basis], rcond=None
-            )[0]
+        # the final basis, so warm and cold runs — and dense and sparse
+        # runs — that agree on it return bitwise-identical solutions.
+        xb, y = self._extract(engine, basis, std.b, phase2_cost[basis])
         x_std = np.zeros(n_std)
         for r in range(m):
             if basis[r] < n_std:
@@ -398,6 +669,42 @@ class SimplexSolver:
         )
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _extract(
+        engine: _DenseEngine | _SparseEngine,
+        basis: np.ndarray,
+        b: np.ndarray,
+        cost_basis: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(x_B, y)`` from a fresh factorization of the final basis.
+
+        The scheme is keyed on the row count alone — sparse LU at or
+        above :data:`_SPARSE_MIN_ROWS`, dense LAPACK below — never on
+        which engine ran the pivots, so any two runs terminating in the
+        same basis extract bit-for-bit identical results regardless of
+        their pivot paths.
+        """
+        m = len(basis)
+        if m >= _SPARSE_MIN_ROWS:
+            try:
+                lu = _splu(engine.basis_csc(basis))
+            except RuntimeError:  # pragma: no cover - drift guard
+                pass  # fall through to the dense extraction
+            else:
+                return lu.solve(b), lu.solve(
+                    np.array(cost_basis, dtype=np.float64), trans="T"
+                )
+        basis_matrix = engine.basis_dense(basis)
+        try:
+            xb = np.linalg.solve(basis_matrix, b)
+            y = np.linalg.solve(basis_matrix.T, cost_basis)
+        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
+            xb = np.linalg.lstsq(basis_matrix, b, rcond=None)[0]
+            y = np.linalg.lstsq(
+                basis_matrix.T, cost_basis, rcond=None
+            )[0]
+        return xb, y
 
     def _solve_unconstrained(
         self, problem: LinearProgram, std: _StandardForm
@@ -427,39 +734,39 @@ class SimplexSolver:
 
     def _iterate(
         self,
-        full: np.ndarray,
+        engine: _DenseEngine | _SparseEngine,
         b: np.ndarray,
         basis: np.ndarray,
-        binv: np.ndarray,
         xb: np.ndarray,
         cost: np.ndarray,
         limit: int | None,
-    ) -> tuple[str, int, np.ndarray, np.ndarray]:
+    ) -> tuple[str, int, np.ndarray]:
         """Revised-simplex pivots until optimal/unbounded.
 
-        Mutates ``basis`` in place; returns the (possibly refactorized)
-        ``binv`` and ``xb`` alongside the status and iteration count.
+        Mutates ``basis`` (and the engine's factorization state) in
+        place; returns the (possibly refactorized) ``xb`` alongside the
+        status and iteration count.
         """
-        m = full.shape[0]
-        lim = limit if limit is not None else full.shape[1]
+        m = engine.m
+        lim = limit if limit is not None else engine.n_cols
         degenerate_streak = 0
         since_refactor = 0
         just_refreshed = False
         for iteration in range(self.max_iterations):
-            y = cost[basis] @ binv
-            reduced = cost[:lim] - y @ full[:, :lim]
+            y = engine.btran_cost(cost[basis])
+            reduced = cost[:lim] - engine.price(y, lim)
             use_bland = degenerate_streak >= _DEGENERACY_STREAK
             if use_bland:
                 candidates = np.nonzero(reduced < -self.tolerance)[0]
                 if candidates.size == 0:
-                    return LPStatus.OPTIMAL, iteration, binv, xb
+                    return LPStatus.OPTIMAL, iteration, xb
                 entering = int(candidates[0])
             else:
                 entering = int(np.argmin(reduced))
                 if reduced[entering] >= -self.tolerance:
-                    return LPStatus.OPTIMAL, iteration, binv, xb
+                    return LPStatus.OPTIMAL, iteration, xb
 
-            direction = binv @ full[:, entering]
+            direction = engine.ftran(entering)
             positive = direction > self.tolerance
             if not positive.any():
                 # A column that prices negative yet has no positive
@@ -468,13 +775,11 @@ class SimplexSolver:
                 # unboundedness.  Re-price once against a fresh
                 # factorization before concluding.
                 if not just_refreshed:
-                    binv, xb = self._refactorize(
-                        full, b, basis, binv, xb
-                    )
+                    xb = self._refresh(engine, basis, b, xb)
                     just_refreshed = True
                     since_refactor = 0
                     continue
-                return LPStatus.UNBOUNDED, iteration, binv, xb
+                return LPStatus.UNBOUNDED, iteration, xb
             just_refreshed = False
             ratios = np.full(m, np.inf)
             ratios[positive] = xb[positive] / direction[positive]
@@ -491,58 +796,29 @@ class SimplexSolver:
             else:
                 degenerate_streak = 0
 
-            self._pivot(binv, xb, direction, leaving)
+            engine.pivot(direction, leaving, xb)
             basis[leaving] = entering
             since_refactor += 1
             if since_refactor >= self.refactor_every:
-                binv, xb = self._refactorize(full, b, basis, binv, xb)
+                xb = self._refresh(engine, basis, b, xb)
                 since_refactor = 0
-        return LPStatus.ITERATION_LIMIT, self.max_iterations, binv, xb
+        return LPStatus.ITERATION_LIMIT, self.max_iterations, xb
 
-    @staticmethod
-    def _pivot(
-        binv: np.ndarray,
-        xb: np.ndarray,
-        direction: np.ndarray,
-        row: int,
-    ) -> None:
-        """Product-form (eta) update of ``B^{-1}`` and ``x_B``."""
-        pivot = direction[row]
-        binv[row] /= pivot
-        xb[row] /= pivot
-        factors = direction.copy()
-        factors[row] = 0.0
-        binv -= np.outer(factors, binv[row])
-        xb -= factors * xb[row]
-
-    def _refactorize(
+    def _refresh(
         self,
-        full: np.ndarray,
-        b: np.ndarray,
+        engine: _DenseEngine | _SparseEngine,
         basis: np.ndarray,
-        binv: np.ndarray,
+        b: np.ndarray,
         xb: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Fresh LU factorization of the basis, bounding eta-drift."""
+    ) -> np.ndarray:
+        """Refactorize through the engine (counted at the solve boundary)."""
         self._refactorizations += 1
-        basis_matrix = full[:, basis]
-        try:
-            fresh = np.linalg.inv(basis_matrix)
-        except np.linalg.LinAlgError:  # pragma: no cover - drift guard
-            return binv, xb  # keep the eta product; better than nothing
-        fresh_xb = fresh @ b
-        # A refactorized point can pick up tiny negative components the
-        # eta chain had kept at exactly 0; clamp round-off only.
-        if fresh_xb.min() < -_WARM_FEAS_TOL:  # pragma: no cover - guard
-            return binv, xb
-        np.clip(fresh_xb, 0.0, None, out=fresh_xb)
-        return fresh, fresh_xb
+        return engine.refactorize(basis, b, xb)
 
     def _drive_out_artificials(
         self,
-        full: np.ndarray,
+        engine: _DenseEngine | _SparseEngine,
         basis: np.ndarray,
-        binv: np.ndarray,
         xb: np.ndarray,
         n_std: int,
     ) -> None:
@@ -550,7 +826,7 @@ class SimplexSolver:
         for r in range(len(basis)):
             if basis[r] < n_std:
                 continue
-            row = binv[r] @ full[:, :n_std]
+            row = engine.pilot_row(r, n_std)
             pivot_candidates = np.nonzero(
                 np.abs(row) > self.tolerance
             )[0]
@@ -558,8 +834,8 @@ class SimplexSolver:
                 # Redundant row; leave the zero-valued artificial basic.
                 continue
             entering = int(pivot_candidates[0])
-            direction = binv @ full[:, entering]
-            self._pivot(binv, xb, direction, r)
+            direction = engine.ftran(entering)
+            engine.pivot(direction, r, xb)
             basis[r] = entering
 
     def _recover_primal(
@@ -608,8 +884,9 @@ def solve_with_simplex(
     max_iterations: int = 20_000,
     tolerance: float = _EPS,
     warm_basis: tuple[BasisTag, ...] | None = None,
+    factorization: str = "auto",
 ) -> LPSolution:
     """Module-level convenience wrapper around :class:`SimplexSolver`."""
-    return SimplexSolver(max_iterations, tolerance).solve(
-        problem, warm_basis=warm_basis
-    )
+    return SimplexSolver(
+        max_iterations, tolerance, factorization=factorization
+    ).solve(problem, warm_basis=warm_basis)

@@ -50,6 +50,7 @@ from ..core.detection import (
     pal_for_ordering_batch,
 )
 from ..core.game import AuditGame
+from ..core.kernels import resolve_kernel_backend
 from ..core.pal_table import LazyPalTable, PalTable, subset_table_pays
 from ..core.objective import best_responses
 from ..core.policy import AuditPolicy, Ordering
@@ -167,6 +168,7 @@ class PolicyContext:
         thresholds: np.ndarray,
         *,
         subset_table: bool | str = False,
+        kernel_backend: str = "auto",
         representative_rows: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.game = game
@@ -186,6 +188,10 @@ class PolicyContext:
             else self.representative_rows_for(game)
         )
         self.subset_table = _coerce_subset_table(subset_table)
+        # Validate the knob at construction time (typos and an explicit
+        # "numba" without the dependency fail here, not mid-solve); the
+        # resolved name is what the subset tables are built with.
+        self.kernel_backend = resolve_kernel_backend(kernel_backend)
         self._pricer: OrderingPricer | None = None
         self._table: PalTable | LazyPalTable | None = None
 
@@ -254,7 +260,9 @@ class PolicyContext:
                     if self.subset_table == "lazy"
                     else PalTable
                 )
-                self._table = factory.from_pricer(self._pricer)
+                self._table = factory.from_pricer(
+                    self._pricer, kernel_backend=self.kernel_backend
+                )
             return self._table
         return self._pricer
 
@@ -836,6 +844,7 @@ def batch_policy_contexts(
     orderings: Sequence[Ordering],
     *,
     subset_table: bool | None = None,
+    kernel_backend: str = "auto",
     representative_rows: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> list[PolicyContext]:
     """One pre-warmed :class:`PolicyContext` per threshold vector.
@@ -877,13 +886,18 @@ def batch_policy_contexts(
                 scenarios,
                 b,
                 subset_table=True,
+                kernel_backend=kernel_backend,
                 representative_rows=representative_rows,
             )
             for b in arr
         ]
     contexts = [
         PolicyContext(
-            game, scenarios, b, representative_rows=representative_rows
+            game,
+            scenarios,
+            b,
+            kernel_backend=kernel_backend,
+            representative_rows=representative_rows,
         )
         for b in arr
     ]

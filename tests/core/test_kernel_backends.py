@@ -1,0 +1,332 @@
+"""Kernel backend registry: resolve semantics and bitwise parity.
+
+The contract under test is the bit-compatibility promise of
+:mod:`repro.core.kernels`: every backend (numpy, numba when installed,
+and the uncompiled nopython sources) fills identical product buffers,
+and tables built through any backend agree *bitwise*, not merely
+approximately.  The interpreted :data:`~repro.core.kernels.KERNEL_SOURCES`
+reference makes the algorithm parity testable even where numba is not
+installed; when it is, the compiled backend rides the same assertions.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import LazyPalTable, PalTable, all_orderings
+from repro.core import kernels
+from repro.core.kernels import (
+    HAS_NUMBA,
+    KERNEL_BACKENDS,
+    KERNEL_SOURCES,
+    available_kernel_backends,
+    get_implementation,
+    register_kernel_implementation,
+    resolve_kernel_backend,
+)
+from repro.core.pal_table import _mask_recursion
+from repro.distributions import DiscretizedGaussian, JointCountModel
+from repro.engine import FixedSolveCache
+from repro.engine.config import CGGSConfig, EnumerationConfig
+
+#: Every backend importable here; "numba" joins on the kernels CI row.
+CONCRETE = available_kernel_backends()
+
+
+def random_world(rng, n_types, n_scenarios=400):
+    """A (thresholds, scenarios, costs, budget) tuple for kernel tests."""
+    joint = JointCountModel(
+        [
+            DiscretizedGaussian(2.5 + 0.7 * t, 0.9 + 0.15 * t)
+            for t in range(n_types)
+        ]
+    )
+    scenarios = joint.sample_scenarios(n_scenarios, rng)
+    costs = np.array([1.0 + 0.5 * (t % 3) for t in range(n_types)])
+    thresholds = rng.uniform(0.0, 6.0, size=n_types).round(1)
+    budget = float(1.5 * n_types)
+    return thresholds, scenarios, costs, budget
+
+
+class TestResolveSemantics:
+    def test_auto_prefers_numba_else_numpy(self):
+        expected = "numba" if HAS_NUMBA else "numpy"
+        assert resolve_kernel_backend("auto") == expected
+        assert resolve_kernel_backend() == expected
+
+    def test_explicit_numpy_always_available(self):
+        assert resolve_kernel_backend("numpy") == "numpy"
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed")
+    def test_explicit_numba_without_dependency_raises(self):
+        with pytest.raises(ValueError, match="kernels"):
+            resolve_kernel_backend("numba")
+
+    @pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+    def test_explicit_numba_with_dependency(self):
+        assert resolve_kernel_backend("numba") == "numba"
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match="choose from"):
+            resolve_kernel_backend("fortran")
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed")
+    def test_auto_fallback_logs_exactly_one_debug_note(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(kernels, "_auto_fallback_noted", False)
+        with caplog.at_level(logging.DEBUG, logger="repro.core.kernels"):
+            assert resolve_kernel_backend("auto") == "numpy"
+            assert resolve_kernel_backend("auto") == "numpy"
+        notes = [
+            r for r in caplog.records if "kernels' extra" in r.message
+        ]
+        assert len(notes) == 1
+        assert notes[0].levelno == logging.DEBUG
+
+    def test_config_validates_kernel_backend_at_parse_time(self):
+        with pytest.raises(ValueError, match="kernel_backend"):
+            EnumerationConfig.from_dict({"kernel_backend": "fortran"})
+        cfg = CGGSConfig.from_dict({"kernel_backend": "numpy"})
+        assert cfg.kernel_backend == "numpy"
+        # The knob is stored verbatim: "auto" stays "auto" so defaulted
+        # configs hash/compare equal regardless of the installed extras.
+        assert EnumerationConfig().kernel_backend == "auto"
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed")
+    def test_config_rejects_numba_without_dependency(self):
+        with pytest.raises(ValueError, match="kernels"):
+            EnumerationConfig.from_dict({"kernel_backend": "numba"})
+
+
+class TestRegistry:
+    def test_numpy_backend_always_registered(self):
+        assert "numpy" in CONCRETE
+        assert ("numba" in CONCRETE) == HAS_NUMBA
+        assert list(CONCRETE) == sorted(CONCRETE)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel_implementation(
+                "numpy", lambda: KERNEL_SOURCES
+            )
+
+    def test_get_implementation_memoizes(self):
+        first = get_implementation("numpy")
+        assert get_implementation("numpy") is first
+        assert first.name == "numpy"
+
+    def test_knob_order_matches_registry(self):
+        assert set(CONCRETE) <= set(KERNEL_BACKENDS)
+
+
+def _kernel_inputs(rng, n_types=5, n_scenarios=203):
+    """Realistic buffers for the four kernel primitives."""
+    n_masks = 1 << n_types
+    contrib = rng.uniform(0.0, 3.0, size=(n_scenarios, n_types))
+    prev, bit = _mask_recursion(n_masks)
+    masks = np.arange(n_masks)
+    rows = masks[(masks >> 1) & 1 == 0]  # predecessor sets without t=1
+    effective = rng.uniform(0.0, 8.0, size=(n_scenarios, n_types))
+    zsafe = rng.uniform(0.5, 4.0, size=(n_scenarios, n_types))
+    weights = rng.dirichlet(np.ones(n_scenarios))
+    return {
+        "n_masks": n_masks,
+        "n_scenarios": n_scenarios,
+        "contrib": contrib,
+        "prev": prev,
+        "bit": bit,
+        "rows": rows,
+        "effective": effective,
+        "zsafe": zsafe,
+        "weights": weights,
+        "cost": 1.5,
+        "quota": 4.0,
+        "budget": float(1.5 * n_types),
+    }
+
+
+#: Pairs (reference, candidate) that must agree bitwise.  The uncompiled
+#: sources pin the numpy backend everywhere; the compiled numba backend
+#: joins on the kernels CI row, closing numba == source == numpy.
+PARITY_PAIRS = [("source", "numpy")] + (
+    [("numba", "numpy")] if HAS_NUMBA else []
+)
+
+
+def _impl(name):
+    return KERNEL_SOURCES if name == "source" else get_implementation(name)
+
+
+@pytest.mark.parametrize("left,right", PARITY_PAIRS)
+class TestKernelParity:
+    def test_dp_consumed(self, rng, left, right):
+        k = _kernel_inputs(rng)
+        out = {}
+        for name in (left, right):
+            consumed = np.empty((k["n_masks"], k["n_scenarios"]))
+            _impl(name).dp_consumed(
+                k["contrib"], k["prev"], k["bit"], consumed
+            )
+            out[name] = consumed
+        assert np.array_equal(out[left], out[right])
+
+    def test_type_products(self, rng, left, right):
+        k = _kernel_inputs(rng)
+        consumed = np.empty((k["n_masks"], k["n_scenarios"]))
+        _impl("numpy").dp_consumed(
+            k["contrib"], k["prev"], k["bit"], consumed
+        )
+        out = {}
+        for name in (left, right):
+            buf = np.empty((k["rows"].shape[0], k["n_scenarios"]))
+            _impl(name).type_products(
+                consumed,
+                k["rows"],
+                k["cost"],
+                k["quota"],
+                np.ascontiguousarray(k["effective"][:, 1]),
+                np.ascontiguousarray(k["zsafe"][:, 1]),
+                k["weights"],
+                k["budget"],
+                buf,
+            )
+            out[name] = buf
+        assert np.array_equal(out[left], out[right])
+
+    def test_extension_products(self, rng, left, right):
+        k = _kernel_inputs(rng)
+        consumed = rng.uniform(0.0, k["budget"], size=k["n_scenarios"])
+        costs = np.array([1.0, 1.5, 2.0])
+        quota = np.array([3.0, 5.0, 2.0])
+        out = {}
+        for name in (left, right):
+            buf = np.empty((3, k["n_scenarios"]))
+            _impl(name).extension_products(
+                consumed,
+                costs,
+                quota,
+                np.ascontiguousarray(k["effective"][:, :3].T),
+                np.ascontiguousarray(k["zsafe"][:, :3].T),
+                k["weights"],
+                k["budget"],
+                buf,
+            )
+            out[name] = buf
+        assert np.array_equal(out[left], out[right])
+
+    def test_consumed_step(self, rng, left, right):
+        k = _kernel_inputs(rng)
+        prev = rng.uniform(0.0, 4.0, size=k["n_scenarios"])
+        col = np.ascontiguousarray(k["contrib"][:, 2])
+        out = {}
+        for name in (left, right):
+            buf = np.empty_like(prev)
+            _impl(name).consumed_step(prev, col, buf)
+            out[name] = buf
+        assert np.array_equal(out[left], out[right])
+
+
+class TestTableBackendParity:
+    """Tables built through any backend knob agree bitwise."""
+
+    @pytest.mark.parametrize("backend", ["auto", *CONCRETE])
+    def test_pal_table_bitwise_across_backends(self, rng, backend):
+        b, sc, costs, budget = random_world(rng, 5)
+        reference = PalTable(b, sc, costs, budget, kernel_backend="numpy")
+        table = PalTable(b, sc, costs, budget, kernel_backend=backend)
+        assert np.array_equal(table.table, reference.table)
+        assert table.kernel_backend == resolve_kernel_backend(backend)
+
+    @pytest.mark.parametrize("backend", CONCRETE)
+    def test_pal_table_chunked_bitwise(self, rng, backend):
+        # Chunking itself reorders the accumulation (tolerance-tested in
+        # test_pal_table); at *equal* chunking, backends stay bitwise.
+        b, sc, costs, budget = random_world(rng, 4, n_scenarios=257)
+        reference = PalTable(
+            b, sc, costs, budget,
+            scenario_chunk=19, kernel_backend="numpy",
+        )
+        chunked = PalTable(
+            b, sc, costs, budget,
+            scenario_chunk=19, kernel_backend=backend,
+        )
+        assert np.array_equal(chunked.table, reference.table)
+
+    @pytest.mark.parametrize("backend", ["auto", *CONCRETE])
+    def test_lazy_table_bitwise_across_backends(self, rng, backend):
+        b, sc, costs, budget = random_world(rng, 4)
+        reference = LazyPalTable(
+            b, sc, costs, budget, kernel_backend="numpy"
+        )
+        lazy = LazyPalTable(
+            b, sc, costs, budget, kernel_backend=backend
+        )
+        for o in all_orderings(4):
+            assert np.array_equal(lazy.pal(o), reference.pal(o))
+        for mask in (0, 1, 5):
+            free = [t for t in range(4) if not (mask >> t) & 1]
+            assert np.array_equal(
+                lazy.extension_values(mask, free),
+                reference.extension_values(mask, free),
+            )
+
+    @pytest.mark.parametrize("backend", CONCRETE)
+    def test_lazy_matches_eager_per_backend(self, rng, backend):
+        b, sc, costs, budget = random_world(rng, 4)
+        eager = PalTable(b, sc, costs, budget, kernel_backend=backend)
+        lazy = LazyPalTable(
+            b, sc, costs, budget, kernel_backend=backend
+        )
+        for o in all_orderings(4):
+            assert np.array_equal(lazy.pal(o), eager.pal(o))
+
+
+class TestWorkersDeterminism:
+    """kernel_backend never perturbs the workers>1 == workers=1 identity."""
+
+    def test_price_batch_parallel_equals_serial_per_backend(
+        self, tiny_game, tiny_scenarios
+    ):
+        rng = np.random.default_rng(7)
+        upper = np.ceil(tiny_game.threshold_upper_bounds())
+        batch = rng.integers(
+            0, upper + 1, size=(6, tiny_game.n_types)
+        ).astype(np.float64)
+        for backend in CONCRETE:
+            serial = FixedSolveCache(
+                tiny_game, tiny_scenarios
+            ).price_batch(batch, workers=1, kernel_backend=backend)
+            with FixedSolveCache(tiny_game, tiny_scenarios) as cache:
+                fanned = cache.price_batch(
+                    batch, workers=2, kernel_backend=backend
+                )
+            for a, b in zip(serial, fanned, strict=True):
+                assert a.objective == b.objective
+                assert np.array_equal(
+                    a.adversary_utilities, b.adversary_utilities
+                )
+                assert tuple(map(tuple, a.policy.orderings)) == tuple(
+                    map(tuple, b.policy.orderings)
+                )
+                assert np.array_equal(
+                    a.policy.probabilities, b.policy.probabilities
+                )
+
+    def test_explicit_backend_equals_defaulted_solver(
+        self, tiny_game, tiny_scenarios
+    ):
+        # The enumeration adapter omits kernel_backend="auto" from the
+        # memo key; an explicit concrete backend must return the same
+        # numbers through a distinct memo entry.
+        cache = FixedSolveCache(tiny_game, tiny_scenarios)
+        point = np.array([2.0, 2.0])
+        defaulted = cache.solver()(point)
+        for backend in CONCRETE:
+            explicit = cache.solver(kernel_backend=backend)(point)
+            assert explicit.objective == defaulted.objective
+            assert np.array_equal(
+                explicit.adversary_utilities,
+                defaulted.adversary_utilities,
+            )

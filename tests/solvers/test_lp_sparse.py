@@ -1,0 +1,392 @@
+"""Sparse-LU simplex factorization: bitwise parity with the dense engine.
+
+The contract under test: the ``factorization`` knob never changes the
+*answer*.  Dense and sparse runs extract through the same size-keyed
+scheme, so any two solves terminating in the same basis return
+bit-for-bit identical objective, primal point, duals and basis tags —
+across random LPs, master-problem shapes, warm starts, and both sides
+of the auto-selection threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.solvers.lp import (
+    FACTORIZATIONS,
+    LinearProgram,
+    LPStatus,
+    SimplexSolver,
+    solve_lp,
+    solve_with_simplex,
+)
+from repro.solvers.lp.simplex import (
+    _SPARSE_MIN_ROWS,
+    _DenseEngine,
+    _SparseEngine,
+    _standardize,
+)
+
+
+def bitwise_equal(a, b):
+    """Solutions agree exactly: objective, point, duals and basis."""
+    return (
+        a.status == b.status
+        and a.objective_value == b.objective_value
+        and np.array_equal(a.x, b.x)
+        and np.array_equal(a.dual_ub, b.dual_ub)
+        and np.array_equal(a.dual_eq, b.dual_eq)
+        and a.basis == b.basis
+    )
+
+
+def assert_parity(a, b):
+    """Engine parity for possibly-degenerate problems.
+
+    Cold dense and sparse runs may break reduced-cost ties differently
+    (their BTRAN arithmetic differs in the last ulp) and terminate in
+    *different* optimal bases when the optimum is degenerate; objective
+    values still agree, and whenever the final bases coincide the
+    size-keyed extraction makes everything else bitwise too.
+    """
+    assert a.status == b.status
+    if a.status == LPStatus.OPTIMAL:
+        assert np.isclose(
+            a.objective_value, b.objective_value, rtol=1e-9, atol=1e-9
+        )
+        if a.basis == b.basis:
+            assert bitwise_equal(a, b)
+
+
+def random_sparse_lp(seed, m=40, n=25, nnz_per_row=5):
+    """A bounded, feasible inequality LP with a sparse constraint block."""
+    rng = np.random.default_rng(seed)
+    a_ub = np.zeros((m, n))
+    for i in range(m):
+        cols = rng.choice(n, size=nnz_per_row, replace=False)
+        a_ub[i, cols] = rng.uniform(0.1, 1.0, size=nnz_per_row)
+    return LinearProgram(
+        objective=rng.uniform(-1.0, 1.0, size=n),
+        a_ub=a_ub,
+        b_ub=rng.uniform(2.0, 4.0, size=m),
+        bounds=tuple((0.0, 1.0) for _ in range(n)),
+    )
+
+
+def unique_basis_lp(seed, n=20):
+    """A fractional-knapsack LP whose optimal basis is *unique*.
+
+    ``min -c'x  s.t.  a'x <= b, 0 <= x <= 1`` with almost-surely
+    distinct ``c_j / a_j`` ratios and ``b`` cutting the ranked fill
+    strictly inside item ``k``: the optimum takes the top-ranked items
+    whole and item ``k`` fractionally, every basic variable is strictly
+    positive, and the vertex is non-degenerate — so *any* pivot path,
+    dense or sparse, must terminate in the same basis, making full
+    bitwise equality unconditional.
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.5, 1.5, size=n)
+    c = rng.uniform(0.5, 1.5, size=n)
+    order = np.argsort(-(c / a))
+    k = n // 2
+    b = float(a[order[:k]].sum() + 0.4 * a[order[k]])
+    return LinearProgram(
+        objective=-c,
+        a_ub=a[None, :],
+        b_ub=np.array([b]),
+        bounds=tuple((0.0, 1.0) for _ in range(n)),
+    )
+
+
+def master_shape_lp(seed, n_rows=30, n_cols=12):
+    """The eq.-5 master shape: free value variable, simplex row, payoffs.
+
+    ``min -u  s.t.  u - (P q)_r <= 0  for every adversary row r,
+    sum q = 1, q >= 0, u free`` — the structure every restricted master
+    in the repository hands to the LP layer.
+    """
+    rng = np.random.default_rng(seed)
+    payoffs = rng.uniform(0.0, 1.0, size=(n_rows, n_cols))
+    a_ub = np.hstack([np.ones((n_rows, 1)), -payoffs])
+    objective = np.zeros(n_cols + 1)
+    objective[0] = -1.0
+    a_eq = np.zeros((1, n_cols + 1))
+    a_eq[0, 1:] = 1.0
+    return LinearProgram(
+        objective=objective,
+        a_ub=a_ub,
+        b_ub=np.zeros(n_rows),
+        a_eq=a_eq,
+        b_eq=np.array([1.0]),
+        bounds=((None, None),) + ((0.0, None),) * n_cols,
+    )
+
+
+def large_scenario_lp(m=520, n=30, seed=3):
+    """A sparse LP crossing ``_SPARSE_MIN_ROWS``, plus its all-slack basis.
+
+    ``b > 0`` makes the origin feasible, so the all-slack warm basis
+    skips phase 1 on both engines — the restricted-master regime the
+    sparse path targets, at test-suite scale.
+    """
+    n_ub = m - n  # bound rows for the n (0, 1) variables fill the rest
+    rng = np.random.default_rng(seed)
+    a_ub = np.zeros((n_ub, n))
+    for i in range(n_ub):
+        cols = rng.choice(n, size=4, replace=False)
+        a_ub[i, cols] = rng.uniform(0.1, 1.0, size=4)
+    lp = LinearProgram(
+        objective=rng.uniform(-1.0, 1.0, size=n),
+        a_ub=a_ub,
+        b_ub=rng.uniform(2.0, 4.0, size=n_ub),
+        bounds=tuple((0.0, 1.0) for _ in range(n)),
+    )
+    warm = tuple(("s_ub", i) for i in range(n_ub)) + tuple(
+        ("s_bnd", j) for j in range(n)
+    )
+    return lp, warm
+
+
+class TestFactorizationKnob:
+    def test_knob_values(self):
+        assert FACTORIZATIONS == ("auto", "dense", "sparse")
+
+    def test_invalid_factorization_raises(self):
+        with pytest.raises(ValueError, match="choose from"):
+            SimplexSolver(factorization="lu")
+        with pytest.raises(ValueError, match="choose from"):
+            solve_with_simplex(
+                random_sparse_lp(0), factorization="cholesky"
+            )
+
+    def test_solve_lp_forwards_factorization(self):
+        lp = random_sparse_lp(1)
+        dense = solve_lp(lp, backend="simplex", factorization="dense")
+        sparse = solve_lp(lp, backend="simplex", factorization="sparse")
+        assert dense.is_optimal
+        assert bitwise_equal(dense, sparse)
+
+    def test_scipy_backend_ignores_factorization(self):
+        lp = random_sparse_lp(2)
+        sol = solve_lp(lp, backend="scipy", factorization="sparse")
+        assert sol.is_optimal
+
+
+class TestAutoSelection:
+    def _engine_for(self, lp, factorization="auto"):
+        solver = SimplexSolver(factorization=factorization)
+        return solver._make_engine(_standardize(lp))
+
+    def test_small_problem_stays_dense(self):
+        assert isinstance(
+            self._engine_for(random_sparse_lp(0)), _DenseEngine
+        )
+
+    def test_large_sparse_problem_goes_sparse(self):
+        lp, _ = large_scenario_lp()
+        std = _standardize(lp)
+        assert std.a.shape[0] >= _SPARSE_MIN_ROWS
+        assert isinstance(self._engine_for(lp), _SparseEngine)
+
+    def test_large_dense_problem_stays_dense(self):
+        # The dense block must rival the slack identity in width, or the
+        # standardized matrix is sparse no matter how dense A_ub is.
+        rng = np.random.default_rng(0)
+        n = 300
+        lp = LinearProgram(
+            objective=rng.uniform(-1.0, 1.0, size=n),
+            a_ub=rng.uniform(0.1, 1.0, size=(_SPARSE_MIN_ROWS, n)),
+            b_ub=rng.uniform(2.0, 4.0, size=_SPARSE_MIN_ROWS),
+        )
+        assert isinstance(self._engine_for(lp), _DenseEngine)
+
+    def test_forced_modes_override_auto(self):
+        small = random_sparse_lp(0)
+        assert isinstance(
+            self._engine_for(small, "sparse"), _SparseEngine
+        )
+        large, _ = large_scenario_lp()
+        assert isinstance(
+            self._engine_for(large, "dense"), _DenseEngine
+        )
+
+    def test_factorization_used_reported_per_solve(self):
+        solver = SimplexSolver(factorization="sparse")
+        assert solver._factorization_used is None
+        solver.solve(random_sparse_lp(0))
+        assert solver._factorization_used == "sparse"
+        dense = SimplexSolver(factorization="auto")
+        dense.solve(random_sparse_lp(0))
+        assert dense._factorization_used == "dense"
+
+
+class TestSparseDenseParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_unique_basis_lps_bitwise(self, seed):
+        # Unique optimal basis: cold dense and cold sparse runs cannot
+        # disagree, whatever pivot paths they take.
+        lp = unique_basis_lp(seed)
+        dense = solve_with_simplex(lp, factorization="dense")
+        sparse = solve_with_simplex(lp, factorization="sparse")
+        assert dense.is_optimal
+        assert bitwise_equal(dense, sparse)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lps_parity(self, seed):
+        lp = random_sparse_lp(seed)
+        dense = solve_with_simplex(lp, factorization="dense")
+        sparse = solve_with_simplex(lp, factorization="sparse")
+        assert dense.is_optimal
+        assert_parity(dense, sparse)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lps_same_basis_closure(self, seed):
+        # The path-independent extraction contract: a sparse run entered
+        # at the dense run's final basis terminates there and must agree
+        # on every output bit — and vice versa.
+        lp = random_sparse_lp(seed)
+        dense = solve_with_simplex(lp, factorization="dense")
+        sparse = solve_with_simplex(
+            lp, warm_basis=dense.basis, factorization="sparse"
+        )
+        assert bitwise_equal(dense, sparse)
+        cold_sparse = solve_with_simplex(lp, factorization="sparse")
+        re_dense = solve_with_simplex(
+            lp, warm_basis=cold_sparse.basis, factorization="dense"
+        )
+        assert bitwise_equal(cold_sparse, re_dense)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_master_shape_parity_and_closure(self, seed):
+        lp = master_shape_lp(seed)
+        dense = solve_with_simplex(lp, factorization="dense")
+        sparse = solve_with_simplex(lp, factorization="sparse")
+        assert dense.is_optimal
+        assert_parity(dense, sparse)
+        anchored = solve_with_simplex(
+            lp, warm_basis=dense.basis, factorization="sparse"
+        )
+        assert bitwise_equal(dense, anchored)
+
+    def test_infeasible_status_parity(self):
+        lp = LinearProgram(
+            objective=np.array([1.0]),
+            a_eq=np.array([[1.0]]),
+            b_eq=np.array([-2.0]),  # x >= 0 cannot hit -2
+        )
+        for mode in ("dense", "sparse"):
+            sol = solve_with_simplex(lp, factorization=mode)
+            assert sol.status == LPStatus.INFEASIBLE
+
+    def test_unbounded_status_parity(self):
+        lp = LinearProgram(
+            objective=np.array([-1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([0.0]),
+        )
+        for mode in ("dense", "sparse"):
+            sol = solve_with_simplex(lp, factorization=mode)
+            assert sol.status == LPStatus.UNBOUNDED
+
+    def test_frequent_refactorization_parity(self):
+        # refactor_every=1 re-factorizes after every pivot.  The freshly
+        # solved iterate differs from the eta-product one in the last
+        # ulp, so the pivot path (and a degenerate final basis) may
+        # move — but the optimum may not.
+        lp = master_shape_lp(1)
+        for mode in ("dense", "sparse"):
+            solver = SimplexSolver(refactor_every=1, factorization=mode)
+            churned = solver.solve(lp)
+            assert churned.is_optimal
+            assert solver._refactorizations > 0
+            assert_parity(
+                SimplexSolver(factorization=mode).solve(lp), churned
+            )
+        # On a unique-basis problem the churn is a full bitwise no-op.
+        lp = unique_basis_lp(0)
+        for mode in ("dense", "sparse"):
+            baseline = SimplexSolver(factorization=mode).solve(lp)
+            churned = SimplexSolver(
+                refactor_every=1, factorization=mode
+            ).solve(lp)
+            assert bitwise_equal(baseline, churned)
+
+
+class TestWarmStartSparse:
+    def test_warm_sparse_equals_cold(self):
+        lp = master_shape_lp(2)
+        cold = solve_with_simplex(lp, factorization="sparse")
+        warm = solve_with_simplex(
+            lp, warm_basis=cold.basis, factorization="sparse"
+        )
+        assert warm.iterations <= cold.iterations
+        assert bitwise_equal(cold, warm)
+
+    def test_cross_engine_warm_start(self):
+        # A dense solve's basis re-enters the sparse engine (and back).
+        lp = master_shape_lp(3)
+        dense = solve_with_simplex(lp, factorization="dense")
+        warm_sparse = solve_with_simplex(
+            lp, warm_basis=dense.basis, factorization="sparse"
+        )
+        assert bitwise_equal(dense, warm_sparse)
+        warm_dense = solve_with_simplex(
+            lp, warm_basis=warm_sparse.basis, factorization="dense"
+        )
+        assert bitwise_equal(dense, warm_dense)
+
+    def test_stale_warm_basis_falls_back_cold(self):
+        lp = random_sparse_lp(3)
+        stale = (("x", 99),) * (len(solve_with_simplex(lp).basis))
+        sol = solve_with_simplex(
+            lp, warm_basis=stale, factorization="sparse"
+        )
+        assert sol.is_optimal
+        assert bitwise_equal(sol, solve_with_simplex(lp))
+
+    def test_singular_warm_basis_falls_back_cold(self):
+        # Variable 2's column is identically zero, so a basis naming it
+        # is singular: splu's RuntimeError must be normalized into the
+        # LinAlgError the cold-fallback logic catches.
+        lp = LinearProgram(
+            objective=np.array([1.0, 1.0, 0.0]),
+            a_ub=np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]),
+            b_ub=np.array([2.0, 3.0]),
+        )
+        cold = solve_with_simplex(lp, factorization="sparse")
+        singular = (("x", 2), ("s_ub", 1))
+        sol = solve_with_simplex(
+            lp, warm_basis=singular, factorization="sparse"
+        )
+        assert sol.is_optimal
+        assert bitwise_equal(sol, cold)
+
+
+@pytest.fixture()
+def registry():
+    reg = obs.MetricsRegistry()
+    obs_metrics.enable(reg)
+    yield reg
+    obs_metrics.disable()
+
+
+class TestLargeCrossing:
+    """Auto-selection above ``_SPARSE_MIN_ROWS``: parity and telemetry."""
+
+    def test_auto_goes_sparse_and_matches_dense_bitwise(self, registry):
+        lp, warm = large_scenario_lp()
+        dense_solver = SimplexSolver(factorization="dense")
+        dense = dense_solver.solve(lp, warm_basis=warm)
+        auto_solver = SimplexSolver(factorization="auto")
+        auto = auto_solver.solve(lp, warm_basis=warm)
+        assert dense.is_optimal
+        assert dense_solver._factorization_used == "dense"
+        assert auto_solver._factorization_used == "sparse"
+        assert bitwise_equal(dense, auto)
+        assert registry.get_counter(
+            "repro_simplex_factorization_total", kind="dense"
+        ) == 1.0
+        assert registry.get_counter(
+            "repro_simplex_factorization_total", kind="sparse"
+        ) == 1.0
